@@ -1,0 +1,77 @@
+//! The extension studies (X1 energy, X2 controller placement, X3
+//! multi-core DVFS, X4 consolidation, X5 churn, X6 hyper-threading)
+//! as bench targets, plus scheduler ablations over the three-phase
+//! scenario.
+
+use criterion::{criterion_main, Criterion};
+use experiments::scenario::{build, ScenarioConfig};
+use experiments::{run_experiment, Fidelity};
+use governors::StableOndemand;
+use hypervisor::host::SchedulerKind;
+use workloads::Intensity;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    for name in
+        [
+            "energy",
+            "placement",
+            "multicore",
+            "smt",
+            "sensitivity",
+            "overbooking",
+            "consolidation",
+            "churn",
+        ]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_experiment(name, Fidelity::Quick).expect("registered");
+                criterion::black_box(report.scalars.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler_ablation(c: &mut Criterion) {
+    // Same scenario, three schedulers: the cost of the PAS tick
+    // relative to plain Credit is the interesting delta.
+    let mut group = c.benchmark_group("scheduler-ablation");
+    let cases: Vec<(&str, fn() -> ScenarioConfig)> = vec![
+        ("credit", || {
+            ScenarioConfig::new(SchedulerKind::Credit, Intensity::Thrashing, Fidelity::Quick)
+                .with_governor(Box::new(StableOndemand::new()))
+        }),
+        ("sedf", || {
+            ScenarioConfig::new(
+                SchedulerKind::Sedf { extra: true },
+                Intensity::Thrashing,
+                Fidelity::Quick,
+            )
+            .with_governor(Box::new(StableOndemand::new()))
+        }),
+        ("pas", || {
+            ScenarioConfig::new(SchedulerKind::Pas, Intensity::Thrashing, Fidelity::Quick)
+        }),
+    ];
+    for (name, make) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut sc = build(make());
+                sc.run();
+                criterion::black_box(sc.total_energy_j())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = pas_bench::experiment_criterion();
+    bench_extensions(&mut c);
+    bench_scheduler_ablation(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

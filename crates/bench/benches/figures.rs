@@ -1,0 +1,30 @@
+//! Regenerates every *figure* of the paper (quick fidelity) and
+//! reports the wall-clock cost of doing so.
+//!
+//! Run a single figure with e.g. `cargo bench --bench figures fig9`.
+
+use criterion::{criterion_main, Criterion};
+use experiments::{run_experiment, Fidelity};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    for name in
+        ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_experiment(name, Fidelity::Quick).expect("registered");
+                criterion::black_box(report.scalars.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = pas_bench::experiment_criterion();
+    bench_figures(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Regenerates both *tables* of the paper and the Section 5.2
+//! validation sweeps (quick fidelity).
+
+use criterion::{criterion_main, Criterion};
+use experiments::{run_experiment, Fidelity};
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tables");
+    for name in [
+        "table1",
+        "table2",
+        "validation-freq-load",
+        "validation-freq-time",
+        "validation-credit-time",
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let report = run_experiment(name, Fidelity::Quick).expect("registered");
+                criterion::black_box(report.scalars.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches() {
+    let mut c = pas_bench::experiment_criterion();
+    bench_tables(&mut c);
+    c.final_summary();
+}
+
+criterion_main!(benches);

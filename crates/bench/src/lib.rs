@@ -1,0 +1,22 @@
+//! Shared configuration for the benchmark suite.
+//!
+//! Every paper artefact has a bench target that regenerates it at
+//! quick fidelity (the shapes are fidelity-independent; see
+//! `EXPERIMENTS.md` for full-fidelity artefacts):
+//!
+//! * `benches/figures.rs` — Figures 1–10,
+//! * `benches/tables.rs` — Tables 1–2 and the §5.2 validations,
+//! * `benches/ablations.rs` — the X1–X8 extension studies,
+//! * `benches/micro.rs` — hot-path micro-benchmarks (event queue,
+//!   scheduler dispatch, planner).
+
+#![warn(missing_docs)]
+
+use criterion::Criterion;
+
+/// Criterion settings for whole-experiment benches: few samples, since
+/// each iteration is a complete deterministic simulation run.
+#[must_use]
+pub fn experiment_criterion() -> Criterion {
+    Criterion::default().sample_size(10)
+}

@@ -1,0 +1,330 @@
+//! Admission control for frequency-compensated credits.
+//!
+//! The paper remarks (end of Section 4) that "when the processor
+//! frequency is low, the sum of the VM credits may be more than 100%"
+//! and waves this off because lazy VMs never reach their limits. For
+//! a *provider*, the remark hides a real decision problem: which sets
+//! of bookings can PAS actually honour, and down to which frequency?
+//!
+//! A booking vector `C = (c_1 … c_n)` (percent of fmax capacity each)
+//! is **enforceable at P-state i** iff every *active* VM can get its
+//! compensated share of wall time simultaneously:
+//!
+//! ```text
+//! Σ c_k / (ratio_i · cf_i) ≤ 100      ⟺      Σ c_k ≤ capacity_i
+//! ```
+//!
+//! i.e. the booked absolute capacities must fit the state's absolute
+//! capacity. The lowest state where that holds is the **enforceable
+//! floor**: PAS may only scale down this far while all bookings are
+//! simultaneously active. (With lazy VMs the *measured* absolute load
+//! replaces the booked sum, which is what the PAS tick does online —
+//! this module answers the provider's *offline* question: what is the
+//! worst case I have promised?)
+//!
+//! [`AdmissionPolicy`] evaluates booking sets against a ladder:
+//! feasibility per state, the enforceable floor, the residual capacity
+//! available to a new tenant at a given floor, and the energy value of
+//! declining a booking (a lower floor = a lower idle frequency).
+//!
+//! # Example
+//!
+//! ```
+//! use cpumodel::machines;
+//! use pas_core::admission::AdmissionPolicy;
+//! use pas_core::Credit;
+//!
+//! let policy = AdmissionPolicy::new(machines::optiplex_755().pstate_table());
+//! let bookings = [Credit::percent(20.0), Credit::percent(30.0)];
+//! // 50% of fmax does not fit the 1600 MHz state (~59% capacity)… it does:
+//! let floor = policy.enforceable_floor(&bookings);
+//! assert_eq!(floor, policy.table().min_idx());
+//! // but adding another 20% pushes the floor up one state.
+//! let more = [Credit::percent(20.0), Credit::percent(30.0), Credit::percent(20.0)];
+//! assert!(policy.enforceable_floor(&more) > floor);
+//! ```
+
+use cpumodel::{PStateIdx, PStateTable};
+
+use crate::equations::{capacity_percent, Credit};
+
+/// Offline feasibility analysis of booking sets under Equation 4.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    table: PStateTable,
+}
+
+/// Why a booking was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The candidate set exceeds even the maximum frequency's
+    /// capacity: the SLA could not be met at all.
+    Infeasible {
+        /// Total booked percent of fmax capacity.
+        booked_pct: f64,
+        /// The host's capacity at maximum frequency, percent.
+        capacity_pct: f64,
+    },
+    /// Feasible at fmax but the enforceable floor would rise above the
+    /// caller's requested floor (energy guardrail).
+    FloorTooHigh {
+        /// The floor the candidate set would force.
+        required: PStateIdx,
+        /// The floor the caller wanted to preserve.
+        requested: PStateIdx,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Infeasible { booked_pct, capacity_pct } => write!(
+                f,
+                "bookings total {booked_pct:.1}% of fmax but the host caps at {capacity_pct:.1}%"
+            ),
+            AdmissionError::FloorTooHigh { required, requested } => write!(
+                f,
+                "bookings force the DVFS floor up to {required} (wanted {requested})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl AdmissionPolicy {
+    /// A policy over the given DVFS ladder.
+    #[must_use]
+    pub fn new(table: PStateTable) -> Self {
+        AdmissionPolicy { table }
+    }
+
+    /// The ladder this policy reasons over.
+    #[must_use]
+    pub fn table(&self) -> &PStateTable {
+        &self.table
+    }
+
+    /// Total booked absolute capacity, percent of fmax. Uncapped
+    /// (zero) credits book nothing — they only scavenge idle time.
+    #[must_use]
+    pub fn booked_pct(bookings: &[Credit]) -> f64 {
+        bookings.iter().filter(|c| !c.is_uncapped()).map(|c| c.as_percent()).sum()
+    }
+
+    /// `true` if all bookings can be honoured simultaneously at
+    /// P-state `i` (compensated wall-time shares fit one processor).
+    #[must_use]
+    pub fn enforceable_at(&self, bookings: &[Credit], i: PStateIdx) -> bool {
+        let cap = capacity_percent(self.table.ratio(i), self.table.cf(i));
+        Self::booked_pct(bookings) <= cap + 1e-9
+    }
+
+    /// The lowest P-state at which all bookings are simultaneously
+    /// enforceable; `max_idx` when only the top state (or none) fits.
+    ///
+    /// This is how far PAS may scale down in the worst case (every
+    /// booked VM simultaneously active).
+    #[must_use]
+    pub fn enforceable_floor(&self, bookings: &[Credit]) -> PStateIdx {
+        self.table
+            .indices()
+            .find(|&i| self.enforceable_at(bookings, i))
+            .unwrap_or_else(|| self.table.max_idx())
+    }
+
+    /// `true` if the bookings fit the host at its maximum frequency —
+    /// the hard SLA feasibility test.
+    #[must_use]
+    pub fn feasible(&self, bookings: &[Credit]) -> bool {
+        self.enforceable_at(bookings, self.table.max_idx())
+    }
+
+    /// The largest additional credit a new tenant could book while
+    /// keeping the enforceable floor at or below `floor`.
+    #[must_use]
+    pub fn headroom_at(&self, bookings: &[Credit], floor: PStateIdx) -> Credit {
+        let cap = capacity_percent(self.table.ratio(floor), self.table.cf(floor));
+        Credit::percent((cap - Self::booked_pct(bookings)).max(0.0))
+    }
+
+    /// Admits `candidate` into `bookings` unless it breaks hard
+    /// feasibility or raises the enforceable floor above
+    /// `floor_guard` (pass `max_idx` to disable the guard).
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Infeasible`] if the combined bookings exceed
+    /// fmax capacity; [`AdmissionError::FloorTooHigh`] if they would
+    /// force the floor above the guard.
+    pub fn admit(
+        &self,
+        bookings: &[Credit],
+        candidate: Credit,
+        floor_guard: PStateIdx,
+    ) -> Result<PStateIdx, AdmissionError> {
+        let mut all = bookings.to_vec();
+        all.push(candidate);
+        if !self.feasible(&all) {
+            return Err(AdmissionError::Infeasible {
+                booked_pct: Self::booked_pct(&all),
+                capacity_pct: capacity_percent(
+                    self.table.ratio(self.table.max_idx()),
+                    self.table.cf(self.table.max_idx()),
+                ),
+            });
+        }
+        let required = self.enforceable_floor(&all);
+        if required > floor_guard {
+            return Err(AdmissionError::FloorTooHigh { required, requested: floor_guard });
+        }
+        Ok(required)
+    }
+
+    /// The worst-case idle power penalty of a booking set: the host
+    /// can never idle below the enforceable floor while honouring
+    /// worst-case bookings, so each extra rung costs the difference
+    /// in busy-independent power. Returns `(floor, idle_watts_at_floor)`
+    /// given a power model.
+    #[must_use]
+    pub fn idle_power_floor(
+        &self,
+        bookings: &[Credit],
+        power: &cpumodel::PowerModel,
+    ) -> (PStateIdx, f64) {
+        let floor = self.enforceable_floor(bookings);
+        let watts = power.power_scaled(self.table.state(floor), self.table.max(), 0.0);
+        (floor, watts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpumodel::machines;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy::new(machines::optiplex_755().pstate_table())
+    }
+
+    fn pct(values: &[f64]) -> Vec<Credit> {
+        values.iter().map(|&v| Credit::percent(v)).collect()
+    }
+
+    #[test]
+    fn empty_bookings_enforce_at_the_bottom() {
+        let p = policy();
+        assert_eq!(p.enforceable_floor(&[]), p.table().min_idx());
+        assert!(p.feasible(&[]));
+    }
+
+    #[test]
+    fn floor_rises_monotonically_with_bookings() {
+        let p = policy();
+        let mut prev = p.table().min_idx();
+        let mut bookings = Vec::new();
+        for _ in 0..8 {
+            bookings.push(Credit::percent(12.0));
+            let floor = p.enforceable_floor(&bookings);
+            assert!(floor >= prev, "floor cannot descend as bookings grow");
+            prev = floor;
+        }
+        assert_eq!(prev, p.table().max_idx(), "96% booked forces fmax");
+    }
+
+    #[test]
+    fn paper_scenario_floor_is_the_bottom_state() {
+        // V20 + V70 + Dom0 book 100% > any state's capacity... at fmax
+        // capacity is exactly 100%: enforceable only at the top.
+        let p = policy();
+        let full = pct(&[20.0, 70.0, 10.0]);
+        assert_eq!(p.enforceable_floor(&full), p.table().max_idx());
+        // V20 + V70 alone book 90%, a hair over the 2400 MHz state's
+        // ≈ 89.85% capacity (ratio 0.9 · cf 0.9983): still fmax-only.
+        let pair = pct(&[20.0, 70.0]);
+        assert_eq!(p.enforceable_floor(&pair), p.table().max_idx());
+        // Dropping V20 to 10% fits 2400 MHz but not 2133 (≈ 79.7%).
+        let lighter = pct(&[10.0, 70.0]);
+        let floor = p.enforceable_floor(&lighter);
+        assert_eq!(p.table().state(floor).frequency.as_mhz(), 2400);
+    }
+
+    #[test]
+    fn uncapped_vms_book_nothing() {
+        let p = policy();
+        let mixed = vec![Credit::percent(30.0), Credit::ZERO, Credit::ZERO];
+        assert_eq!(AdmissionPolicy::booked_pct(&mixed), 30.0);
+        assert_eq!(p.enforceable_floor(&mixed), p.table().min_idx());
+    }
+
+    #[test]
+    fn admit_accepts_within_guard() {
+        let p = policy();
+        let floor = p
+            .admit(&pct(&[20.0]), Credit::percent(30.0), p.table().min_idx())
+            .expect("50% fits the 1600 MHz state");
+        assert_eq!(floor, p.table().min_idx());
+    }
+
+    #[test]
+    fn admit_rejects_floor_violations() {
+        let p = policy();
+        let err = p
+            .admit(&pct(&[40.0]), Credit::percent(30.0), p.table().min_idx())
+            .unwrap_err();
+        match err {
+            AdmissionError::FloorTooHigh { required, requested } => {
+                assert!(required > requested);
+            }
+            other => panic!("wrong rejection: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admit_rejects_hard_infeasibility() {
+        let p = policy();
+        let err = p
+            .admit(&pct(&[70.0, 25.0]), Credit::percent(10.0), p.table().max_idx())
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::Infeasible { .. }), "{err}");
+        // The error is displayable for operator logs.
+        assert!(err.to_string().contains("105.0%"));
+    }
+
+    #[test]
+    fn headroom_accounts_for_the_floor_capacity() {
+        let p = policy();
+        let t = p.table();
+        let bookings = pct(&[20.0]);
+        let at_bottom = p.headroom_at(&bookings, t.min_idx());
+        let at_top = p.headroom_at(&bookings, t.max_idx());
+        // ~59.4% capacity at 1600 MHz minus 20% booked.
+        assert!((at_bottom.as_percent() - 39.4).abs() < 0.5, "{at_bottom}");
+        assert!((at_top.as_percent() - 80.0).abs() < 0.1, "{at_top}");
+    }
+
+    #[test]
+    fn idle_power_floor_tracks_booking_weight() {
+        let p = policy();
+        let power = cpumodel::PowerModel::default();
+        let (f_light, w_light) = p.idle_power_floor(&pct(&[10.0]), &power);
+        let (f_heavy, w_heavy) = p.idle_power_floor(&pct(&[50.0, 45.0]), &power);
+        assert!(f_heavy > f_light);
+        // Idle power is the static floor at every state in the default
+        // model (dynamic power scales with busy), so the penalty shows
+        // up in the floor index; with a voltage-dependent static term
+        // it would show in watts too.
+        assert!(w_heavy >= w_light);
+    }
+
+    #[test]
+    fn enforceable_at_matches_capacity_threshold() {
+        let p = policy();
+        let t = p.table();
+        for i in t.indices() {
+            let cap = capacity_percent(t.ratio(i), t.cf(i));
+            assert!(p.enforceable_at(&pct(&[cap - 0.1]), i));
+            assert!(!p.enforceable_at(&pct(&[cap + 0.1]), i));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The Section 5.2 calibration procedure.
+//!
+//! The paper measures `cf_i` per machine by running workloads at every
+//! frequency and comparing either loads (Equation 1) or execution
+//! times (Equation 2) against the maximum-frequency run:
+//!
+//! * from loads:  `cf_i = L_max / (L_i · ratio_i)`
+//! * from times:  `cf_i = T_max / (T_i · ratio_i)`
+//!
+//! [`CfCalibrator`] accumulates such observations per P-state and
+//! reports mean and spread; `experiments::table1` uses it to
+//! regenerate Table 1, and the validation experiments use the spread
+//! to confirm the paper's claim that `cf_i` is constant across
+//! workloads.
+
+use std::collections::BTreeMap;
+
+use cpumodel::PStateIdx;
+
+/// The calibrated estimate for one P-state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfEstimate {
+    /// Mean of the `cf` samples.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub stddev: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+/// Accumulates `cf` observations per P-state (Section 5.2 procedure).
+///
+/// # Example
+///
+/// ```
+/// use cpumodel::PStateIdx;
+/// use pas_core::CfCalibrator;
+///
+/// let mut cal = CfCalibrator::new();
+/// // A 10% load at fmax measured as 21% at ratio 0.5:
+/// cal.record_loads(PStateIdx(0), 0.5, 10.0, 21.0);
+/// let est = cal.estimate(PStateIdx(0)).expect("recorded");
+/// assert!((est.mean - 10.0 / (21.0 * 0.5)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CfCalibrator {
+    samples: BTreeMap<PStateIdx, Vec<f64>>,
+}
+
+impl CfCalibrator {
+    /// An empty calibrator.
+    #[must_use]
+    pub fn new() -> Self {
+        CfCalibrator::default()
+    }
+
+    /// Records an Equation 1 observation: the same demand measured as
+    /// `load_max`% at maximum frequency and `load_i`% at `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `(0, 1]` or either load is not
+    /// strictly positive.
+    pub fn record_loads(&mut self, state: PStateIdx, ratio: f64, load_max: f64, load_i: f64) {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio} out of (0,1]");
+        assert!(load_max > 0.0 && load_i > 0.0, "loads must be positive");
+        let cf = load_max / (load_i * ratio);
+        self.samples.entry(state).or_default().push(cf);
+    }
+
+    /// Records an Equation 2 observation: the same job taking `t_max`
+    /// at maximum frequency and `t_i` at `ratio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is outside `(0, 1]` or either time is not
+    /// strictly positive.
+    pub fn record_times(&mut self, state: PStateIdx, ratio: f64, t_max: f64, t_i: f64) {
+        assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio} out of (0,1]");
+        assert!(t_max > 0.0 && t_i > 0.0, "times must be positive");
+        let cf = t_max / (t_i * ratio);
+        self.samples.entry(state).or_default().push(cf);
+    }
+
+    /// The estimate for one P-state, if any sample was recorded.
+    #[must_use]
+    pub fn estimate(&self, state: PStateIdx) -> Option<CfEstimate> {
+        let xs = self.samples.get(&state)?;
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        Some(CfEstimate { mean, stddev, samples: n })
+    }
+
+    /// All estimates, keyed and ordered by P-state.
+    #[must_use]
+    pub fn estimates(&self) -> Vec<(PStateIdx, CfEstimate)> {
+        self.samples
+            .keys()
+            .map(|&k| (k, self.estimate(k).expect("key exists")))
+            .collect()
+    }
+
+    /// Number of P-states with at least one sample.
+    #[must_use]
+    pub fn states_covered(&self) -> usize {
+        self.samples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_observation_matches_eq1() {
+        let mut cal = CfCalibrator::new();
+        // Perfect proportionality: L_i = L_max / ratio → cf = 1.
+        cal.record_loads(PStateIdx(0), 0.5, 10.0, 20.0);
+        let est = cal.estimate(PStateIdx(0)).unwrap();
+        assert!((est.mean - 1.0).abs() < 1e-12);
+        assert_eq!(est.samples, 1);
+        assert_eq!(est.stddev, 0.0);
+    }
+
+    #[test]
+    fn time_observation_matches_eq2() {
+        let mut cal = CfCalibrator::new();
+        // Job takes 2.5x longer at ratio 0.5 → cf = 1/(2.5*0.5) = 0.8.
+        cal.record_times(PStateIdx(0), 0.5, 100.0, 250.0);
+        let est = cal.estimate(PStateIdx(0)).unwrap();
+        assert!((est.mean - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spread_reflects_disagreement() {
+        let mut cal = CfCalibrator::new();
+        cal.record_loads(PStateIdx(1), 0.8, 10.0, 12.5); // cf = 1.0
+        cal.record_loads(PStateIdx(1), 0.8, 10.0, 13.9); // cf ≈ 0.9
+        let est = cal.estimate(PStateIdx(1)).unwrap();
+        assert!(est.stddev > 0.0);
+        assert_eq!(est.samples, 2);
+    }
+
+    #[test]
+    fn unknown_state_is_none() {
+        let cal = CfCalibrator::new();
+        assert!(cal.estimate(PStateIdx(7)).is_none());
+        assert_eq!(cal.states_covered(), 0);
+    }
+
+    #[test]
+    fn estimates_ordered_by_state() {
+        let mut cal = CfCalibrator::new();
+        cal.record_loads(PStateIdx(2), 0.9, 10.0, 11.1);
+        cal.record_loads(PStateIdx(0), 0.5, 10.0, 20.0);
+        let all = cal.estimates();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, PStateIdx(0));
+        assert_eq!(all[1].0, PStateIdx(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "loads must be positive")]
+    fn zero_load_rejected() {
+        CfCalibrator::new().record_loads(PStateIdx(0), 0.5, 0.0, 10.0);
+    }
+}

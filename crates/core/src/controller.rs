@@ -1,0 +1,323 @@
+//! The three controller placements of Section 4.1.
+//!
+//! The paper prototypes its mechanism in three places:
+//!
+//! 1. **user level — credit management**: an external governor (e.g.
+//!    ondemand) owns the frequency; a user-space daemon watches it and
+//!    rewrites VM credits to compensate (Equation 4);
+//! 2. **user level — credit and DVFS management**: the daemon also
+//!    owns the frequency, computing it from the measured load
+//!    (Listing 1.1) and updating credits atomically with it;
+//! 3. **in the hypervisor**: the same logic runs on every scheduler
+//!    tick (this placement lives in `hypervisor::sched::pas` and
+//!    produced the paper's reported results).
+//!
+//! Placements 1 and 2 are implemented here as [`PasController`] over a
+//! [`PasBackend`] trait, so the identical controller drives both the
+//! simulator (`enforcer::SimBackend`) and a real Linux host
+//! (`enforcer::CgroupBackend`). The experiments crate compares the
+//! reactivity of all three (the paper's stated reason for choosing
+//! placement 3).
+
+use std::fmt;
+
+use cpumodel::{PStateIdx, PStateTable};
+
+use crate::equations::Credit;
+use crate::planner::FreqPlanner;
+use crate::smoothing::MovingAverage;
+
+/// Errors surfaced by a [`PasBackend`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    /// What the backend was doing.
+    pub operation: String,
+    /// Backend-specific detail (e.g. an I/O error from the cgroup
+    /// filesystem).
+    pub detail: String,
+}
+
+impl BackendError {
+    /// Creates an error.
+    #[must_use]
+    pub fn new(operation: impl Into<String>, detail: impl Into<String>) -> Self {
+        BackendError { operation: operation.into(), detail: detail.into() }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "backend failed to {}: {}", self.operation, self.detail)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// What a credit-enforcement backend must expose for the user-level
+/// controllers to drive it.
+///
+/// Implementations: `enforcer::SimBackend` (the simulator) and
+/// `enforcer::CgroupBackend` (cgroup v2 `cpu.max` + cpufreq sysfs).
+pub trait PasBackend {
+    /// The DVFS ladder of the managed processor.
+    fn pstate_table(&self) -> &PStateTable;
+
+    /// The processor's current P-state.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific read failures.
+    fn current_pstate(&self) -> Result<PStateIdx, BackendError>;
+
+    /// Switches the processor frequency.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific write failures.
+    fn set_pstate(&mut self, idx: PStateIdx) -> Result<(), BackendError>;
+
+    /// The *initial* (SLA) credits of all managed VMs, in a stable
+    /// order.
+    fn initial_credits(&self) -> Vec<Credit>;
+
+    /// Applies effective credits, in the same order as
+    /// [`initial_credits`](Self::initial_credits).
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific write failures, including a length mismatch.
+    fn apply_credits(&mut self, credits: &[Credit]) -> Result<(), BackendError>;
+
+    /// The most recent measured global processor load, in percent of
+    /// the capacity *at the current frequency*.
+    ///
+    /// # Errors
+    ///
+    /// Backend-specific read failures.
+    fn global_load_percent(&self) -> Result<f64, BackendError>;
+}
+
+/// Which of the paper's placements a [`PasController`] realises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerPlacement {
+    /// Placement 1: credits only; frequency owned by an external
+    /// governor.
+    UserLevelCreditOnly,
+    /// Placement 2: credits *and* frequency.
+    UserLevelFull,
+}
+
+/// A periodic user-level PAS controller (placements 1 and 2).
+///
+/// Call [`step`](Self::step) once per control period (the paper's
+/// daemon polls periodically; the experiments use 100 ms–1 s periods).
+#[derive(Debug)]
+pub struct PasController {
+    placement: ControllerPlacement,
+    planner: FreqPlanner,
+    smoother: MovingAverage,
+    steps: u64,
+}
+
+impl PasController {
+    /// Creates a controller for the given placement over the given
+    /// ladder, with the paper's 3-sample load smoothing.
+    #[must_use]
+    pub fn new(placement: ControllerPlacement, table: PStateTable) -> Self {
+        PasController {
+            placement,
+            planner: FreqPlanner::new(table),
+            smoother: MovingAverage::paper_default(),
+            steps: 0,
+        }
+    }
+
+    /// Overrides the smoothing window (ablation hook).
+    #[must_use]
+    pub fn with_smoothing_window(mut self, window: usize) -> Self {
+        self.smoother = MovingAverage::new(window);
+        self
+    }
+
+    /// The placement this controller realises.
+    #[must_use]
+    pub fn placement(&self) -> ControllerPlacement {
+        self.placement
+    }
+
+    /// Number of completed control steps.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Runs one control period against `backend`:
+    ///
+    /// * reads the measured global load and smooths it,
+    /// * converts it to an absolute load at the *current* frequency,
+    /// * (placement 2 only) plans and applies a new frequency,
+    /// * applies Equation 4 credits for the (possibly new) frequency.
+    ///
+    /// Returns the P-state the credits were compensated for.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`BackendError`]; on error the backend may have
+    /// been partially updated (credits before frequency — the same
+    /// order as the paper's Listing 1.2).
+    pub fn step<B: PasBackend>(&mut self, backend: &mut B) -> Result<PStateIdx, BackendError> {
+        let current = backend.current_pstate()?;
+        let table = self.planner.table();
+        let ratio = table.ratio(current);
+        let cf = table.cf(current);
+        let raw_load = backend.global_load_percent()?;
+        let smoothed = self.smoother.push(raw_load);
+        let absolute = crate::equations::absolute_load(smoothed, ratio, cf);
+
+        let target = match self.placement {
+            ControllerPlacement::UserLevelCreditOnly => current,
+            ControllerPlacement::UserLevelFull => self.planner.compute_new_freq(absolute),
+        };
+
+        let credits: Vec<Credit> = backend
+            .initial_credits()
+            .iter()
+            .map(|&c| self.planner.compensate(c, target))
+            .collect();
+        backend.apply_credits(&credits)?;
+        if target != current {
+            backend.set_pstate(target)?;
+        }
+        self.steps += 1;
+        Ok(target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpumodel::machines;
+
+    /// A scriptable in-memory backend for controller unit tests.
+    struct FakeBackend {
+        table: PStateTable,
+        pstate: PStateIdx,
+        inits: Vec<Credit>,
+        applied: Vec<Vec<Credit>>,
+        load: f64,
+        fail_next_apply: bool,
+    }
+
+    impl FakeBackend {
+        fn new(load: f64) -> Self {
+            let table = machines::optiplex_755().pstate_table();
+            let pstate = table.max_idx();
+            FakeBackend {
+                table,
+                pstate,
+                inits: vec![Credit::percent(20.0), Credit::percent(70.0)],
+                applied: Vec::new(),
+                load,
+                fail_next_apply: false,
+            }
+        }
+    }
+
+    impl PasBackend for FakeBackend {
+        fn pstate_table(&self) -> &PStateTable {
+            &self.table
+        }
+        fn current_pstate(&self) -> Result<PStateIdx, BackendError> {
+            Ok(self.pstate)
+        }
+        fn set_pstate(&mut self, idx: PStateIdx) -> Result<(), BackendError> {
+            self.pstate = idx;
+            Ok(())
+        }
+        fn initial_credits(&self) -> Vec<Credit> {
+            self.inits.clone()
+        }
+        fn apply_credits(&mut self, credits: &[Credit]) -> Result<(), BackendError> {
+            if self.fail_next_apply {
+                return Err(BackendError::new("apply credits", "injected failure"));
+            }
+            self.applied.push(credits.to_vec());
+            Ok(())
+        }
+        fn global_load_percent(&self) -> Result<f64, BackendError> {
+            Ok(self.load)
+        }
+    }
+
+    #[test]
+    fn full_controller_lowers_freq_and_raises_credits() {
+        let mut be = FakeBackend::new(20.0);
+        let mut ctl =
+            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
+        let target = ctl.step(&mut be).unwrap();
+        assert_eq!(target, be.table.min_idx(), "20% load fits at 1600 MHz");
+        assert_eq!(be.pstate, be.table.min_idx());
+        let last = be.applied.last().unwrap();
+        assert!(last[0].as_percent() > 30.0, "V20 compensated upward");
+    }
+
+    #[test]
+    fn credit_only_controller_never_touches_freq() {
+        let mut be = FakeBackend::new(20.0);
+        // External governor parked the CPU at min frequency.
+        be.pstate = be.table.min_idx();
+        let mut ctl =
+            PasController::new(ControllerPlacement::UserLevelCreditOnly, be.table.clone());
+        let target = ctl.step(&mut be).unwrap();
+        assert_eq!(target, be.table.min_idx());
+        assert_eq!(be.pstate, be.table.min_idx(), "frequency untouched");
+        let last = be.applied.last().unwrap();
+        assert!(
+            (last[0].as_percent() - 33.0).abs() < 1.5,
+            "compensates for the externally chosen frequency"
+        );
+    }
+
+    #[test]
+    fn high_load_drives_full_controller_to_fmax() {
+        let mut be = FakeBackend::new(100.0);
+        be.pstate = be.table.min_idx();
+        let mut ctl =
+            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone())
+                .with_smoothing_window(1);
+        // The CPU is saturated at every frequency it is moved to, so
+        // each control step climbs one more rung of the ladder.
+        for _ in 0..4 {
+            ctl.step(&mut be).unwrap();
+            be.load = 100.0;
+        }
+        assert_eq!(be.pstate, be.table.max_idx(), "climbed to fmax");
+        assert_eq!(ctl.steps(), 4);
+    }
+
+    #[test]
+    fn smoothing_damps_single_spike() {
+        let mut be = FakeBackend::new(10.0);
+        let mut ctl =
+            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
+        ctl.step(&mut be).unwrap();
+        be.load = 100.0; // one-sample spike
+        let t = ctl.step(&mut be).unwrap();
+        assert!(
+            t < be.table.max_idx(),
+            "3-sample smoothing keeps one spike from jumping to fmax"
+        );
+    }
+
+    #[test]
+    fn apply_failure_propagates() {
+        let mut be = FakeBackend::new(20.0);
+        be.fail_next_apply = true;
+        let mut ctl =
+            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
+        let err = ctl.step(&mut be).unwrap_err();
+        assert_eq!(err.operation, "apply credits");
+        assert!(format!("{err}").contains("injected failure"));
+        assert_eq!(ctl.steps(), 0, "failed step not counted");
+    }
+}

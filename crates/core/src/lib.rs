@@ -1,0 +1,60 @@
+//! The paper's contribution: **DVFS-aware CPU credit enforcement**.
+//!
+//! This crate is a faithful, pure-Rust transcription of Section 4 of
+//! *"DVFS Aware CPU Credit Enforcement in a Virtualized System"*
+//! (Hagimont et al., Middleware 2013):
+//!
+//! * [`equations`] — Equations 1–4 (frequency/performance and
+//!   credit/performance proportionality, absolute load, credit
+//!   compensation),
+//! * [`Credit`] — a typed CPU credit (percentage of the processor *at
+//!   maximum frequency*, the paper's SLA unit),
+//! * [`FreqPlanner`] — Listings 1.1 (`computeNewFreq`) and 1.2
+//!   (`updateDvfsAndCredits`) as pure, testable functions,
+//! * [`MovingAverage`] — the 3-sample global-load smoothing of the
+//!   paper's footnote 5,
+//! * [`CfCalibrator`] — the Section 5.2 measurement procedure that
+//!   recovers `cf_i` from observed loads and execution times,
+//! * [`controller`] — the three implementation placements of
+//!   Section 4.1 (user-level credit-only, user-level credit + DVFS,
+//!   and in-scheduler), written against a [`PasBackend`] trait so the
+//!   same logic drives the simulator and the cgroup shim.
+//!
+//! The actual Xen-like scheduler that embeds this logic lives in the
+//! `hypervisor` crate; the cgroup-v2 enforcement backend lives in
+//! `enforcer`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cpumodel::machines;
+//! use pas_core::{Credit, FreqPlanner};
+//!
+//! let table = machines::optiplex_755().pstate_table();
+//! let planner = FreqPlanner::new(table.clone());
+//!
+//! // Host: V20 + V70, but V70 idle, so the absolute load is ~20%.
+//! let plan = planner.plan(&[Credit::percent(20.0), Credit::percent(70.0)], 20.0);
+//!
+//! // The planner picks the lowest frequency that absorbs 20% absolute
+//! // load (1600 MHz on the Optiplex ladder) ...
+//! assert_eq!(plan.pstate, table.min_idx());
+//! // ... and compensates V20's credit to ~33% (the paper's Figure 9).
+//! assert!((plan.credits[0].as_percent() - 33.0).abs() < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod calibration;
+pub mod controller;
+pub mod equations;
+mod planner;
+mod smoothing;
+
+pub use admission::{AdmissionError, AdmissionPolicy};
+pub use calibration::{CfCalibrator, CfEstimate};
+pub use controller::{BackendError, ControllerPlacement, PasBackend, PasController};
+pub use equations::Credit;
+pub use planner::{CreditPlan, FreqPlanner};
+pub use smoothing::MovingAverage;

@@ -1,0 +1,160 @@
+//! Load smoothing.
+//!
+//! The paper (footnote 5): "each time we consider the Global load, it
+//! represents an average of three successive processor utilization".
+//! [`MovingAverage`] implements exactly that windowed mean; the window
+//! length is a parameter so the governor-stability ablation can vary
+//! it.
+
+use std::collections::VecDeque;
+
+/// A fixed-window moving average over `f64` samples.
+///
+/// Until the window fills, the mean of the samples seen so far is
+/// returned (matching how a freshly booted governor behaves).
+///
+/// # Example
+///
+/// ```
+/// use pas_core::MovingAverage;
+/// let mut ma = MovingAverage::new(3);
+/// assert_eq!(ma.push(30.0), 30.0);
+/// assert_eq!(ma.push(60.0), 45.0);
+/// assert_eq!(ma.push(90.0), 60.0);
+/// assert_eq!(ma.push(90.0), 80.0); // 30 fell out of the window
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    samples: VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates an average over the last `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        MovingAverage { window, samples: VecDeque::with_capacity(window), sum: 0.0 }
+    }
+
+    /// The paper's 3-sample smoother.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        MovingAverage::new(3)
+    }
+
+    /// Adds a sample and returns the current mean.
+    pub fn push(&mut self, sample: f64) -> f64 {
+        if self.samples.len() == self.window {
+            let old = self.samples.pop_front().expect("window full");
+            self.sum -= old;
+        }
+        self.samples.push_back(sample);
+        self.sum += sample;
+        self.mean()
+    }
+
+    /// The current mean (`0.0` when no samples have been pushed).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum / self.samples.len() as f64
+        }
+    }
+
+    /// Number of samples currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` before the first sample.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `true` once the window is full.
+    #[must_use]
+    pub fn is_warm(&self) -> bool {
+        self.samples.len() == self.window
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.sum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mean_is_zero() {
+        let ma = MovingAverage::new(3);
+        assert_eq!(ma.mean(), 0.0);
+        assert!(ma.is_empty());
+        assert!(!ma.is_warm());
+    }
+
+    #[test]
+    fn partial_window_averages_what_it_has() {
+        let mut ma = MovingAverage::new(4);
+        ma.push(10.0);
+        ma.push(20.0);
+        assert!((ma.mean() - 15.0).abs() < 1e-12);
+        assert_eq!(ma.len(), 2);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut ma = MovingAverage::new(2);
+        ma.push(1.0);
+        ma.push(3.0);
+        assert!(ma.is_warm());
+        let m = ma.push(5.0);
+        assert!((m - 4.0).abs() < 1e-12, "1.0 dropped out");
+    }
+
+    #[test]
+    fn smooths_a_spike() {
+        let mut ma = MovingAverage::paper_default();
+        ma.push(20.0);
+        ma.push(20.0);
+        let spiked = ma.push(80.0);
+        assert!(spiked < 45.0, "single spike damped: {spiked}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut ma = MovingAverage::new(3);
+        ma.push(50.0);
+        ma.reset();
+        assert!(ma.is_empty());
+        assert_eq!(ma.mean(), 0.0);
+    }
+
+    #[test]
+    fn long_stream_no_drift() {
+        let mut ma = MovingAverage::new(3);
+        for _ in 0..100_000 {
+            ma.push(0.1);
+        }
+        assert!((ma.mean() - 0.1).abs() < 1e-9, "no floating point drift");
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-zero")]
+    fn zero_window_rejected() {
+        let _ = MovingAverage::new(0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The `cf` proportionality factor (Equation 1 of the paper).
+//!
+//! The paper defines `cf_i` by `L_max / L_i = (F_i / F_max) · cf_i`:
+//! the correction on top of perfect frequency/performance
+//! proportionality. Table 1 reports `cf_min` for five processors, all
+//! ≤ 1 and machine-dependent.
+//!
+//! Two models are provided:
+//!
+//! * [`CfModel::Table`] — the measured values, interpolated per P-state
+//!   (what the PAS scheduler consumes at run time);
+//! * [`CfModel::Microarch`] — a two-parameter stall model from which
+//!   `cf` *emerges*, used to re-run the paper's calibration procedure.
+//!   Normalised execution time of one unit of work at ratio `r`:
+//!
+//!   ```text
+//!   t(r) = (1 − α − β)/r + α + β/r²
+//!   ```
+//!
+//!   where `α` is the frequency-insensitive fraction (memory stalls
+//!   whose latency does not scale with core frequency — these *help*
+//!   at low frequency) and `β` a super-linear penalty (uncore/bus
+//!   effects that get *worse* faster than the frequency drops — these
+//!   produce the `cf < 1` values of Table 1). The resulting factor is
+//!   `cf(r) = 1 / ((1 − α − β) + α·r + β/r)`, with `cf(1) = 1` exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Where the per-frequency `cf_i` factors come from.
+///
+/// # Example
+///
+/// ```
+/// use cpumodel::CfModel;
+/// // A machine that loses 20% efficiency at half frequency:
+/// let m = CfModel::microarch(0.0, 0.2);
+/// assert!((m.cf_at_ratio(1.0) - 1.0).abs() < 1e-12);
+/// assert!(m.cf_at_ratio(0.5) < 1.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum CfModel {
+    /// Perfect proportionality: `cf = 1` at every frequency.
+    #[default]
+    Ideal,
+    /// Explicit per-P-state values, lowest frequency first. The last
+    /// entry corresponds to the maximum frequency and should be `1.0`.
+    Table(Vec<f64>),
+    /// The micro-architectural stall model described in the module
+    /// docs.
+    Microarch {
+        /// Frequency-insensitive stall fraction `α ∈ [0, 1)`.
+        alpha: f64,
+        /// Super-linear penalty fraction `β ∈ [0, 1)`, with `α + β < 1`.
+        beta: f64,
+    },
+}
+
+impl CfModel {
+    /// Builds the micro-architectural model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` or `beta` is outside `[0, 1)` or they sum to
+    /// `1` or more.
+    #[must_use]
+    pub fn microarch(alpha: f64, beta: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha), "alpha {alpha} out of [0,1)");
+        assert!((0.0..1.0).contains(&beta), "beta {beta} out of [0,1)");
+        assert!(alpha + beta < 1.0, "alpha + beta must be < 1");
+        CfModel::Microarch { alpha, beta }
+    }
+
+    /// Derives the `β` that makes the micro-architectural model (with
+    /// `α = 0`) reproduce a measured `cf` value at frequency ratio `r`.
+    ///
+    /// This is how the machine presets embed Table 1: given the paper's
+    /// `cf_min` and the machine's minimum-frequency ratio, the preset
+    /// stores the `β` that *produces* that `cf_min`, and the calibration
+    /// experiment re-measures it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not in `(0, 1)` or `cf` not in `(0, 1]`.
+    #[must_use]
+    pub fn microarch_matching(cf: f64, r: f64) -> Self {
+        assert!(r > 0.0 && r < 1.0, "ratio {r} out of (0,1)");
+        assert!(cf > 0.0 && cf <= 1.0, "cf {cf} out of (0,1]");
+        // cf(r) = 1 / ((1-β) + β/r)  ⇒  β = r·(1−cf) / (cf·(1−r))
+        let beta = r * (1.0 - cf) / (cf * (1.0 - r));
+        CfModel::microarch(0.0, beta.min(0.999_999))
+    }
+
+    /// The `cf` factor at frequency ratio `r = F_i / F_max`.
+    ///
+    /// For [`CfModel::Table`] the ratio is resolved against the table by
+    /// index via [`cf_at_index`](Self::cf_at_index) in [`PStateTable`];
+    /// calling `cf_at_ratio` on a table interpolates linearly over the
+    /// implied equally-spaced grid and is mainly useful for plotting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not in `(0, 1]`.
+    ///
+    /// [`PStateTable`]: crate::PStateTable
+    #[must_use]
+    pub fn cf_at_ratio(&self, r: f64) -> f64 {
+        assert!(r > 0.0 && r <= 1.0, "ratio {r} out of (0,1]");
+        match self {
+            CfModel::Ideal => 1.0,
+            CfModel::Table(values) => {
+                if values.is_empty() {
+                    return 1.0;
+                }
+                if values.len() == 1 {
+                    return values[0];
+                }
+                // Interpolate assuming the table spans ratios uniformly
+                // up to 1.0.
+                let pos = r * (values.len() - 1) as f64;
+                let lo = pos.floor() as usize;
+                let hi = (lo + 1).min(values.len() - 1);
+                let frac = pos - lo as f64;
+                values[lo] * (1.0 - frac) + values[hi] * frac
+            }
+            CfModel::Microarch { alpha, beta } => {
+                1.0 / ((1.0 - alpha - beta) + alpha * r + beta / r)
+            }
+        }
+    }
+
+    /// Normalised execution time of one unit of work at ratio `r`
+    /// (`t(1) = 1`): the quantity Equation 2 of the paper relates
+    /// across frequencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not in `(0, 1]`.
+    #[must_use]
+    pub fn time_factor(&self, r: f64) -> f64 {
+        1.0 / (r * self.cf_at_ratio(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_one_everywhere() {
+        let m = CfModel::Ideal;
+        for r in [0.1, 0.5, 0.9, 1.0] {
+            assert!((m.cf_at_ratio(r) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn microarch_is_one_at_fmax() {
+        let m = CfModel::microarch(0.3, 0.1);
+        assert!((m.cf_at_ratio(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_raises_cf_below_fmax() {
+        // Memory-bound work: slowing the core hurts less than linear.
+        let m = CfModel::microarch(0.4, 0.0);
+        assert!(m.cf_at_ratio(0.5) > 1.0);
+    }
+
+    #[test]
+    fn beta_lowers_cf_below_fmax() {
+        let m = CfModel::microarch(0.0, 0.3);
+        assert!(m.cf_at_ratio(0.5) < 1.0);
+    }
+
+    #[test]
+    fn matching_reproduces_target_cf() {
+        // E5-2620 from Table 1: cf_min = 0.80338 at ratio 1200/2000.
+        let r = 1200.0 / 2000.0;
+        let m = CfModel::microarch_matching(0.80338, r);
+        assert!((m.cf_at_ratio(r) - 0.80338).abs() < 1e-9);
+        assert!((m.cf_at_ratio(1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_interpolation() {
+        let m = CfModel::Table(vec![0.8, 0.9, 1.0]);
+        assert!((m.cf_at_ratio(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.cf_at_ratio(0.5) - 0.9).abs() < 1e-12);
+        assert!((m.cf_at_ratio(0.75) - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_factor_inverse_of_capacity() {
+        let m = CfModel::microarch(0.1, 0.1);
+        let r = 0.6;
+        let t = m.time_factor(r);
+        // Doing work at ratio r takes t× longer; capacity ratio is 1/t.
+        assert!((1.0 / t - r * m.cf_at_ratio(r)).abs() < 1e-12);
+        assert!(t > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1]")]
+    fn zero_ratio_rejected() {
+        let _ = CfModel::Ideal.cf_at_ratio(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha + beta")]
+    fn saturated_stalls_rejected() {
+        let _ = CfModel::microarch(0.6, 0.5);
+    }
+}

@@ -1,0 +1,56 @@
+//! Processor substrate: frequencies, P-states, DVFS, power and energy.
+//!
+//! The paper models hardware through two quantities (Section 4.2):
+//!
+//! * the **frequency ratio** `ratio_i = F_i / F_max`, and
+//! * the per-frequency **proportionality factor** `cf_i` of Equation 1
+//!   (`L_max / L_i = ratio_i · cf_i`), measured per machine in Table 1.
+//!
+//! This crate provides both a *table-driven* `cf` (plug in Table 1
+//! values directly) and a *micro-architectural* model from which `cf`
+//! emerges (a frequency-insensitive stall fraction plus a super-linear
+//! penalty term), so the paper's calibration procedure (Section 5.2)
+//! can be re-run as an experiment rather than assumed.
+//!
+//! The exported pieces:
+//!
+//! * [`Frequency`], [`PState`], [`PStateTable`] — the DVFS ladder,
+//! * [`CfModel`] — where `cf_i` comes from,
+//! * [`Cpu`] — a single core with a current P-state, transition
+//!   accounting and an [`EnergyMeter`],
+//! * [`machines`] — presets for every machine the paper measures,
+//! * [`topology`] — multi-core hosts and DVFS domains (the paper's
+//!   "perspectives" extension),
+//! * [`smt`] — the hyper-threading capacity model (the other §7
+//!   perspective): sibling contention as a second Equation 4 factor.
+//!
+//! # Example
+//!
+//! ```
+//! use cpumodel::machines;
+//!
+//! let spec = machines::optiplex_755();
+//! let cpu = spec.build_cpu();
+//! // The Optiplex 755 ladder from the paper's figures.
+//! let mhz: Vec<u32> = cpu.pstates().frequencies().map(|f| f.as_mhz()).collect();
+//! assert_eq!(mhz, vec![1600, 1867, 2133, 2400, 2667]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cf;
+mod cpu;
+mod freq;
+pub mod machines;
+mod power;
+mod pstate;
+pub mod smt;
+pub mod topology;
+
+pub use cf::CfModel;
+pub use cpu::{Cpu, CpuError};
+pub use freq::Frequency;
+pub use machines::MachineSpec;
+pub use power::{EnergyMeter, PowerModel};
+pub use pstate::{PState, PStateIdx, PStateTable, PStateTableError};
+pub use smt::{SmtSpec, SmtSpecError};

@@ -1,0 +1,222 @@
+//! Machine presets for every processor the paper measures.
+//!
+//! Table 1 of the paper reports `cf_min` for five Grid'5000 / desktop
+//! processors; the evaluation testbeds are a DELL Optiplex 755
+//! (Core 2 Duo, ladder 1600–2667 MHz, Figures 1–10) and an HP Compaq
+//! Elite 8300 (i7-3770, Table 2). Each preset stores the DVFS ladder
+//! and a [`CfModel`] whose parameters are chosen so that *re-running
+//! the paper's calibration procedure on the simulated machine
+//! reproduces the published `cf_min`* (see `experiments::table1`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::cf::CfModel;
+use crate::cpu::Cpu;
+use crate::freq::Frequency;
+use crate::power::PowerModel;
+use crate::pstate::PStateTable;
+
+/// A complete description of a simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use cpumodel::machines;
+/// let spec = machines::intel_xeon_e5_2620();
+/// let table = spec.pstate_table();
+/// // Table 1: the E5-2620 deviates hardest from proportionality.
+/// assert!(table.cf(table.min_idx()) < 0.81);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable model name as the paper prints it.
+    pub name: String,
+    /// Available frequencies, ascending, in MHz.
+    pub frequencies_mhz: Vec<u32>,
+    /// The cf model for this micro-architecture.
+    pub cf_model: CfModel,
+    /// The power model.
+    pub power: PowerModel,
+}
+
+impl MachineSpec {
+    /// Builds the P-state table for this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the preset's frequency list is invalid — presets are
+    /// validated by unit tests, so this indicates a bug in a custom
+    /// spec.
+    #[must_use]
+    pub fn pstate_table(&self) -> PStateTable {
+        PStateTable::from_frequencies(
+            self.frequencies_mhz.iter().map(|&m| Frequency::mhz(m)),
+            &self.cf_model,
+        )
+        .expect("machine preset has a valid frequency ladder")
+    }
+
+    /// Builds a [`Cpu`] at this machine's operating points.
+    #[must_use]
+    pub fn build_cpu(&self) -> Cpu {
+        Cpu::new(self.pstate_table(), self.power)
+    }
+
+    /// The minimum-to-maximum frequency ratio.
+    #[must_use]
+    pub fn min_ratio(&self) -> f64 {
+        let t = self.pstate_table();
+        t.ratio(t.min_idx())
+    }
+}
+
+/// The paper's main testbed: DELL Optiplex 755, Intel Core 2 Duo
+/// 2.66 GHz, single-processor mode, ladder {1600, 1867, 2133, 2400,
+/// 2667} MHz (the frequency axis of Figures 2–10).
+///
+/// Figure 1 shows exact `C/ratio` credit compensation at 2133 MHz
+/// (13, 25, 38, … = credit/0.8), i.e. `cf ≈ 1` on this machine, so the
+/// preset uses a near-ideal model with a 1% penalty.
+#[must_use]
+pub fn optiplex_755() -> MachineSpec {
+    MachineSpec {
+        name: "Intel Core 2 Duo E6750 (DELL Optiplex 755)".to_owned(),
+        frequencies_mhz: vec![1600, 1867, 2133, 2400, 2667],
+        cf_model: CfModel::microarch_matching(0.99, 1600.0 / 2667.0),
+        power: PowerModel::new(45.0, 65.0),
+    }
+}
+
+fn grid5000(name: &str, freqs: Vec<u32>, cf_min: f64, power: PowerModel) -> MachineSpec {
+    let r_min = freqs[0] as f64 / *freqs.last().expect("non-empty ladder") as f64;
+    MachineSpec {
+        name: name.to_owned(),
+        frequencies_mhz: freqs,
+        cf_model: CfModel::microarch_matching(cf_min, r_min),
+        power,
+    }
+}
+
+/// Intel Xeon X3440 (Grid'5000): `cf_min = 0.94867` in Table 1.
+#[must_use]
+pub fn intel_xeon_x3440() -> MachineSpec {
+    grid5000(
+        "Intel Xeon X3440",
+        vec![1197, 2533],
+        0.94867,
+        PowerModel::new(50.0, 95.0),
+    )
+}
+
+/// Intel Xeon L5420 (Grid'5000): `cf_min = 0.99903` in Table 1.
+#[must_use]
+pub fn intel_xeon_l5420() -> MachineSpec {
+    grid5000(
+        "Intel Xeon L5420",
+        vec![2000, 2500],
+        0.99903,
+        PowerModel::new(40.0, 50.0),
+    )
+}
+
+/// Intel Xeon E5-2620 (Grid'5000): `cf_min = 0.80338` in Table 1 — the
+/// strongest deviation from proportionality the paper observed.
+#[must_use]
+pub fn intel_xeon_e5_2620() -> MachineSpec {
+    grid5000(
+        "Intel Xeon E5-2620",
+        vec![1200, 2000],
+        0.80338,
+        PowerModel::new(45.0, 95.0),
+    )
+}
+
+/// AMD Opteron 6164 HE (Grid'5000): `cf_min = 0.99508` in Table 1.
+#[must_use]
+pub fn amd_opteron_6164_he() -> MachineSpec {
+    grid5000(
+        "AMD Opteron 6164 HE",
+        vec![800, 1700],
+        0.99508,
+        PowerModel::new(50.0, 85.0),
+    )
+}
+
+/// Intel Core i7-3770 (Table 1 and the HP Elite 8300 testbed of
+/// Table 2): `cf_min = 0.86206`.
+#[must_use]
+pub fn intel_core_i7_3770() -> MachineSpec {
+    grid5000(
+        "Intel Core i7-3770 (HP Compaq Elite 8300)",
+        vec![1600, 1800, 2000, 2200, 2400, 2600, 2800, 3000, 3200, 3400],
+        0.86206,
+        PowerModel::new(35.0, 77.0),
+    )
+}
+
+/// All Table 1 machines in the paper's column order.
+#[must_use]
+pub fn table1_machines() -> Vec<MachineSpec> {
+    vec![
+        intel_xeon_x3440(),
+        intel_xeon_l5420(),
+        intel_xeon_e5_2620(),
+        amd_opteron_6164_he(),
+        intel_core_i7_3770(),
+    ]
+}
+
+/// The `cf_min` values printed in Table 1, same order as
+/// [`table1_machines`].
+pub const TABLE1_CF_MIN: [f64; 5] = [0.94867, 0.99903, 0.80338, 0.99508, 0.86206];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_build() {
+        for spec in
+            table1_machines().into_iter().chain(std::iter::once(optiplex_755()))
+        {
+            let cpu = spec.build_cpu();
+            assert!(cpu.pstates().len() >= 2, "{} needs >= 2 p-states", spec.name);
+            assert!((cpu.pstates().cf(cpu.pstates().max_idx()) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn presets_embed_table1_cf_min() {
+        for (spec, expected) in table1_machines().iter().zip(TABLE1_CF_MIN) {
+            let t = spec.pstate_table();
+            let got = t.cf(t.min_idx());
+            assert!(
+                (got - expected).abs() < 1e-4,
+                "{}: cf_min {got} != {expected}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn optiplex_ladder_matches_figures() {
+        let spec = optiplex_755();
+        assert_eq!(spec.frequencies_mhz, vec![1600, 1867, 2133, 2400, 2667]);
+        // cf ≈ 1 so Figure 1's credits are C/ratio to within a credit point.
+        let t = spec.pstate_table();
+        assert!(t.cf(t.min_idx()) > 0.98);
+    }
+
+    #[test]
+    fn e5_2620_is_least_proportional() {
+        let cfs: Vec<f64> = table1_machines()
+            .iter()
+            .map(|s| {
+                let t = s.pstate_table();
+                t.cf(t.min_idx())
+            })
+            .collect();
+        let min = cfs.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((min - 0.80338).abs() < 1e-4);
+    }
+}

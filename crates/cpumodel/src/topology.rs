@@ -1,0 +1,275 @@
+//! Multi-core topology and DVFS domains.
+//!
+//! The paper's closing perspective ("we plan to extend our scheduler
+//! and take into account … multi-core, per-socket DVFS, and per-core
+//! DVFS") is implemented here: a host may have several cores, and
+//! frequency is set per *DVFS domain* — globally, per socket, or per
+//! core. The multi-core experiments in `experiments::multicore` build
+//! on this module.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::Cpu;
+use crate::machines::MachineSpec;
+use crate::pstate::PStateIdx;
+
+/// Identifies one core of a multi-core host.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Identifies a frequency domain (a set of cores that must share one
+/// P-state).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct DomainId(pub usize);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dvfs-domain{}", self.0)
+    }
+}
+
+/// How frequency domains map onto cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DvfsGranularity {
+    /// One frequency for the whole machine (the paper's evaluated
+    /// configuration: "a single processor mode").
+    Global,
+    /// One frequency per socket.
+    PerSocket,
+    /// One frequency per core (the finest-grained perspective).
+    PerCore,
+}
+
+/// Physical layout of a host.
+///
+/// # Example
+///
+/// ```
+/// use cpumodel::topology::{DvfsGranularity, Topology};
+/// let t = Topology::new(2, 4, DvfsGranularity::PerSocket);
+/// assert_eq!(t.n_cores(), 8);
+/// assert_eq!(t.n_domains(), 2);
+/// assert_eq!(t.domain_of(cpumodel::topology::CoreId(5)).0, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    sockets: usize,
+    cores_per_socket: usize,
+    granularity: DvfsGranularity,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sockets` or `cores_per_socket` is zero.
+    #[must_use]
+    pub fn new(sockets: usize, cores_per_socket: usize, granularity: DvfsGranularity) -> Self {
+        assert!(sockets > 0, "at least one socket");
+        assert!(cores_per_socket > 0, "at least one core per socket");
+        Topology { sockets, cores_per_socket, granularity }
+    }
+
+    /// A single-core, single-domain host — the paper's testbed shape.
+    #[must_use]
+    pub fn single_core() -> Self {
+        Topology::new(1, 1, DvfsGranularity::Global)
+    }
+
+    /// Total number of cores.
+    #[must_use]
+    pub fn n_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Number of independent frequency domains.
+    #[must_use]
+    pub fn n_domains(&self) -> usize {
+        match self.granularity {
+            DvfsGranularity::Global => 1,
+            DvfsGranularity::PerSocket => self.sockets,
+            DvfsGranularity::PerCore => self.n_cores(),
+        }
+    }
+
+    /// The DVFS granularity.
+    #[must_use]
+    pub fn granularity(&self) -> DvfsGranularity {
+        self.granularity
+    }
+
+    /// The domain a core belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn domain_of(&self, core: CoreId) -> DomainId {
+        assert!(core.0 < self.n_cores(), "core {core} out of range");
+        match self.granularity {
+            DvfsGranularity::Global => DomainId(0),
+            DvfsGranularity::PerSocket => DomainId(core.0 / self.cores_per_socket),
+            DvfsGranularity::PerCore => DomainId(core.0),
+        }
+    }
+
+    /// The cores belonging to `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domain` is out of range.
+    #[must_use]
+    pub fn cores_in(&self, domain: DomainId) -> Vec<CoreId> {
+        assert!(domain.0 < self.n_domains(), "domain {domain} out of range");
+        (0..self.n_cores())
+            .map(CoreId)
+            .filter(|&c| self.domain_of(c) == domain)
+            .collect()
+    }
+}
+
+/// A multi-core package: one [`Cpu`] per core, with P-state changes
+/// applied per DVFS domain.
+#[derive(Debug, Clone)]
+pub struct CpuPackage {
+    topology: Topology,
+    cores: Vec<Cpu>,
+}
+
+impl CpuPackage {
+    /// Builds a package of identical cores from a machine spec.
+    #[must_use]
+    pub fn new(spec: &MachineSpec, topology: Topology) -> Self {
+        let cores = (0..topology.n_cores()).map(|_| spec.build_cpu()).collect();
+        CpuPackage { topology, cores }
+    }
+
+    /// The topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Immutable access to one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn core(&self, core: CoreId) -> &Cpu {
+        &self.cores[core.0]
+    }
+
+    /// Mutable access to one core (for accounting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_mut(&mut self, core: CoreId) -> &mut Cpu {
+        &mut self.cores[core.0]
+    }
+
+    /// Iterates over `(CoreId, &Cpu)`.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreId, &Cpu)> {
+        self.cores.iter().enumerate().map(|(i, c)| (CoreId(i), c))
+    }
+
+    /// Sets the P-state of every core in `domain`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CpuError`](crate::CpuError) if `idx` is invalid;
+    /// cores before the failing one keep the new state (the error is
+    /// only possible with an index invalid for *all* cores, as cores
+    /// are identical).
+    pub fn set_domain_pstate(
+        &mut self,
+        domain: DomainId,
+        idx: PStateIdx,
+    ) -> Result<(), crate::CpuError> {
+        for core in self.topology.cores_in(domain) {
+            self.cores[core.0].set_pstate(idx)?;
+        }
+        Ok(())
+    }
+
+    /// Total energy across all cores, in joules.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.cores.iter().map(|c| c.energy().joules()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn domain_mapping_global() {
+        let t = Topology::new(2, 2, DvfsGranularity::Global);
+        assert_eq!(t.n_domains(), 1);
+        for c in 0..4 {
+            assert_eq!(t.domain_of(CoreId(c)), DomainId(0));
+        }
+        assert_eq!(t.cores_in(DomainId(0)).len(), 4);
+    }
+
+    #[test]
+    fn domain_mapping_per_socket() {
+        let t = Topology::new(2, 3, DvfsGranularity::PerSocket);
+        assert_eq!(t.n_domains(), 2);
+        assert_eq!(t.domain_of(CoreId(2)), DomainId(0));
+        assert_eq!(t.domain_of(CoreId(3)), DomainId(1));
+        assert_eq!(t.cores_in(DomainId(1)), vec![CoreId(3), CoreId(4), CoreId(5)]);
+    }
+
+    #[test]
+    fn domain_mapping_per_core() {
+        let t = Topology::new(1, 4, DvfsGranularity::PerCore);
+        assert_eq!(t.n_domains(), 4);
+        assert_eq!(t.domain_of(CoreId(3)), DomainId(3));
+        assert_eq!(t.cores_in(DomainId(2)), vec![CoreId(2)]);
+    }
+
+    #[test]
+    fn single_core_shape() {
+        let t = Topology::single_core();
+        assert_eq!(t.n_cores(), 1);
+        assert_eq!(t.n_domains(), 1);
+    }
+
+    #[test]
+    fn package_sets_pstate_per_domain() {
+        let spec = machines::optiplex_755();
+        let topo = Topology::new(2, 2, DvfsGranularity::PerSocket);
+        let mut pkg = CpuPackage::new(&spec, topo);
+        let min = pkg.core(CoreId(0)).pstates().min_idx();
+        pkg.set_domain_pstate(DomainId(0), min).unwrap();
+        assert_eq!(pkg.core(CoreId(0)).pstate(), min);
+        assert_eq!(pkg.core(CoreId(1)).pstate(), min);
+        // Other socket untouched (still at max).
+        let max = pkg.core(CoreId(2)).pstates().max_idx();
+        assert_eq!(pkg.core(CoreId(2)).pstate(), max);
+        assert_eq!(pkg.core(CoreId(3)).pstate(), max);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_panics() {
+        let _ = Topology::single_core().domain_of(CoreId(1));
+    }
+}

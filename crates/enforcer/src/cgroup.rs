@@ -1,0 +1,305 @@
+//! The cgroup-v2 + cpufreq-sysfs shim.
+//!
+//! On a real Linux host with no hypervisor scheduler hooks, the
+//! closest native equivalent of Xen's per-VM cap is the cgroup-v2
+//! `cpu.max` controller: `"$MAX $PERIOD"` grants the group at most
+//! `MAX` microseconds of CPU per `PERIOD` microseconds — a bandwidth
+//! cap that, like Xen's, is *frequency-blind*. Equation 4 therefore
+//! transfers verbatim: when the frequency drops to `ratio · cf`, the
+//! quota must be divided by `ratio · cf` to preserve the booked
+//! capacity.
+//!
+//! Filesystem layout (relative to the configured root):
+//!
+//! ```text
+//! sys/fs/cgroup/<vm>/cpu.max                      quota control
+//! sys/devices/system/cpu/cpu0/cpufreq/
+//!     scaling_cur_freq                            kHz, read
+//!     scaling_setspeed                            kHz, write (userspace gov)
+//!     scaling_available_frequencies               kHz list, read
+//! proc/stat                                       "cpu <busy> <total>" jiffies
+//! ```
+//!
+//! Pointing the root at `/` drives an actual machine; the test-suite
+//! uses [`crate::testkit::FakeSysfs`] instead.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cpumodel::{Frequency, PStateIdx, PStateTable};
+use pas_core::{BackendError, Credit, PasBackend};
+
+/// Path construction for the shim's control files.
+#[derive(Debug, Clone)]
+pub struct CgroupLayout {
+    root: PathBuf,
+}
+
+impl CgroupLayout {
+    /// A layout rooted at `root`.
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        CgroupLayout { root: root.into() }
+    }
+
+    /// The root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// `cpu.max` of one VM's cgroup.
+    #[must_use]
+    pub fn cpu_max(&self, vm: &str) -> PathBuf {
+        self.root.join("sys/fs/cgroup").join(vm).join("cpu.max")
+    }
+
+    /// The cpufreq directory of cpu0.
+    #[must_use]
+    pub fn cpufreq_dir(&self) -> PathBuf {
+        self.root.join("sys/devices/system/cpu/cpu0/cpufreq")
+    }
+
+    /// `scaling_cur_freq`.
+    #[must_use]
+    pub fn cur_freq(&self) -> PathBuf {
+        self.cpufreq_dir().join("scaling_cur_freq")
+    }
+
+    /// `scaling_setspeed`.
+    #[must_use]
+    pub fn setspeed(&self) -> PathBuf {
+        self.cpufreq_dir().join("scaling_setspeed")
+    }
+
+    /// `scaling_available_frequencies`.
+    #[must_use]
+    pub fn available_frequencies(&self) -> PathBuf {
+        self.cpufreq_dir().join("scaling_available_frequencies")
+    }
+
+    /// The `/proc/stat`-style counter file.
+    #[must_use]
+    pub fn proc_stat(&self) -> PathBuf {
+        self.root.join("proc/stat")
+    }
+}
+
+/// One managed VM (cgroup name + booked credit).
+#[derive(Debug, Clone)]
+struct ManagedVm {
+    cgroup: String,
+    credit: Credit,
+}
+
+/// The cgroup-v2 enforcement backend.
+///
+/// See [`crate::testkit::FakeSysfs`] for a runnable end-to-end
+/// example.
+#[derive(Debug)]
+pub struct CgroupBackend {
+    layout: CgroupLayout,
+    table: PStateTable,
+    vms: Vec<ManagedVm>,
+    /// `cpu.max` period in microseconds (cgroup default: 100 ms).
+    period_us: u64,
+    /// Previous `/proc/stat` sample for delta-based load measurement.
+    last_stat: Option<(u64, u64)>,
+}
+
+impl CgroupBackend {
+    /// Creates a backend over `layout` managing `vms`
+    /// (cgroup-name, booked-credit) pairs, with the DVFS ladder read
+    /// from `scaling_available_frequencies`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the available-frequencies file is missing or
+    /// malformed, or a ladder cannot be built from it.
+    pub fn discover(
+        layout: CgroupLayout,
+        vms: Vec<(String, Credit)>,
+        cf_model: &cpumodel::CfModel,
+    ) -> Result<Self, BackendError> {
+        let raw = fs::read_to_string(layout.available_frequencies()).map_err(|e| {
+            BackendError::new("read available frequencies", e.to_string())
+        })?;
+        let mut khz: Vec<u64> = raw
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<u64>().map_err(|e| {
+                    BackendError::new(
+                        "parse available frequencies",
+                        format!("token {tok:?}: {e}"),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        khz.sort_unstable();
+        let table = PStateTable::from_frequencies(
+            khz.iter().map(|&k| Frequency::mhz((k / 1000) as u32)),
+            cf_model,
+        )
+        .map_err(|e| BackendError::new("build p-state table", e.to_string()))?;
+        Ok(Self::with_table(layout, vms, table))
+    }
+
+    /// Creates a backend with an explicit ladder (skips sysfs
+    /// discovery).
+    #[must_use]
+    pub fn with_table(
+        layout: CgroupLayout,
+        vms: Vec<(String, Credit)>,
+        table: PStateTable,
+    ) -> Self {
+        CgroupBackend {
+            layout,
+            table,
+            vms: vms
+                .into_iter()
+                .map(|(cgroup, credit)| ManagedVm { cgroup, credit })
+                .collect(),
+            period_us: 100_000,
+            last_stat: None,
+        }
+    }
+
+    /// The layout in use.
+    #[must_use]
+    pub fn layout(&self) -> &CgroupLayout {
+        &self.layout
+    }
+
+    /// The `cpu.max` period in microseconds.
+    #[must_use]
+    pub fn period_us(&self) -> u64 {
+        self.period_us
+    }
+
+    fn read_stat(&self) -> Result<(u64, u64), BackendError> {
+        let raw = fs::read_to_string(self.layout.proc_stat())
+            .map_err(|e| BackendError::new("read proc stat", e.to_string()))?;
+        let mut parts = raw.split_whitespace();
+        let tag = parts.next().unwrap_or_default();
+        if tag != "cpu" {
+            return Err(BackendError::new(
+                "parse proc stat",
+                format!("expected leading 'cpu', got {tag:?}"),
+            ));
+        }
+        let busy: u64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| BackendError::new("parse proc stat", "missing busy field"))?;
+        let total: u64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| BackendError::new("parse proc stat", "missing total field"))?;
+        Ok((busy, total))
+    }
+
+    /// Primes the load-delta baseline (call once before the first
+    /// control period).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `/proc/stat` read failures.
+    pub fn prime_load(&mut self) -> Result<(), BackendError> {
+        self.last_stat = Some(self.read_stat()?);
+        Ok(())
+    }
+}
+
+impl PasBackend for CgroupBackend {
+    fn pstate_table(&self) -> &PStateTable {
+        &self.table
+    }
+
+    fn current_pstate(&self) -> Result<PStateIdx, BackendError> {
+        let raw = fs::read_to_string(self.layout.cur_freq())
+            .map_err(|e| BackendError::new("read current frequency", e.to_string()))?;
+        let khz: u64 = raw
+            .trim()
+            .parse()
+            .map_err(|e| BackendError::new("parse current frequency", format!("{e}")))?;
+        let mhz = Frequency::mhz((khz / 1000) as u32);
+        self.table.index_of(mhz).ok_or_else(|| {
+            BackendError::new(
+                "resolve current frequency",
+                format!("{mhz} is not in the ladder"),
+            )
+        })
+    }
+
+    fn set_pstate(&mut self, idx: PStateIdx) -> Result<(), BackendError> {
+        let state = self.table.get(idx).ok_or_else(|| {
+            BackendError::new("set frequency", format!("unknown p-state {idx}"))
+        })?;
+        let khz = u64::from(state.frequency.as_mhz()) * 1000;
+        fs::write(self.layout.setspeed(), format!("{khz}\n"))
+            .map_err(|e| BackendError::new("write scaling_setspeed", e.to_string()))
+    }
+
+    fn initial_credits(&self) -> Vec<Credit> {
+        self.vms.iter().map(|vm| vm.credit).collect()
+    }
+
+    fn apply_credits(&mut self, credits: &[Credit]) -> Result<(), BackendError> {
+        if credits.len() != self.vms.len() {
+            return Err(BackendError::new(
+                "apply credits",
+                format!("{} credits for {} cgroups", credits.len(), self.vms.len()),
+            ));
+        }
+        for (vm, credit) in self.vms.iter().zip(credits) {
+            let content = if credit.is_uncapped() {
+                format!("max {}\n", self.period_us)
+            } else {
+                // cgroup v2 allows quota > period (multi-CPU); we keep
+                // the raw Equation 4 value, as the paper keeps credits
+                // above 100%.
+                let quota = (credit.as_fraction() * self.period_us as f64).round() as u64;
+                format!("{quota} {}\n", self.period_us)
+            };
+            fs::write(self.layout.cpu_max(&vm.cgroup), content).map_err(|e| {
+                BackendError::new(
+                    "write cpu.max",
+                    format!("cgroup {}: {e}", vm.cgroup),
+                )
+            })?;
+        }
+        Ok(())
+    }
+
+    fn global_load_percent(&self) -> Result<f64, BackendError> {
+        let (busy, total) = self.read_stat()?;
+        match self.last_stat {
+            None => Err(BackendError::new(
+                "read load",
+                "prime_load was not called before the first period",
+            )),
+            Some((b0, t0)) => {
+                let db = busy.saturating_sub(b0);
+                let dt = total.saturating_sub(t0);
+                if dt == 0 {
+                    Ok(0.0)
+                } else {
+                    Ok(100.0 * db as f64 / dt as f64)
+                }
+            }
+        }
+    }
+}
+
+impl CgroupBackend {
+    /// Advances the load-delta baseline to the current counters. Call
+    /// once per control period, after
+    /// [`global_load_percent`](PasBackend::global_load_percent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `/proc/stat` read failures.
+    pub fn advance_load_baseline(&mut self) -> Result<(), BackendError> {
+        self.prime_load()
+    }
+}

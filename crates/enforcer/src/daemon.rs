@@ -1,0 +1,348 @@
+//! A resilient run-loop around a user-level PAS controller.
+//!
+//! The paper's user-level placements (Section 4.1) are daemons: they
+//! poll the load, recompute credits and (for placement 2) frequency,
+//! and write both back. On a real host, any of those reads or writes
+//! can fail transiently — a cgroup vanishes with its VM, a sysfs knob
+//! is briefly locked by the kernel, a filesystem hiccups. A control
+//! loop that dies on the first `EIO` is not deployable, and one that
+//! keeps writing through a persistently broken backend makes things
+//! worse.
+//!
+//! [`PasDaemon`] adds exactly that operational layer:
+//!
+//! * each [`tick`](PasDaemon::tick) runs one controller step and
+//!   classifies the outcome;
+//! * consecutive failures are counted; at
+//!   [`DaemonConfig::degrade_after`] the daemon enters **degraded**
+//!   mode and *restores every VM's initial credit and the maximum
+//!   frequency* (fail-safe: an unmanaged host must never be left with
+//!   stale low-frequency compensations — the SLA direction of the
+//!   paper's argument);
+//! * in degraded mode it keeps probing; one successful step restores
+//!   normal operation.
+//!
+//! The loop itself is step-driven so tests (and the simulator) can
+//! drive it without real time; [`run_for_steps`](PasDaemon::run_for_steps)
+//! is the convenience wrapper the `cgroup_shim` example uses.
+
+use pas_core::{BackendError, Credit, PasBackend, PasController};
+
+/// Outcome of one daemon tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TickOutcome {
+    /// Controller step applied cleanly.
+    Applied,
+    /// The step failed; the daemon is still within its error budget.
+    Errored,
+    /// The error budget was exhausted this tick: initial credits and
+    /// maximum frequency were restored (or restoring failed too, which
+    /// leaves nothing more to do until the backend heals).
+    Degraded,
+    /// A step succeeded after degradation: normal operation resumed.
+    Recovered,
+}
+
+/// Tunables for [`PasDaemon`].
+#[derive(Debug, Clone, Copy)]
+pub struct DaemonConfig {
+    /// Consecutive failures after which the daemon degrades.
+    pub degrade_after: u32,
+}
+
+impl Default for DaemonConfig {
+    /// Degrade after 3 consecutive failures.
+    fn default() -> Self {
+        DaemonConfig { degrade_after: 3 }
+    }
+}
+
+/// The supervised control loop.
+#[derive(Debug)]
+pub struct PasDaemon {
+    controller: PasController,
+    config: DaemonConfig,
+    consecutive_errors: u32,
+    degraded: bool,
+    ticks: u64,
+    errors_total: u64,
+    last_error: Option<BackendError>,
+}
+
+impl PasDaemon {
+    /// Wraps a controller with the default error budget.
+    #[must_use]
+    pub fn new(controller: PasController) -> Self {
+        Self::with_config(controller, DaemonConfig::default())
+    }
+
+    /// Wraps a controller with an explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degrade_after` is zero (the daemon could never
+    /// apply anything).
+    #[must_use]
+    pub fn with_config(controller: PasController, config: DaemonConfig) -> Self {
+        assert!(config.degrade_after > 0, "degrade_after must be at least 1");
+        PasDaemon {
+            controller,
+            config,
+            consecutive_errors: 0,
+            degraded: false,
+            ticks: 0,
+            errors_total: 0,
+            last_error: None,
+        }
+    }
+
+    /// `true` while the daemon has given up applying compensations.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Ticks driven so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Total failed steps over the daemon's lifetime.
+    #[must_use]
+    pub fn errors_total(&self) -> u64 {
+        self.errors_total
+    }
+
+    /// The most recent backend error, if any step ever failed.
+    #[must_use]
+    pub fn last_error(&self) -> Option<&BackendError> {
+        self.last_error.as_ref()
+    }
+
+    /// The wrapped controller (e.g. to read its step count).
+    #[must_use]
+    pub fn controller(&self) -> &PasController {
+        &self.controller
+    }
+
+    /// Runs one control period against `backend` and classifies the
+    /// outcome. Never panics on backend failures; see the module docs
+    /// for the degradation protocol.
+    pub fn tick<B: PasBackend>(&mut self, backend: &mut B) -> TickOutcome {
+        self.ticks += 1;
+        match self.controller.step(backend) {
+            Ok(_) => {
+                self.consecutive_errors = 0;
+                if self.degraded {
+                    self.degraded = false;
+                    TickOutcome::Recovered
+                } else {
+                    TickOutcome::Applied
+                }
+            }
+            Err(e) => {
+                self.errors_total += 1;
+                self.consecutive_errors += 1;
+                self.last_error = Some(e);
+                if !self.degraded && self.consecutive_errors >= self.config.degrade_after {
+                    self.degraded = true;
+                    self.fail_safe(backend);
+                    TickOutcome::Degraded
+                } else {
+                    TickOutcome::Errored
+                }
+            }
+        }
+    }
+
+    /// Drives `steps` ticks; returns the outcomes (test/report aid).
+    pub fn run_for_steps<B: PasBackend>(
+        &mut self,
+        backend: &mut B,
+        steps: usize,
+    ) -> Vec<TickOutcome> {
+        (0..steps).map(|_| self.tick(backend)).collect()
+    }
+
+    /// Best-effort fail-safe: initial credits, maximum frequency. A
+    /// backend broken enough to refuse even this is left as-is — the
+    /// daemon will retry the fail-safe on the next degradation edge.
+    fn fail_safe<B: PasBackend>(&mut self, backend: &mut B) {
+        let initial: Vec<Credit> = backend.initial_credits();
+        if let Err(e) = backend.apply_credits(&initial) {
+            self.last_error = Some(e);
+        }
+        let fmax = backend.pstate_table().max_idx();
+        if let Err(e) = backend.set_pstate(fmax) {
+            self.last_error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgroup::{CgroupBackend, CgroupLayout};
+    use crate::testkit::{temp_root, FakeSysfs};
+    use cpumodel::machines;
+    use pas_core::ControllerPlacement;
+
+    fn setup(tag: &str) -> (FakeSysfs, CgroupBackend, PasDaemon, std::path::PathBuf) {
+        let root = temp_root(tag);
+        let table = machines::optiplex_755().pstate_table();
+        let fake = FakeSysfs::create(&root, &table, &["v20", "v70"]);
+        let mut backend = CgroupBackend::with_table(
+            CgroupLayout::new(&root),
+            vec![
+                ("v20".to_owned(), Credit::percent(20.0)),
+                ("v70".to_owned(), Credit::percent(70.0)),
+            ],
+            table.clone(),
+        );
+        backend.prime_load().expect("prime");
+        let daemon = PasDaemon::new(PasController::new(
+            ControllerPlacement::UserLevelFull,
+            table,
+        ));
+        (fake, backend, daemon, root)
+    }
+
+    #[test]
+    fn healthy_backend_applies_every_tick() {
+        let (mut fake, mut backend, mut daemon, root) = setup("daemon-ok");
+        for _ in 0..5 {
+            fake.advance_time(100, 0.15); // 15% busy
+            assert_eq!(daemon.tick(&mut backend), TickOutcome::Applied);
+        }
+        assert_eq!(daemon.errors_total(), 0);
+        assert!(!daemon.is_degraded());
+        // 15% load → the controller parks the frequency low and
+        // compensates V20 above its 20% booking.
+        fake.kernel_tick();
+        let (quota, period) = fake.read_cpu_max("v20");
+        let cap = quota.expect("capped") as f64 / period as f64;
+        assert!(cap > 0.25, "compensated cap {cap}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn degrades_after_budget_and_fails_safe() {
+        let (mut fake, mut backend, mut daemon, root) = setup("daemon-degrade");
+        // A few healthy low-load ticks lower the frequency.
+        for _ in 0..4 {
+            fake.advance_time(100, 0.10);
+            daemon.tick(&mut backend);
+        }
+        fake.kernel_tick();
+        assert!(fake.cur_freq_khz() < 2_667_000, "frequency was lowered");
+
+        // Break the load source: every subsequent step fails.
+        let stat = backend.layout().proc_stat();
+        fake.break_file(&stat);
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Errored);
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Errored);
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Degraded);
+        assert!(daemon.is_degraded());
+        assert!(daemon.last_error().is_some());
+
+        // Fail-safe restored booked credits and fmax.
+        fake.kernel_tick();
+        let (quota, period) = fake.read_cpu_max("v20");
+        let cap = quota.expect("capped") as f64 / period as f64;
+        assert!((cap - 0.20).abs() < 1e-3, "initial credit restored, got {cap}");
+        assert_eq!(fake.cur_freq_khz(), 2_667_000, "fmax restored");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn recovers_when_the_backend_heals() {
+        let (mut fake, mut backend, mut daemon, root) = setup("daemon-recover");
+        let stat = backend.layout().proc_stat();
+        fake.break_file(&stat);
+        for _ in 0..3 {
+            daemon.tick(&mut backend);
+        }
+        assert!(daemon.is_degraded());
+
+        // Heal the file (break_file replaced it with a directory).
+        std::fs::remove_dir(&stat).expect("remove broken dir");
+        std::fs::write(&stat, "cpu 0 0\n").expect("recreate stat");
+        backend.prime_load().expect("re-prime after heal");
+        fake.advance_time(100, 0.5);
+
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Recovered);
+        assert!(!daemon.is_degraded());
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Applied);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn transient_errors_within_budget_do_not_degrade() {
+        let (mut fake, mut backend, mut daemon, root) = setup("daemon-transient");
+        let stat = backend.layout().proc_stat();
+        fake.break_file(&stat);
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Errored);
+        // Heal before the budget (3) is reached.
+        std::fs::remove_dir(&stat).expect("remove broken dir");
+        std::fs::write(&stat, "cpu 0 0\n").expect("recreate");
+        backend.prime_load().expect("re-prime");
+        fake.advance_time(100, 0.3);
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Applied);
+        assert!(!daemon.is_degraded());
+        assert_eq!(daemon.errors_total(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn zero_budget_is_rejected() {
+        let table = machines::optiplex_755().pstate_table();
+        let controller = PasController::new(ControllerPlacement::UserLevelFull, table);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PasDaemon::with_config(controller, DaemonConfig { degrade_after: 0 })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn fail_safe_survives_a_fully_broken_backend() {
+        let (mut fake, mut backend, mut daemon, root) = setup("daemon-allbroken");
+        // Break load, quota and frequency files: even the fail-safe
+        // writes fail; the daemon must degrade without panicking.
+        let stat = backend.layout().proc_stat();
+        let setspeed = backend.layout().setspeed();
+        let cpu_max = backend.layout().cpu_max("v20");
+        fake.break_file(&stat);
+        fake.break_file(&setspeed);
+        fake.break_file(&cpu_max);
+        let outcomes = daemon.run_for_steps(&mut backend, 5);
+        assert_eq!(outcomes[2], TickOutcome::Degraded);
+        assert!(daemon.is_degraded());
+        // Later ticks keep counting errors quietly.
+        assert_eq!(outcomes[4], TickOutcome::Errored);
+        assert_eq!(daemon.errors_total(), 5);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn degraded_daemon_resumes_applying_after_recovery_pstate() {
+        // Recovery must not leave stale planner state: after healing,
+        // the next plans reflect fresh loads, not pre-failure ones.
+        let (mut fake, mut backend, mut daemon, root) = setup("daemon-freshness");
+        let stat = backend.layout().proc_stat();
+        fake.break_file(&stat);
+        daemon.run_for_steps(&mut backend, 3);
+        std::fs::remove_dir(&stat).expect("heal");
+        std::fs::write(&stat, "cpu 0 0\n").expect("recreate");
+        backend.prime_load().expect("re-prime");
+        // Saturating load after recovery: frequency must go to fmax.
+        for _ in 0..4 {
+            fake.advance_time(100, 0.97);
+            daemon.tick(&mut backend);
+        }
+        fake.kernel_tick();
+        assert_eq!(fake.cur_freq_khz(), 2_667_000);
+        assert_eq!(daemon.tick(&mut backend), TickOutcome::Applied);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,36 @@
+//! Credit-enforcement backends for the user-level PAS controllers.
+//!
+//! `pas_core::controller` implements the paper's two user-level
+//! placements against the [`pas_core::PasBackend`] trait; this crate
+//! supplies the two concrete backends:
+//!
+//! * [`SimBackend`] — drives the simulated host (`hypervisor` crate):
+//!   caps via the Credit scheduler, frequency via the CPU model, load
+//!   via the host's external measurement window;
+//! * [`CgroupBackend`] — the **cgroup-v2 shim** for real Linux hosts:
+//!   VM credits map to `cpu.max` bandwidth quotas, the frequency to
+//!   cpufreq sysfs knobs, and the load to `/proc/stat`-style counter
+//!   deltas. All paths are rooted at a configurable directory so the
+//!   test-suite exercises the shim against a synthetic sysfs tree
+//!   ([`testkit::FakeSysfs`]) — and pointing the root at `/` deploys
+//!   it on an actual machine.
+//!
+//! The cgroup shim is the honest substitute for "patching Xen" on a
+//! machine where no hypervisor scheduler hook exists: `cpu.max` is
+//! semantically Xen's cap (bandwidth per period), so Equation 4
+//! applies verbatim.
+//!
+//! [`daemon`] supervises the controller for real deployments: error
+//! budgets, a fail-safe that restores booked credits and the maximum
+//! frequency when the backend breaks, and automatic recovery.
+
+#![warn(missing_docs)]
+
+mod cgroup;
+pub mod daemon;
+mod sim;
+pub mod testkit;
+
+pub use cgroup::{CgroupBackend, CgroupLayout};
+pub use daemon::{DaemonConfig, PasDaemon, TickOutcome};
+pub use sim::SimBackend;

@@ -1,0 +1,305 @@
+//! A synthetic sysfs/cgroup tree for testing the shim without root
+//! privileges or real hardware.
+//!
+//! [`FakeSysfs`] builds the directory layout [`CgroupLayout`] expects
+//! under a temporary directory and plays the kernel's role:
+//! `kernel_tick` applies pending `scaling_setspeed` writes to
+//! `scaling_cur_freq`, and `advance_time` accrues `/proc/stat`
+//! counters at a configurable busy fraction.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cpumodel::PStateTable;
+
+use crate::cgroup::CgroupLayout;
+
+/// A fake sysfs tree plus the minimal "kernel" that animates it.
+#[derive(Debug)]
+pub struct FakeSysfs {
+    layout: CgroupLayout,
+    busy_jiffies: u64,
+    total_jiffies: u64,
+}
+
+impl FakeSysfs {
+    /// Builds the tree under `root` for the given DVFS ladder and
+    /// cgroup names. The CPU starts at the maximum frequency, idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on filesystem errors (tests own the directory).
+    #[must_use]
+    pub fn create(root: impl Into<PathBuf>, table: &PStateTable, cgroups: &[&str]) -> Self {
+        let layout = CgroupLayout::new(root);
+        fs::create_dir_all(layout.cpufreq_dir()).expect("create cpufreq dir");
+        fs::create_dir_all(layout.proc_stat().parent().expect("proc dir")).expect("create proc");
+        for name in cgroups {
+            fs::create_dir_all(
+                layout.cpu_max(name).parent().expect("cgroup dir"),
+            )
+            .expect("create cgroup dir");
+            fs::write(layout.cpu_max(name), "max 100000\n").expect("init cpu.max");
+        }
+        let khz_list: Vec<String> = table
+            .frequencies()
+            .map(|f| (u64::from(f.as_mhz()) * 1000).to_string())
+            .collect();
+        fs::write(layout.available_frequencies(), khz_list.join(" ") + "\n")
+            .expect("write available freqs");
+        let max_khz = u64::from(table.max().frequency.as_mhz()) * 1000;
+        fs::write(layout.cur_freq(), format!("{max_khz}\n")).expect("write cur freq");
+        fs::write(layout.setspeed(), format!("{max_khz}\n")).expect("write setspeed");
+        let mut fake = FakeSysfs { layout, busy_jiffies: 0, total_jiffies: 0 };
+        fake.flush_stat();
+        fake
+    }
+
+    /// The layout of the tree.
+    #[must_use]
+    pub fn layout(&self) -> &CgroupLayout {
+        &self.layout
+    }
+
+    /// Applies a pending `scaling_setspeed` write to
+    /// `scaling_cur_freq` — what the kernel's userspace governor does.
+    ///
+    /// # Panics
+    ///
+    /// Panics on filesystem errors.
+    pub fn kernel_tick(&mut self) {
+        let requested = fs::read_to_string(self.layout.setspeed()).expect("read setspeed");
+        fs::write(self.layout.cur_freq(), requested).expect("apply setspeed");
+    }
+
+    /// Accrues `jiffies` of wall time with the given busy fraction
+    /// into the `/proc/stat` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `busy_fraction` is outside `[0, 1]` or on filesystem
+    /// errors.
+    pub fn advance_time(&mut self, jiffies: u64, busy_fraction: f64) {
+        assert!(
+            (0.0..=1.0).contains(&busy_fraction),
+            "busy fraction {busy_fraction} out of [0,1]"
+        );
+        self.total_jiffies += jiffies;
+        self.busy_jiffies += (jiffies as f64 * busy_fraction).round() as u64;
+        self.flush_stat();
+    }
+
+    /// Reads back a cgroup's `cpu.max` as `(quota_us, period_us)`;
+    /// `None` quota means "max" (uncapped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is missing or malformed.
+    #[must_use]
+    pub fn read_cpu_max(&self, cgroup: &str) -> (Option<u64>, u64) {
+        let raw = fs::read_to_string(self.layout.cpu_max(cgroup)).expect("read cpu.max");
+        let mut parts = raw.split_whitespace();
+        let quota = match parts.next().expect("quota field") {
+            "max" => None,
+            q => Some(q.parse().expect("numeric quota")),
+        };
+        let period = parts.next().expect("period field").parse().expect("numeric period");
+        (quota, period)
+    }
+
+    /// The current frequency file content, in kHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is missing or malformed.
+    #[must_use]
+    pub fn cur_freq_khz(&self) -> u64 {
+        fs::read_to_string(self.layout.cur_freq())
+            .expect("read cur freq")
+            .trim()
+            .parse()
+            .expect("numeric freq")
+    }
+
+    /// Breaks a control file by replacing it with a directory, so
+    /// both reads and writes fail — failure-injection hook for tests
+    /// (a plain unlink would not do: `fs::write` recreates files).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be replaced.
+    pub fn break_file(&mut self, path: &Path) {
+        fs::remove_file(path).expect("remove file");
+        fs::create_dir(path).expect("replace with directory");
+    }
+
+    fn flush_stat(&mut self) {
+        fs::write(
+            self.layout.proc_stat(),
+            format!("cpu {} {}\n", self.busy_jiffies, self.total_jiffies),
+        )
+        .expect("write proc stat");
+    }
+}
+
+/// Creates a unique temporary root for one test.
+#[must_use]
+pub fn temp_root(tag: &str) -> PathBuf {
+    let pid = std::process::id();
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .subsec_nanos();
+    std::env::temp_dir().join(format!("pas-shim-{tag}-{pid}-{nanos}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgroup::CgroupBackend;
+    use cpumodel::{machines, PStateIdx};
+    use pas_core::{Credit, PasBackend};
+
+    fn setup(tag: &str) -> (FakeSysfs, CgroupBackend, PathBuf) {
+        let root = temp_root(tag);
+        let table = machines::optiplex_755().pstate_table();
+        let fake = FakeSysfs::create(&root, &table, &["v20", "v70"]);
+        let backend = CgroupBackend::with_table(
+            CgroupLayout::new(&root),
+            vec![
+                ("v20".to_owned(), Credit::percent(20.0)),
+                ("v70".to_owned(), Credit::percent(70.0)),
+            ],
+            table,
+        );
+        (fake, backend, root)
+    }
+
+    fn teardown(root: &Path) {
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn discovery_reads_ladder() {
+        let root = temp_root("discover");
+        let table = machines::optiplex_755().pstate_table();
+        let _fake = FakeSysfs::create(&root, &table, &["v"]);
+        let backend = CgroupBackend::discover(
+            CgroupLayout::new(&root),
+            vec![("v".to_owned(), Credit::percent(50.0))],
+            &cpumodel::CfModel::Ideal,
+        )
+        .unwrap();
+        assert_eq!(backend.pstate_table().len(), 5);
+        assert_eq!(backend.pstate_table().max().frequency.as_mhz(), 2667);
+        teardown(&root);
+    }
+
+    #[test]
+    fn credits_become_quotas() {
+        let (fake, mut backend, root) = setup("quota");
+        backend
+            .apply_credits(&[Credit::percent(33.3), Credit::percent(116.7)])
+            .unwrap();
+        let (q20, p) = fake.read_cpu_max("v20");
+        assert_eq!(p, 100_000);
+        assert_eq!(q20, Some(33_300));
+        let (q70, _) = fake.read_cpu_max("v70");
+        assert_eq!(q70, Some(116_700), "quota above the period is legal in cgroup v2");
+        teardown(&root);
+    }
+
+    #[test]
+    fn uncapped_writes_max() {
+        let (fake, mut backend, root) = setup("uncapped");
+        let mut b2 = CgroupBackend::with_table(
+            backend.layout().clone(),
+            vec![("v20".to_owned(), Credit::ZERO), ("v70".to_owned(), Credit::percent(70.0))],
+            backend.pstate_table().clone(),
+        );
+        b2.apply_credits(&[Credit::ZERO, Credit::percent(70.0)]).unwrap();
+        let (q, _) = fake.read_cpu_max("v20");
+        assert_eq!(q, None);
+        let _ = &mut backend;
+        teardown(&root);
+    }
+
+    #[test]
+    fn frequency_round_trip() {
+        let (mut fake, mut backend, root) = setup("freq");
+        assert_eq!(backend.current_pstate().unwrap(), backend.pstate_table().max_idx());
+        backend.set_pstate(PStateIdx(0)).unwrap();
+        // The kernel hasn't applied it yet:
+        assert_eq!(backend.current_pstate().unwrap(), backend.pstate_table().max_idx());
+        fake.kernel_tick();
+        assert_eq!(backend.current_pstate().unwrap(), PStateIdx(0));
+        assert_eq!(fake.cur_freq_khz(), 1_600_000);
+        teardown(&root);
+    }
+
+    #[test]
+    fn load_from_stat_deltas() {
+        let (mut fake, mut backend, root) = setup("load");
+        backend.prime_load().unwrap();
+        fake.advance_time(1000, 0.35);
+        let load = backend.global_load_percent().unwrap();
+        assert!((load - 35.0).abs() < 0.2, "load {load}");
+        backend.advance_load_baseline().unwrap();
+        fake.advance_time(1000, 0.80);
+        let load2 = backend.global_load_percent().unwrap();
+        assert!((load2 - 80.0).abs() < 0.2, "load {load2}");
+        teardown(&root);
+    }
+
+    #[test]
+    fn unprimed_load_is_error() {
+        let (_fake, backend, root) = setup("unprimed");
+        let err = backend.global_load_percent().unwrap_err();
+        assert!(err.detail.contains("prime_load"));
+        teardown(&root);
+    }
+
+    #[test]
+    fn missing_file_surfaces_as_error() {
+        let (mut fake, mut backend, root) = setup("missing");
+        let setspeed = fake.layout().setspeed();
+        fake.break_file(&setspeed);
+        let err = backend.set_pstate(PStateIdx(0)).unwrap_err();
+        assert_eq!(err.operation, "write scaling_setspeed");
+        teardown(&root);
+    }
+
+    #[test]
+    fn wrong_credit_count_rejected() {
+        let (_fake, mut backend, root) = setup("count");
+        let err = backend.apply_credits(&[Credit::percent(10.0)]).unwrap_err();
+        assert!(err.detail.contains("1 credits for 2 cgroups"));
+        teardown(&root);
+    }
+
+    #[test]
+    fn full_controller_drives_the_shim() {
+        use pas_core::{ControllerPlacement, PasController};
+        let (mut fake, mut backend, root) = setup("e2e");
+        backend.prime_load().unwrap();
+        let mut ctl = PasController::new(
+            ControllerPlacement::UserLevelFull,
+            backend.pstate_table().clone(),
+        )
+        .with_smoothing_window(1);
+        // A long stretch of 20% load.
+        for _ in 0..3 {
+            fake.advance_time(500, 0.20);
+            ctl.step(&mut backend).unwrap();
+            backend.advance_load_baseline().unwrap();
+            fake.kernel_tick();
+        }
+        // Frequency parked at the bottom...
+        assert_eq!(fake.cur_freq_khz(), 1_600_000);
+        // ...and V20's quota compensated to ~33%.
+        let (q20, p) = fake.read_cpu_max("v20");
+        let frac = q20.unwrap() as f64 / p as f64;
+        assert!((frac - 0.333).abs() < 0.02, "quota fraction {frac}");
+        teardown(&root);
+    }
+}

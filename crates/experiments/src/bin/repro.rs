@@ -1,0 +1,118 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro list                      # available experiments
+//! repro all [--quick]             # run everything
+//! repro fig9 [--quick] [--out D]  # one experiment, optional artefacts
+//! ```
+//!
+//! With `--out DIR`, each experiment writes `DIR/<id>.csv` (series)
+//! and `DIR/<id>.json` (scalars + notes).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use experiments::{all_experiment_names, run_experiment, ExperimentReport, Fidelity};
+
+struct Args {
+    names: Vec<String>,
+    fidelity: Fidelity,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut names = Vec::new();
+    let mut fidelity = Fidelity::Full;
+    let mut out = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => fidelity = Fidelity::Quick,
+            "--out" | "-o" => {
+                let dir = argv.next().ok_or("--out needs a directory")?;
+                out = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                names.push("help".to_owned());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            name => names.push(name.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        names.push("help".to_owned());
+    }
+    Ok(Args { names, fidelity, out })
+}
+
+fn emit(report: &ExperimentReport, out: Option<&PathBuf>) {
+    println!("================================================================");
+    println!("{}", report.text);
+    for note in &report.notes {
+        println!("  note: {note}");
+    }
+    if let Some(dir) = out {
+        let csv_path = dir.join(format!("{}.csv", report.id));
+        if !report.series.is_empty() {
+            if let Err(e) = metrics::export::write_artifact(&csv_path, &report.to_csv()) {
+                eprintln!("failed to write {}: {e}", csv_path.display());
+            }
+        }
+        match metrics::export::to_json(report) {
+            Ok(json) => {
+                let json_path = dir.join(format!("{}.json", report.id));
+                if let Err(e) = metrics::export::write_artifact(&json_path, &json) {
+                    eprintln!("failed to write {}: {e}", json_path.display());
+                }
+            }
+            Err(e) => eprintln!("failed to serialize {}: {e}", report.id),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut to_run: Vec<String> = Vec::new();
+    for name in &args.names {
+        match name.as_str() {
+            "help" => {
+                println!(
+                    "usage: repro <experiment>... [--quick] [--out DIR]\n\
+                            repro all [--quick] [--out DIR]\n\
+                            repro list\n"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "list" => {
+                for n in all_experiment_names() {
+                    println!("{n}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "all" => {
+                to_run.extend(all_experiment_names().iter().map(|s| (*s).to_owned()));
+            }
+            other => to_run.push(other.to_owned()),
+        }
+    }
+
+    for name in &to_run {
+        match run_experiment(name, args.fidelity) {
+            Some(report) => emit(&report, args.out.as_ref()),
+            None => {
+                eprintln!("unknown experiment {name:?}; `repro list` shows the names");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

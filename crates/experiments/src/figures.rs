@@ -1,0 +1,354 @@
+//! Figures 2–10: the three-phase scenario under every scheduler ×
+//! governor combination the paper evaluates.
+//!
+//! | figure | scheduler | governor | load | plotted |
+//! |--------|-----------|----------|------|---------|
+//! | 2  | Credit | performance (max freq) | exact | global loads |
+//! | 3  | Credit | stock ondemand | exact (bursty) | global loads |
+//! | 4  | Credit | paper's stable governor | exact | global loads |
+//! | 5  | Credit | paper's stable governor | exact | absolute loads |
+//! | 6  | SEDF   | paper's stable governor | exact | global loads |
+//! | 7  | SEDF   | paper's stable governor | exact | absolute loads |
+//! | 8  | SEDF   | paper's stable governor | thrashing | global ≡ absolute |
+//! | 9  | PAS    | (self-managed) | thrashing | global loads |
+//! | 10 | PAS    | (self-managed) | thrashing | absolute loads |
+
+use governors::{Ondemand, StableOndemand};
+use hypervisor::host::SchedulerKind;
+use metrics::ascii;
+use workloads::Intensity;
+
+use crate::report::ExperimentReport;
+use crate::scenario::{build, Fidelity, Scenario, ScenarioConfig};
+
+/// Which load view a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum View {
+    Global,
+    Absolute,
+}
+
+fn render(
+    id: &str,
+    title: &str,
+    mut sc: Scenario,
+    view: View,
+    extra_cap_series: bool,
+) -> ExperimentReport {
+    sc.run();
+    let mut report = ExperimentReport::new(id, title);
+
+    let (v20s, v70s) = match view {
+        View::Global => (
+            sc.global_load_series(sc.v20, "v20_global_pct"),
+            sc.global_load_series(sc.v70, "v70_global_pct"),
+        ),
+        View::Absolute => (
+            sc.absolute_load_series(sc.v20, "v20_absolute_pct"),
+            sc.absolute_load_series(sc.v70, "v70_absolute_pct"),
+        ),
+    };
+    let freq = sc.freq_series();
+
+    let (a0, a1) = sc.timeline.phase_a();
+    let (b0, b1) = sc.timeline.phase_b();
+    let v20_a = v20s.mean_between(a0, a1).unwrap_or(0.0);
+    let v20_b = v20s.mean_between(b0, b1).unwrap_or(0.0);
+    let v70_b = v70s.mean_between(b0, b1).unwrap_or(0.0);
+    let freq_a = freq.mean_between(a0, a1).unwrap_or(0.0);
+    let freq_b = freq.mean_between(b0, b1).unwrap_or(0.0);
+    let transitions = freq.transition_count();
+
+    report.scalar("v20_phase_a_pct", v20_a);
+    report.scalar("v20_phase_b_pct", v20_b);
+    report.scalar("v70_phase_b_pct", v70_b);
+    report.scalar("freq_phase_a_mhz", freq_a);
+    report.scalar("freq_phase_b_mhz", freq_b);
+    report.scalar("freq_transitions", transitions as f64);
+    report.scalar("energy_j", sc.total_energy_j());
+
+    let mut text = String::new();
+    text.push_str(&format!("{title}\n"));
+    text.push_str(&format!(
+        "  scheduler={} view={:?}\n",
+        sc.host.scheduler_name(),
+        view
+    ));
+    text.push_str(&format!(
+        "  phase A (V20 active, V70 lazy): V20 = {v20_a:5.1}%  freq = {freq_a:6.0} MHz\n"
+    ));
+    text.push_str(&format!(
+        "  phase B (both active):          V20 = {v20_b:5.1}%  V70 = {v70_b:5.1}%  freq = {freq_b:6.0} MHz\n"
+    ));
+    text.push_str(&format!("  frequency transitions over the run: {transitions}\n\n"));
+    text.push_str(&ascii::chart_many(&[&v20s, &v70s], 72, 14));
+
+    if extra_cap_series {
+        let cap = sc.cap_series(sc.v20, "v20_cap_pct");
+        if let Some(c) = cap.mean_between(a0, a1) {
+            report.scalar("v20_cap_phase_a_pct", c);
+            text.push_str(&format!(
+                "\n  PAS grants V20 a cap of {c:.1}% in phase A (paper: ~33% at 1600 MHz)\n"
+            ));
+        }
+        report.series.push(cap);
+    }
+
+    report.series.push(v20s);
+    report.series.push(v70s);
+    report.series.push(freq);
+    report.text = text;
+    report
+}
+
+/// Figure 2 — load profile at the maximum frequency (no DVFS).
+#[must_use]
+pub fn fig2(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(
+        ScenarioConfig::new(SchedulerKind::Credit, Intensity::Exact, fidelity)
+            .with_governor(Box::new(governors::Performance)),
+    );
+    render("fig2", "Figure 2: Load profile (at the maximum frequency)", sc, View::Global, false)
+}
+
+/// Figure 3 — stock ondemand + Credit, exact (bursty) load:
+/// "aggressive and unstable".
+#[must_use]
+pub fn fig3(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(
+        ScenarioConfig::new(SchedulerKind::Credit, Intensity::Exact, fidelity)
+            .with_governor(Box::new(Ondemand::default()))
+            .with_bursty_arrivals(42),
+    );
+    let mut r = render(
+        "fig3",
+        "Figure 3: Global loads with Ondemand governor / Credit scheduler / exact load",
+        sc,
+        View::Global,
+        false,
+    );
+    r.notes.push(
+        "Oscillation arises from bursty Poisson arrivals sampled over short windows, \
+         reproducing the instability the paper attributes to the stock governor."
+            .to_owned(),
+    );
+    r
+}
+
+/// Figure 4 — the paper's stabilised governor + Credit, exact load.
+#[must_use]
+pub fn fig4(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(
+        ScenarioConfig::new(SchedulerKind::Credit, Intensity::Exact, fidelity)
+            .with_governor(Box::new(StableOndemand::new()))
+            .with_bursty_arrivals(42),
+    );
+    render(
+        "fig4",
+        "Figure 4: Global loads with our governor / Credit scheduler / exact load",
+        sc,
+        View::Global,
+        false,
+    )
+}
+
+/// Figure 5 — same configuration as Figure 4, absolute-load view:
+/// V20 only gets half its booked capacity while V70 is lazy.
+#[must_use]
+pub fn fig5(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(
+        ScenarioConfig::new(SchedulerKind::Credit, Intensity::Exact, fidelity)
+            .with_governor(Box::new(StableOndemand::new())),
+    );
+    render(
+        "fig5",
+        "Figure 5: Absolute loads with our governor / Credit scheduler / exact load",
+        sc,
+        View::Absolute,
+        false,
+    )
+}
+
+/// Figure 6 — SEDF global loads, exact load: unused slices lift V20
+/// to ~35% at the low frequency.
+#[must_use]
+pub fn fig6(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(
+        ScenarioConfig::new(SchedulerKind::Sedf { extra: true }, Intensity::Exact, fidelity)
+            .with_governor(Box::new(StableOndemand::new())),
+    );
+    render(
+        "fig6",
+        "Figure 6: Global loads with our governor / SEDF scheduler / exact load",
+        sc,
+        View::Global,
+        false,
+    )
+}
+
+/// Figure 7 — SEDF absolute loads, exact load: V20 holds 20%
+/// throughout.
+#[must_use]
+pub fn fig7(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(
+        ScenarioConfig::new(SchedulerKind::Sedf { extra: true }, Intensity::Exact, fidelity)
+            .with_governor(Box::new(StableOndemand::new())),
+    );
+    render(
+        "fig7",
+        "Figure 7: Absolute loads with our governor / SEDF scheduler / exact load",
+        sc,
+        View::Absolute,
+        false,
+    )
+}
+
+/// Figure 8 — SEDF under thrashing: V20 consumes far beyond its
+/// credit and pins the frequency at maximum.
+#[must_use]
+pub fn fig8(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(
+        ScenarioConfig::new(
+            SchedulerKind::Sedf { extra: true },
+            Intensity::Thrashing,
+            fidelity,
+        )
+        .with_governor(Box::new(StableOndemand::new())),
+    );
+    let mut r = render(
+        "fig8",
+        "Figure 8: Global/absolute loads with our governor / SEDF scheduler / thrashing load",
+        sc,
+        View::Global,
+        false,
+    );
+    r.notes.push(
+        "The paper reports V20 at ~85% in phase A (Dom0 proxies the full httperf stream); \
+         our Dom0 management load is lighter, so V20 reaches the mid-90s. The structural \
+         claim — V20 far above its 20% credit, frequency pinned at maximum — is unchanged."
+            .to_owned(),
+    );
+    r
+}
+
+/// Figure 9 — PAS under thrashing, global view: V20 granted ~33% at
+/// 1600 MHz.
+#[must_use]
+pub fn fig9(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(ScenarioConfig::new(
+        SchedulerKind::Pas,
+        Intensity::Thrashing,
+        fidelity,
+    ));
+    render(
+        "fig9",
+        "Figure 9: Global loads with the PAS scheduler / thrashing load",
+        sc,
+        View::Global,
+        true,
+    )
+}
+
+/// Figure 10 — PAS under thrashing, absolute view: every VM's
+/// absolute load matches its booked credit.
+#[must_use]
+pub fn fig10(fidelity: Fidelity) -> ExperimentReport {
+    let sc = build(ScenarioConfig::new(
+        SchedulerKind::Pas,
+        Intensity::Thrashing,
+        fidelity,
+    ));
+    render(
+        "fig10",
+        "Figure 10: Absolute loads with the PAS scheduler / thrashing load",
+        sc,
+        View::Absolute,
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metrics::summary::within_pct;
+
+    #[test]
+    fn fig2_loads_at_max_frequency() {
+        let r = fig2(Fidelity::Quick);
+        assert!(within_pct(r.get_scalar("v20_phase_a_pct").unwrap(), 20.0, 12.0));
+        assert!(within_pct(r.get_scalar("v70_phase_b_pct").unwrap(), 70.0, 12.0));
+        assert!(r.get_scalar("freq_phase_a_mhz").unwrap() > 2600.0, "performance governor");
+    }
+
+    #[test]
+    fn fig3_unstable_vs_fig4_stable() {
+        let r3 = fig3(Fidelity::Quick);
+        let r4 = fig4(Fidelity::Quick);
+        let t3 = r3.get_scalar("freq_transitions").unwrap();
+        let t4 = r4.get_scalar("freq_transitions").unwrap();
+        assert!(
+            t3 >= 2.0 * t4.max(1.0),
+            "ondemand ({t3}) should switch much more than stable ({t4})"
+        );
+    }
+
+    #[test]
+    fn fig5_v20_absolute_halved_in_phase_a() {
+        let r = fig5(Fidelity::Quick);
+        let a = r.get_scalar("v20_phase_a_pct").unwrap();
+        let b = r.get_scalar("v20_phase_b_pct").unwrap();
+        // Paper: absolute ~10-12% at 1600 MHz, 20% once V70 wakes up.
+        assert!(a < 14.0, "phase A absolute {a} (paper ~10-12%)");
+        assert!(within_pct(b, 20.0, 12.0), "phase B absolute {b}");
+        assert!(r.get_scalar("freq_phase_a_mhz").unwrap() < 1700.0);
+    }
+
+    #[test]
+    fn fig6_sedf_lifts_v20_global() {
+        let r = fig6(Fidelity::Quick);
+        let a = r.get_scalar("v20_phase_a_pct").unwrap();
+        // Paper: ~35% at the low frequency.
+        assert!((30.0..45.0).contains(&a), "phase A global {a} (paper ~35%)");
+    }
+
+    #[test]
+    fn fig7_sedf_preserves_absolute() {
+        let r = fig7(Fidelity::Quick);
+        let a = r.get_scalar("v20_phase_a_pct").unwrap();
+        let b = r.get_scalar("v20_phase_b_pct").unwrap();
+        assert!(within_pct(a, 20.0, 15.0), "phase A absolute {a}");
+        assert!(within_pct(b, 20.0, 15.0), "phase B absolute {b}");
+    }
+
+    #[test]
+    fn fig8_sedf_thrashing_pins_max_freq() {
+        let r = fig8(Fidelity::Quick);
+        assert!(r.get_scalar("freq_phase_a_mhz").unwrap() > 2600.0, "frequency pinned");
+        assert!(
+            r.get_scalar("v20_phase_a_pct").unwrap() > 60.0,
+            "V20 far beyond its 20% credit"
+        );
+    }
+
+    #[test]
+    fn fig9_pas_grants_compensated_credit() {
+        let r = fig9(Fidelity::Quick);
+        let freq_a = r.get_scalar("freq_phase_a_mhz").unwrap();
+        assert!(freq_a < 1700.0, "PAS keeps the frequency low in phase A: {freq_a}");
+        let cap = r.get_scalar("v20_cap_phase_a_pct").unwrap();
+        assert!((cap - 33.0).abs() < 3.0, "granted credit {cap} (paper: 33%)");
+        let v20_a = r.get_scalar("v20_phase_a_pct").unwrap();
+        assert!((30.0..38.0).contains(&v20_a), "V20 global {v20_a} (paper: ~33%)");
+    }
+
+    #[test]
+    fn fig10_pas_absolute_matches_booking() {
+        let r = fig10(Fidelity::Quick);
+        let a = r.get_scalar("v20_phase_a_pct").unwrap();
+        let b = r.get_scalar("v20_phase_b_pct").unwrap();
+        assert!(within_pct(a, 20.0, 15.0), "phase A absolute {a}");
+        assert!(within_pct(b, 20.0, 15.0), "phase B absolute {b}");
+        let v70_b = r.get_scalar("v70_phase_b_pct").unwrap();
+        assert!(within_pct(v70_b, 70.0, 15.0), "V70 phase B absolute {v70_b}");
+    }
+}

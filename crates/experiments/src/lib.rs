@@ -1,0 +1,46 @@
+//! The reproduction harness: one module per paper artefact.
+//!
+//! | module | paper artefact |
+//! |--------|----------------|
+//! | [`validation`] | §5.2 proportionality checks (Eqs. 1–3) |
+//! | [`fig1`] | Figure 1 — credit compensation of a frequency drop |
+//! | [`figures`] | Figures 2–10 — the three-phase V20/V70 scenario under Credit / SEDF / PAS |
+//! | [`table1`] | Table 1 — `cf_min` on five processors |
+//! | [`table2`] | Table 2 — execution times on seven platform configs |
+//! | [`energy`] | extension X1 — the energy ablation the paper motivates |
+//! | [`placement`] | extension X2 — §4.1's three controller placements |
+//! | [`multicore`] | extension X3 — §7's multi-core / per-core DVFS perspective |
+//! | [`consolidation`] | extension X4 — §2.3's consolidation-is-memory-bound argument |
+//! | [`churn`] | extension X5 — tenant arrival/departure churn |
+//! | [`smt`] | extension X6 — §7's hyper-threading perspective |
+//! | [`sensitivity`] | extension X7 — PAS design-knob sensitivity sweep |
+//! | [`overbooking`] | extension X8 — the enforceable floor of a booking set |
+//!
+//! Every experiment returns an [`report::ExperimentReport`] with
+//! paper-style text, machine-readable series and a JSON summary; the
+//! `repro` binary (this crate's `src/bin/repro.rs`) runs them by name.
+//! All experiments accept a [`Fidelity`] so the test-suite and benches
+//! can run scaled-down versions of the full paper-scale runs.
+
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod consolidation;
+pub mod energy;
+pub mod fig1;
+pub mod figures;
+pub mod multicore;
+pub mod overbooking;
+pub mod placement;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+pub mod sensitivity;
+pub mod smt;
+pub mod table1;
+pub mod table2;
+pub mod validation;
+
+pub use report::ExperimentReport;
+pub use runner::{all_experiment_names, run_experiment};
+pub use scenario::Fidelity;

@@ -1,0 +1,234 @@
+//! Extension X3 — the paper's closing perspective: multi-core hosts
+//! and per-socket / per-core DVFS.
+//!
+//! A fluid steady-state study on a 2-socket × 2-core host: one VM per
+//! core with heterogeneous absolute demands. For each DVFS
+//! granularity the PAS planner picks, per frequency domain, the lowest
+//! P-state that absorbs the *busiest* core in the domain, compensates
+//! every VM's credit for its domain's frequency (Equation 4), and we
+//! integrate energy over a fixed horizon.
+//!
+//! Expected structure: finer DVFS domains never cost more energy
+//! (`per-core ≤ per-socket ≤ global`), and the compensated credits
+//! preserve every VM's booked absolute capacity at every granularity.
+
+use cpumodel::topology::{CpuPackage, DvfsGranularity, Topology};
+use cpumodel::{machines, PStateIdx};
+use pas_core::{Credit, FreqPlanner};
+
+use crate::report::ExperimentReport;
+use crate::scenario::Fidelity;
+
+/// The per-core booked credits and demands of the study (percent of a
+/// core's fmax capacity).
+const CORE_LOADS: [f64; 4] = [20.0, 70.0, 40.0, 10.0];
+
+/// Steady-state outcome at one granularity.
+#[derive(Debug, Clone)]
+pub struct GranularityRow {
+    /// Granularity label.
+    pub label: String,
+    /// Chosen P-state per core.
+    pub pstates: Vec<PStateIdx>,
+    /// Total energy over the horizon, joules.
+    pub energy_j: f64,
+    /// Worst-case granted absolute capacity across VMs, percent
+    /// (target: each VM's booked demand).
+    pub worst_granted_pct: f64,
+}
+
+fn study(granularity: DvfsGranularity, horizon_secs: f64) -> GranularityRow {
+    let spec = machines::optiplex_755();
+    let topo = Topology::new(2, 2, granularity);
+    let mut pkg = CpuPackage::new(&spec, topo);
+    let planner = FreqPlanner::new(spec.pstate_table());
+
+    // Plan each domain for its busiest core.
+    for d in 0..topo.n_domains() {
+        let domain = cpumodel::topology::DomainId(d);
+        let busiest = topo
+            .cores_in(domain)
+            .iter()
+            .map(|c| CORE_LOADS[c.0])
+            .fold(0.0f64, f64::max);
+        let pstate = planner.compute_new_freq(busiest);
+        pkg.set_domain_pstate(domain, pstate).expect("valid p-state");
+    }
+
+    // Compensate credits and integrate energy: each VM's busy fraction
+    // at its core's frequency is demand / (ratio · cf), its granted
+    // absolute capacity is min(cap, 100) · ratio · cf.
+    let mut worst_granted: f64 = f64::INFINITY;
+    for (core, &load) in CORE_LOADS.iter().enumerate().take(topo.n_cores()) {
+        let id = cpumodel::topology::CoreId(core);
+        let cpu = pkg.core(id);
+        let ratio = cpu.ratio();
+        let cf = cpu.cf();
+        let booked = Credit::percent(load);
+        let cap = planner.compensate(booked, cpu.pstate()).clamped_to(100.0);
+        let granted_abs = cap.as_percent() * ratio * cf;
+        worst_granted = worst_granted.min(granted_abs - load);
+        let busy = (load / (100.0 * ratio * cf)).min(1.0);
+        pkg.core_mut(id).account(busy, simkernel::SimDuration::from_secs_f64(horizon_secs));
+    }
+
+    let pstates = (0..topo.n_cores())
+        .map(|c| pkg.core(cpumodel::topology::CoreId(c)).pstate())
+        .collect();
+    GranularityRow {
+        label: format!("{granularity:?}"),
+        pstates,
+        energy_j: pkg.total_joules(),
+        worst_granted_pct: worst_granted,
+    }
+}
+
+/// Dynamic outcome at one granularity (full `MultiHost` simulation).
+#[derive(Debug, Clone)]
+pub struct DynamicRow {
+    /// Granularity label.
+    pub label: String,
+    /// Total energy over the run, joules.
+    pub energy_j: f64,
+    /// Worst booking violation across VMs, percentage points
+    /// (negative = under-delivered).
+    pub worst_delta_pct: f64,
+}
+
+fn dynamic_study(granularity: DvfsGranularity, secs: u64) -> DynamicRow {
+    use hypervisor::multicore::{MultiDvfs, MultiHost};
+    use hypervisor::vm::VmConfig;
+    use hypervisor::work::ConstantDemand;
+    use simkernel::SimDuration;
+
+    let machine = machines::optiplex_755();
+    let topo = Topology::new(2, 2, granularity);
+    let mut host = MultiHost::new(&machine, topo, MultiDvfs::Pas);
+    let fmax = host.fmax_mcps();
+    for (i, load) in CORE_LOADS.iter().enumerate() {
+        host.add_vm(
+            VmConfig::new(format!("vm{i}"), Credit::percent(*load)),
+            Box::new(ConstantDemand::new(fmax)), // thrashing; the cap decides
+            cpumodel::topology::CoreId(i),
+        );
+    }
+    host.run_for(SimDuration::from_secs(secs));
+    let mut worst: f64 = f64::INFINITY;
+    for (i, load) in CORE_LOADS.iter().enumerate() {
+        let abs = 100.0 * host.vm_absolute_fraction(hypervisor::vm::VmId(i));
+        worst = worst.min(abs - load);
+    }
+    DynamicRow {
+        label: format!("{granularity:?}"),
+        energy_j: host.total_energy_j(),
+        worst_delta_pct: worst,
+    }
+}
+
+/// Runs the multi-core DVFS-granularity study.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> ExperimentReport {
+    let horizon = match fidelity {
+        Fidelity::Full => 3600.0,
+        Fidelity::Quick => 360.0,
+    };
+    let rows: Vec<GranularityRow> = [
+        DvfsGranularity::Global,
+        DvfsGranularity::PerSocket,
+        DvfsGranularity::PerCore,
+    ]
+    .into_iter()
+    .map(|g| study(g, horizon))
+    .collect();
+
+    let mut report = ExperimentReport::new(
+        "multicore",
+        "Extension X3: PAS on a multi-core host with per-socket / per-core DVFS",
+    );
+    let mut text = format!(
+        "Multi-core DVFS granularity (2 sockets x 2 cores, core loads {CORE_LOADS:?}%)\n\n  \
+         granularity   p-states (per core)     energy(J)   min(granted - booked)%\n",
+    );
+    for row in &rows {
+        let ps: Vec<String> = row.pstates.iter().map(|p| format!("{p}")).collect();
+        text.push_str(&format!(
+            "  {:<12} [{}]   {:9.0}   {:+.2}\n",
+            row.label,
+            ps.join(", "),
+            row.energy_j,
+            row.worst_granted_pct
+        ));
+        report.scalar(format!("energy_j/{}", row.label), row.energy_j);
+        report.scalar(format!("worst_granted/{}", row.label), row.worst_granted_pct);
+    }
+    text.push_str("\n  Finer domains save energy; Equation 4 holds at every granularity.\n");
+
+    // Part two: the same study on the dynamic multi-core host (per-core
+    // Credit schedulers, per-domain PAS ticks, thrashing VMs).
+    let secs = match fidelity {
+        Fidelity::Full => 600,
+        Fidelity::Quick => 60,
+    };
+    text.push_str(&format!(
+        "\nDynamic simulation ({secs} s, thrashing VMs, per-domain PAS):\n\n  \
+         granularity   energy(J)   worst (delivered - booked)%\n",
+    ));
+    for g in [DvfsGranularity::Global, DvfsGranularity::PerSocket, DvfsGranularity::PerCore] {
+        let row = dynamic_study(g, secs);
+        text.push_str(&format!(
+            "  {:<12} {:9.0}   {:+.2}\n",
+            row.label, row.energy_j, row.worst_delta_pct
+        ));
+        report.scalar(format!("dyn_energy_j/{}", row.label), row.energy_j);
+        report.scalar(format!("dyn_worst_delta/{}", row.label), row.worst_delta_pct);
+    }
+    report.text = text;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finer_granularity_never_costs_more() {
+        let r = run(Fidelity::Quick);
+        let global = r.get_scalar("energy_j/Global").unwrap();
+        let socket = r.get_scalar("energy_j/PerSocket").unwrap();
+        let core = r.get_scalar("energy_j/PerCore").unwrap();
+        assert!(socket <= global + 1e-6, "per-socket {socket} vs global {global}");
+        assert!(core <= socket + 1e-6, "per-core {core} vs per-socket {socket}");
+        assert!(core < global, "per-core strictly saves on heterogeneous loads");
+    }
+
+    #[test]
+    fn bookings_preserved_at_all_granularities() {
+        let r = run(Fidelity::Quick);
+        for label in ["Global", "PerSocket", "PerCore"] {
+            let worst = r.get_scalar(&format!("worst_granted/{label}")).unwrap();
+            assert!(worst > -0.5, "{label}: granted capacity {worst} below booking");
+        }
+    }
+
+    #[test]
+    fn dynamic_study_matches_static_ordering() {
+        let r = run(Fidelity::Quick);
+        let global = r.get_scalar("dyn_energy_j/Global").unwrap();
+        let core = r.get_scalar("dyn_energy_j/PerCore").unwrap();
+        assert!(core < global, "dynamic per-core {core} vs global {global}");
+        for label in ["Global", "PerSocket", "PerCore"] {
+            let worst = r.get_scalar(&format!("dyn_worst_delta/{label}")).unwrap();
+            assert!(worst > -3.0, "{label}: delivered {worst} points under booking");
+        }
+    }
+
+    #[test]
+    fn busy_core_forces_domain_frequency() {
+        // Socket 0 holds the 70% core → both its cores run fast under
+        // per-socket DVFS; socket 1's cores can idle low.
+        let row = study(DvfsGranularity::PerSocket, 10.0);
+        assert!(row.pstates[0] == row.pstates[1], "same domain, same p-state");
+        assert!(row.pstates[2] == row.pstates[3]);
+        assert!(row.pstates[0] > row.pstates[2], "busy socket runs faster");
+    }
+}

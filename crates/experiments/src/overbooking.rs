@@ -1,0 +1,137 @@
+//! Extension X8 — the overbooking frontier.
+//!
+//! The paper notes that compensated credits may sum past 100% and
+//! leaves it at that. This study makes the provider-side consequence
+//! precise: a booking set determines an **enforceable floor** — the
+//! lowest P-state at which every booking can be honoured
+//! simultaneously (`pas_core::admission`) — and the floor is exactly
+//! where the online PAS scheduler settles when all tenants thrash.
+//!
+//! For each total booking level (split across four tenants) we report:
+//!
+//! * the floor predicted offline by [`AdmissionPolicy`],
+//! * the frequency the live PAS host actually settles at with every
+//!   tenant thrashing (they must agree),
+//! * the idle power at the floor — what a provider gives up, in
+//!   worst-case energy terms, by accepting the bookings.
+
+use cpumodel::machines;
+use hypervisor::host::{HostConfig, SchedulerKind};
+use hypervisor::vm::VmConfig;
+use hypervisor::work::ConstantDemand;
+use pas_core::{AdmissionPolicy, Credit};
+use simkernel::SimDuration;
+
+use crate::report::ExperimentReport;
+use crate::scenario::Fidelity;
+
+/// One row of the frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierRow {
+    /// Total booked percent of fmax capacity.
+    pub booked_pct: f64,
+    /// Offline-predicted floor frequency, MHz.
+    pub predicted_mhz: u32,
+    /// Frequency the live PAS host settles at, MHz.
+    pub simulated_mhz: u32,
+    /// Idle power at the predicted floor, watts.
+    pub idle_w: f64,
+}
+
+/// Booking totals to sweep, percent (kept ≥ 1.5 points clear of every
+/// state's capacity so the saturation rescue does not straddle a
+/// boundary).
+const TOTALS: [f64; 7] = [20.0, 40.0, 55.0, 65.0, 75.0, 85.0, 95.0];
+
+fn run_total(total: f64, secs: u64) -> FrontierRow {
+    let spec = machines::optiplex_755();
+    let policy = AdmissionPolicy::new(spec.pstate_table());
+    let bookings: Vec<Credit> = (0..4).map(|_| Credit::percent(total / 4.0)).collect();
+    let floor = policy.enforceable_floor(&bookings);
+    let power = cpumodel::PowerModel::default();
+    let (_, idle_w) = policy.idle_power_floor(&bookings, &power);
+
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+    let thrash = host.fmax_mcps();
+    for (i, c) in bookings.iter().enumerate() {
+        host.add_vm(
+            VmConfig::new(format!("t{i}"), *c),
+            Box::new(ConstantDemand::new(thrash)),
+        );
+    }
+    host.run_for(SimDuration::from_secs(secs));
+
+    FrontierRow {
+        booked_pct: total,
+        predicted_mhz: policy.table().state(floor).frequency.as_mhz(),
+        simulated_mhz: host.cpu().pstates().state(host.cpu().pstate()).frequency.as_mhz(),
+        idle_w,
+    }
+}
+
+/// Runs the overbooking-frontier sweep.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> ExperimentReport {
+    let secs = match fidelity {
+        Fidelity::Full => 300,
+        Fidelity::Quick => 60,
+    };
+    let mut report = ExperimentReport::new(
+        "overbooking",
+        "Extension X8: the enforceable floor of a booking set, offline vs live PAS",
+    );
+    let mut text = format!(
+        "Overbooking frontier (4 equal tenants, all thrashing, {secs} s)\n\n  \
+         booked%   predicted floor   live PAS settles   idle W @ floor\n",
+    );
+    for total in TOTALS {
+        let row = run_total(total, secs);
+        text.push_str(&format!(
+            "  {:>6.1}   {:>12} MHz   {:>13} MHz   {:>12.1}\n",
+            row.booked_pct, row.predicted_mhz, row.simulated_mhz, row.idle_w
+        ));
+        let key = format!("{}", row.booked_pct as i64);
+        report.scalar(format!("predicted_mhz/{key}"), f64::from(row.predicted_mhz));
+        report.scalar(format!("simulated_mhz/{key}"), f64::from(row.simulated_mhz));
+        report.scalar(format!("idle_w/{key}"), row.idle_w);
+    }
+    text.push_str(
+        "\n  The offline admission floor and the live scheduler agree: a booking\n  \
+         set's worst case pins the DVFS floor, which is the provider's real\n  \
+         cost of saying yes.\n",
+    );
+    report.text = text;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offline_floor_matches_live_pas() {
+        let r = run(Fidelity::Quick);
+        for total in TOTALS {
+            let key = format!("{}", total as i64);
+            let predicted = r.get_scalar(&format!("predicted_mhz/{key}")).unwrap();
+            let simulated = r.get_scalar(&format!("simulated_mhz/{key}")).unwrap();
+            assert_eq!(
+                predicted, simulated,
+                "booked {total}%: offline {predicted} MHz vs live {simulated} MHz"
+            );
+        }
+    }
+
+    #[test]
+    fn floor_is_monotone_in_booking_weight() {
+        let r = run(Fidelity::Quick);
+        let mut prev = 0.0;
+        for total in TOTALS {
+            let key = format!("{}", total as i64);
+            let mhz = r.get_scalar(&format!("predicted_mhz/{key}")).unwrap();
+            assert!(mhz >= prev, "floor frequency cannot fall as bookings grow");
+            prev = mhz;
+        }
+        assert!(prev > 2400.0, "95% booked needs the top state");
+    }
+}

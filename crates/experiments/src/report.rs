@@ -1,0 +1,80 @@
+//! Uniform experiment output.
+
+use metrics::TimeSeries;
+use serde::Serialize;
+
+/// What every experiment produces.
+#[derive(Debug, Serialize)]
+pub struct ExperimentReport {
+    /// Short id ("fig9", "table2", …).
+    pub id: String,
+    /// Human title, matching the paper's caption.
+    pub title: String,
+    /// Paper-style text rendering (tables as rows, figures as phase
+    /// means plus an ASCII chart).
+    pub text: String,
+    /// Machine-readable series (figures) — may be empty for tables.
+    pub series: Vec<TimeSeries>,
+    /// Key scalar results for EXPERIMENTS.md (name → value).
+    pub scalars: Vec<(String, f64)>,
+    /// Notes on deviations from the paper.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report shell.
+    #[must_use]
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            text: String::new(),
+            series: Vec::new(),
+            scalars: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a scalar result.
+    pub fn scalar(&mut self, name: impl Into<String>, value: f64) {
+        self.scalars.push((name.into(), value));
+    }
+
+    /// Adds a note on a deviation from the paper.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Looks up a scalar by name.
+    #[must_use]
+    pub fn get_scalar(&self, name: &str) -> Option<f64> {
+        self.scalars.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Renders the report's CSV artefact (all series merged).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let refs: Vec<&TimeSeries> = self.series.iter().collect();
+        metrics::export::to_csv(&refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut r = ExperimentReport::new("x", "X");
+        r.scalar("a", 1.5);
+        assert_eq!(r.get_scalar("a"), Some(1.5));
+        assert_eq!(r.get_scalar("b"), None);
+    }
+
+    #[test]
+    fn csv_includes_series() {
+        let mut r = ExperimentReport::new("x", "X");
+        r.series.push(TimeSeries::from_points("s", vec![(0.0, 1.0)]));
+        assert!(r.to_csv().contains("t,s"));
+    }
+}

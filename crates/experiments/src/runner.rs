@@ -1,0 +1,87 @@
+//! The experiment registry.
+
+use crate::report::ExperimentReport;
+use crate::scenario::Fidelity;
+use crate::{
+    churn, consolidation, energy, fig1, figures, multicore, overbooking, placement, sensitivity,
+    smt, table1, table2, validation,
+};
+
+/// All experiment names, in DESIGN.md index order.
+#[must_use]
+pub fn all_experiment_names() -> Vec<&'static str> {
+    vec![
+        "validation-freq-load",
+        "validation-freq-time",
+        "validation-credit-time",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "table1",
+        "table2",
+        "energy",
+        "placement",
+        "multicore",
+        "smt",
+        "sensitivity",
+        "overbooking",
+        "consolidation",
+        "churn",
+    ]
+}
+
+/// Runs one experiment by name.
+///
+/// Returns `None` for an unknown name (the caller prints the list).
+#[must_use]
+pub fn run_experiment(name: &str, fidelity: Fidelity) -> Option<ExperimentReport> {
+    let report = match name {
+        "validation-freq-load" => validation::freq_load(fidelity),
+        "validation-freq-time" => validation::freq_time(fidelity),
+        "validation-credit-time" => validation::credit_time(fidelity),
+        "fig1" => fig1::run(fidelity),
+        "fig2" => figures::fig2(fidelity),
+        "fig3" => figures::fig3(fidelity),
+        "fig4" => figures::fig4(fidelity),
+        "fig5" => figures::fig5(fidelity),
+        "fig6" => figures::fig6(fidelity),
+        "fig7" => figures::fig7(fidelity),
+        "fig8" => figures::fig8(fidelity),
+        "fig9" => figures::fig9(fidelity),
+        "fig10" => figures::fig10(fidelity),
+        "table1" => table1::run(fidelity),
+        "table2" => table2::run(fidelity),
+        "energy" => energy::run(fidelity),
+        "placement" => placement::run(fidelity),
+        "multicore" => multicore::run(fidelity),
+        "smt" => smt::run(fidelity),
+        "sensitivity" => sensitivity::run(fidelity),
+        "overbooking" => overbooking::run(fidelity),
+        "consolidation" => consolidation::run(fidelity),
+        "churn" => churn::run(fidelity),
+        _ => return None,
+    };
+    Some(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        // Every listed name resolves (quick multicore run — the
+        // cheapest — verifies dispatch; full dispatch coverage comes
+        // from each module's own tests).
+        assert!(run_experiment("multicore", Fidelity::Quick).is_some());
+        assert!(run_experiment("nonsense", Fidelity::Quick).is_none());
+        assert_eq!(all_experiment_names().len(), 23);
+    }
+}

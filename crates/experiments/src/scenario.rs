@@ -1,0 +1,361 @@
+//! The paper's evaluation scenario (Section 5.3), reusable by every
+//! figure.
+//!
+//! Two customer VMs on the Optiplex 755:
+//!
+//! * **V20** — 20% credit, three-phase profile, active early;
+//! * **V70** — 70% credit, three-phase profile, active later;
+//! * **Dom0** — 10% credit, highest priority, light management load.
+//!
+//! The timeline (full fidelity):
+//!
+//! ```text
+//! 0 ....... 500 ............. 2500 ............. 5000 ...... 6000 s
+//!            V20 active ───────────────────────────┤
+//!                             V70 active ──────────┤
+//! phase:     |    A: V20 only |  B: V20 + V70      |  idle tail
+//! ```
+//!
+//! Phase A is where the paper's incompatibility shows (host globally
+//! underloaded while V20 is overloaded); phase B is the control
+//! condition (host loaded, frequency at maximum).
+
+use governors::Governor;
+use hypervisor::host::{Host, HostConfig, SchedulerKind};
+use hypervisor::vm::{VmConfig, VmId};
+use metrics::TimeSeries;
+use pas_core::Credit;
+use simkernel::{SimDuration, SimRng};
+use workloads::{ArrivalModel, Intensity, Profile, WebApp};
+
+/// How large to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Paper-scale durations (figures worth keeping).
+    Full,
+    /// ~10× shorter runs for tests and benches; same shapes, coarser
+    /// statistics.
+    Quick,
+}
+
+impl Fidelity {
+    /// Scales a full-fidelity duration.
+    #[must_use]
+    pub fn scale(self, secs: u64) -> SimDuration {
+        match self {
+            Fidelity::Full => SimDuration::from_secs(secs),
+            Fidelity::Quick => SimDuration::from_secs((secs / 10).max(30)),
+        }
+    }
+}
+
+/// The timeline of the three-phase scenario, in seconds (already
+/// fidelity-scaled).
+#[derive(Debug, Clone, Copy)]
+pub struct Timeline {
+    /// V20 activates at this instant.
+    pub v20_start: f64,
+    /// V70 activates at this instant (start of phase B).
+    pub v70_start: f64,
+    /// Both deactivate at this instant.
+    pub active_end: f64,
+    /// Total run length.
+    pub total: f64,
+}
+
+impl Timeline {
+    fn new(f: Fidelity) -> Self {
+        Timeline {
+            v20_start: f.scale(500).as_secs_f64(),
+            v70_start: f.scale(2500).as_secs_f64(),
+            active_end: f.scale(5000).as_secs_f64(),
+            total: f.scale(6000).as_secs_f64(),
+        }
+    }
+
+    /// A window safely inside phase A (V20 active alone), trimmed by
+    /// 20% on each side to avoid transients.
+    #[must_use]
+    pub fn phase_a(&self) -> (f64, f64) {
+        let span = self.v70_start - self.v20_start;
+        (self.v20_start + 0.2 * span, self.v70_start - 0.1 * span)
+    }
+
+    /// A window safely inside phase B (both active).
+    #[must_use]
+    pub fn phase_b(&self) -> (f64, f64) {
+        let span = self.active_end - self.v70_start;
+        (self.v70_start + 0.2 * span, self.active_end - 0.1 * span)
+    }
+}
+
+/// A built scenario, ready to run.
+pub struct Scenario {
+    /// The host (not yet run).
+    pub host: Host,
+    /// V20's id.
+    pub v20: VmId,
+    /// V70's id.
+    pub v70: VmId,
+    /// Dom0's id.
+    pub dom0: VmId,
+    /// The fidelity-scaled timeline.
+    pub timeline: Timeline,
+}
+
+/// Scenario knobs beyond the scheduler/governor choice.
+pub struct ScenarioConfig {
+    /// Scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Governor (ignored — and rejected — for PAS).
+    pub governor: Option<Box<dyn Governor>>,
+    /// Active-phase intensity for both customer VMs.
+    pub intensity: Intensity,
+    /// Poisson arrivals (bursty) instead of fluid demand.
+    pub bursty: bool,
+    /// RNG seed for bursty arrivals.
+    pub seed: u64,
+    /// Run size.
+    pub fidelity: Fidelity,
+    /// PAS smoothing-window override (sensitivity study).
+    pub pas_smoothing_window: Option<usize>,
+    /// PAS planner-headroom override, percent (sensitivity study).
+    pub pas_headroom_pct: Option<f64>,
+}
+
+impl ScenarioConfig {
+    /// The common case: fluid arrivals, seed 42.
+    #[must_use]
+    pub fn new(scheduler: SchedulerKind, intensity: Intensity, fidelity: Fidelity) -> Self {
+        ScenarioConfig {
+            scheduler,
+            governor: None,
+            intensity,
+            bursty: false,
+            seed: 42,
+            fidelity,
+            pas_smoothing_window: None,
+            pas_headroom_pct: None,
+        }
+    }
+
+    /// Overrides PAS's smoothing window and planner headroom (only
+    /// meaningful with [`SchedulerKind::Pas`]).
+    #[must_use]
+    pub fn with_pas_tuning(mut self, window: Option<usize>, headroom_pct: Option<f64>) -> Self {
+        self.pas_smoothing_window = window;
+        self.pas_headroom_pct = headroom_pct;
+        self
+    }
+
+    /// Installs a governor.
+    #[must_use]
+    pub fn with_governor(mut self, governor: Box<dyn Governor>) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// Switches to Poisson arrivals.
+    #[must_use]
+    pub fn with_bursty_arrivals(mut self, seed: u64) -> Self {
+        self.bursty = true;
+        self.seed = seed;
+        self
+    }
+}
+
+/// Builds the paper's scenario.
+#[must_use]
+pub fn build(config: ScenarioConfig) -> Scenario {
+    let timeline = Timeline::new(config.fidelity);
+    let mut host_cfg = HostConfig::optiplex_defaults(config.scheduler)
+        .with_sample_period(config.fidelity.scale(10));
+    if let Some(gov) = config.governor {
+        host_cfg = host_cfg.with_governor(gov);
+    }
+    if let Some(w) = config.pas_smoothing_window {
+        host_cfg = host_cfg.with_pas_smoothing_window(w);
+    }
+    if let Some(h) = config.pas_headroom_pct {
+        host_cfg = host_cfg.with_pas_headroom(h);
+    }
+    let mut host = host_cfg.build();
+    let fmax = host.fmax_mcps();
+
+    let arrivals = |stream: u64| -> ArrivalModel {
+        if config.bursty {
+            ArrivalModel::Poisson {
+                request_mcycles: 50.0,
+                rng: SimRng::seed_from(config.seed).fork(stream),
+            }
+        } else {
+            ArrivalModel::Fluid
+        }
+    };
+
+    let profile_for = |start: f64| {
+        Profile::three_phase(
+            SimDuration::from_secs_f64(start),
+            SimDuration::from_secs_f64(timeline.active_end - start),
+            config.intensity,
+        )
+    };
+
+    let v20 = host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(WebApp::new(
+            profile_for(timeline.v20_start),
+            0.20 * fmax,
+            fmax,
+            arrivals(0),
+        )),
+    );
+    let v70 = host.add_vm(
+        VmConfig::new("v70", Credit::percent(70.0)),
+        Box::new(WebApp::new(
+            profile_for(timeline.v70_start),
+            0.70 * fmax,
+            fmax,
+            arrivals(1),
+        )),
+    );
+    // Dom0: light management demand (2% of its 10% booking) for the
+    // whole run.
+    let dom0 = host.add_vm(
+        VmConfig::dom0(),
+        Box::new(WebApp::new(
+            Profile::active_for(
+                SimDuration::from_secs_f64(timeline.total),
+                Intensity::Fraction(0.2),
+            ),
+            0.10 * fmax,
+            fmax,
+            ArrivalModel::Fluid,
+        )),
+    );
+    Scenario { host, v20, v70, dom0, timeline }
+}
+
+impl Scenario {
+    /// Runs the scenario to its end.
+    pub fn run(&mut self) {
+        let total = SimDuration::from_secs_f64(self.timeline.total);
+        self.host.run_for(total);
+    }
+
+    /// Frequency over time, in MHz.
+    #[must_use]
+    pub fn freq_series(&self) -> TimeSeries {
+        TimeSeries::from_points(
+            "frequency_mhz",
+            self.host
+                .stats()
+                .snapshots()
+                .iter()
+                .map(|s| (s.t_secs, f64::from(s.freq_mhz)))
+                .collect(),
+        )
+    }
+
+    /// A VM's global load over time (the paper's "VM global load").
+    #[must_use]
+    pub fn global_load_series(&self, vm: VmId, name: &str) -> TimeSeries {
+        TimeSeries::from_points(
+            name,
+            self.host
+                .stats()
+                .snapshots()
+                .iter()
+                .map(|s| (s.t_secs, s.vms[vm.0].global_load_pct))
+                .collect(),
+        )
+    }
+
+    /// A VM's absolute load over time (Section 4's definition).
+    #[must_use]
+    pub fn absolute_load_series(&self, vm: VmId, name: &str) -> TimeSeries {
+        TimeSeries::from_points(
+            name,
+            self.host
+                .stats()
+                .snapshots()
+                .iter()
+                .map(|s| (s.t_secs, s.vms[vm.0].absolute_load_pct))
+                .collect(),
+        )
+    }
+
+    /// A VM's effective cap over time (PAS's compensated credit; the
+    /// quantity Figure 9 reports as "granted credit").
+    #[must_use]
+    pub fn cap_series(&self, vm: VmId, name: &str) -> TimeSeries {
+        TimeSeries::from_points(
+            name,
+            self.host
+                .stats()
+                .snapshots()
+                .iter()
+                .filter_map(|s| s.vms[vm.0].cap_pct.map(|c| (s.t_secs, c)))
+                .collect(),
+        )
+    }
+
+    /// Cumulative energy in joules at the end of the run.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.host.cpu().energy().joules()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use governors::StableOndemand;
+    use metrics::summary;
+
+    #[test]
+    fn timeline_windows_are_ordered() {
+        let t = Timeline::new(Fidelity::Quick);
+        let (a0, a1) = t.phase_a();
+        let (b0, b1) = t.phase_b();
+        assert!(t.v20_start < a0 && a0 < a1 && a1 <= t.v70_start);
+        assert!(t.v70_start < b0 && b0 < b1 && b1 <= t.active_end);
+        assert!(t.active_end < t.total);
+    }
+
+    #[test]
+    fn exact_scenario_credit_scheduler_phase_loads() {
+        let mut sc = build(ScenarioConfig::new(
+            SchedulerKind::Credit,
+            Intensity::Exact,
+            Fidelity::Quick,
+        ));
+        sc.run();
+        let v20 = sc.global_load_series(sc.v20, "v20");
+        let (a0, a1) = sc.timeline.phase_a();
+        let (b0, b1) = sc.timeline.phase_b();
+        let a = v20.mean_between(a0, a1).unwrap();
+        let b = v20.mean_between(b0, b1).unwrap();
+        assert!(summary::within_pct(a, 20.0, 10.0), "phase A load {a}");
+        assert!(summary::within_pct(b, 20.0, 10.0), "phase B load {b}");
+        // Before activation: silent.
+        let pre = v20.mean_between(0.0, sc.timeline.v20_start * 0.9).unwrap();
+        assert!(pre < 1.0, "pre-phase load {pre}");
+    }
+
+    #[test]
+    fn governor_drops_frequency_in_phase_a() {
+        let mut sc = build(
+            ScenarioConfig::new(SchedulerKind::Credit, Intensity::Exact, Fidelity::Quick)
+                .with_governor(Box::new(StableOndemand::new())),
+        );
+        sc.run();
+        let freq = sc.freq_series();
+        let (a0, a1) = sc.timeline.phase_a();
+        let (b0, b1) = sc.timeline.phase_b();
+        let fa = freq.mean_between(a0, a1).unwrap();
+        let fb = freq.mean_between(b0, b1).unwrap();
+        assert!(fa < 1700.0, "phase A frequency {fa} (expected near 1600)");
+        assert!(fb > 2600.0, "phase B frequency {fb} (expected 2667)");
+    }
+}

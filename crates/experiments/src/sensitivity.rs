@@ -1,0 +1,157 @@
+//! Extension X7 — sensitivity of PAS to its two design knobs.
+//!
+//! The paper fixes two constants without ablation: the load-smoothing
+//! window (footnote 5: "an average of three successive processor
+//! utilization") and the planner's headroom (Listing 1.1 picks the
+//! first state whose capacity merely *exceeds* the absolute load).
+//! This study sweeps both on the three-phase thrashing scenario and
+//! reports, per configuration:
+//!
+//! * **SLA error** — V20's phase-A absolute load minus its booked 20%
+//!   (the paper's headline quantity; 0 is perfect),
+//! * **energy** — joules over the run,
+//! * **transitions** — P-state changes (hardware wear / latency
+//!   proxy).
+//!
+//! Expected shape: short windows track the (noiseless, fluid) load
+//! cleanly; *long* windows conflict with the saturation rescue — after
+//! V70 wakes, the lagging average keeps voting for a low frequency
+//! while the pegged processor forces one-step climbs, and the two
+//! policies flap against each other until the window fills. Headroom
+//! buys stability at a small energy premium. The paper's (3, 0%) sits
+//! near the low-churn knee.
+
+use hypervisor::host::SchedulerKind;
+use workloads::Intensity;
+
+use crate::report::ExperimentReport;
+use crate::scenario::{build, Fidelity, ScenarioConfig};
+
+/// Outcome of one (window, headroom) configuration.
+#[derive(Debug, Clone)]
+pub struct SensitivityRow {
+    /// Smoothing window, samples.
+    pub window: usize,
+    /// Planner headroom, percent.
+    pub headroom_pct: f64,
+    /// V20's phase-A mean absolute load minus its 20% booking.
+    pub sla_error_pp: f64,
+    /// Total energy, joules.
+    pub energy_j: f64,
+    /// P-state transitions over the run.
+    pub transitions: u64,
+}
+
+fn run_config(window: usize, headroom_pct: f64, fidelity: Fidelity) -> SensitivityRow {
+    let mut sc = build(
+        ScenarioConfig::new(SchedulerKind::Pas, Intensity::Thrashing, fidelity)
+            .with_pas_tuning(Some(window), Some(headroom_pct)),
+    );
+    sc.run();
+    let (a0, a1) = sc.timeline.phase_a();
+    let v20_abs = sc
+        .absolute_load_series(sc.v20, "v20_abs")
+        .mean_between(a0, a1)
+        .unwrap_or(0.0);
+    SensitivityRow {
+        window,
+        headroom_pct,
+        sla_error_pp: v20_abs - 20.0,
+        energy_j: sc.total_energy_j(),
+        transitions: sc.host.cpu().transitions(),
+    }
+}
+
+/// The sweep grid: windows × headrooms (the paper's point is window 3,
+/// headroom 0).
+const WINDOWS: [usize; 4] = [1, 3, 10, 30];
+const HEADROOMS: [f64; 3] = [0.0, 5.0, 15.0];
+
+/// Runs the sensitivity sweep.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "sensitivity",
+        "Extension X7: PAS sensitivity to smoothing window and planner headroom",
+    );
+    let mut text = String::from(
+        "PAS design-knob sweep (three-phase thrashing scenario)\n\n  \
+         window   headroom%   SLA error (pp, phase A)   energy(J)   transitions\n",
+    );
+    for &window in &WINDOWS {
+        for &headroom in &HEADROOMS {
+            let row = run_config(window, headroom, fidelity);
+            text.push_str(&format!(
+                "  {:>6}   {:>8.1}   {:>+23.2}   {:>9.0}   {:>11}\n",
+                row.window, row.headroom_pct, row.sla_error_pp, row.energy_j, row.transitions
+            ));
+            let key = format!("w{}_h{}", row.window, row.headroom_pct as i64);
+            report.scalar(format!("sla_error/{key}"), row.sla_error_pp);
+            report.scalar(format!("energy_j/{key}"), row.energy_j);
+            report.scalar(format!("transitions/{key}"), row.transitions as f64);
+        }
+    }
+    text.push_str(
+        "\n  The paper's configuration (window 3, headroom 0) sits at the\n  \
+         low-churn knee; oversmoothed windows flap against the saturation\n  \
+         rescue, and energy rises with headroom.\n",
+    );
+    report.text = text;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentReport {
+        run(Fidelity::Quick)
+    }
+
+    #[test]
+    fn paper_config_holds_the_sla() {
+        let r = quick();
+        let err = r.get_scalar("sla_error/w3_h0").unwrap();
+        assert!(err.abs() < 2.0, "paper config SLA error {err}pp");
+    }
+
+    #[test]
+    fn every_config_keeps_sla_error_bounded() {
+        // PAS's compensation works at every knob setting; the knobs
+        // trade churn and energy, not steady-state correctness.
+        let r = quick();
+        for &w in &WINDOWS {
+            for &h in &HEADROOMS {
+                let err = r.get_scalar(&format!("sla_error/w{w}_h{}", h as i64)).unwrap();
+                assert!(err > -5.0, "w{w} h{h}: SLA error {err}pp too negative");
+                assert!(err < 5.0, "w{w} h{h}: SLA error {err}pp too positive");
+            }
+        }
+    }
+
+    #[test]
+    fn headroom_costs_energy() {
+        let r = quick();
+        let lean = r.get_scalar("energy_j/w3_h0").unwrap();
+        let padded = r.get_scalar("energy_j/w3_h15").unwrap();
+        assert!(
+            padded >= lean * 0.999,
+            "headroom must not save energy: {padded} vs {lean}"
+        );
+    }
+
+    #[test]
+    fn oversmoothing_fights_the_saturation_rescue() {
+        // A 30-sample window lags the thrashing load so badly that the
+        // planner keeps voting "down" while the pegged CPU forces
+        // "up" — visible as P-state churn the paper-sized window
+        // avoids.
+        let r = quick();
+        let paper = r.get_scalar("transitions/w3_h0").unwrap();
+        let oversmoothed = r.get_scalar("transitions/w30_h0").unwrap();
+        assert!(
+            oversmoothed > paper,
+            "expected rescue/planner flapping at w30: {oversmoothed} vs w3 {paper}"
+        );
+    }
+}

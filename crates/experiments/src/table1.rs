@@ -1,0 +1,93 @@
+//! Table 1 — `cf_min` on five processors.
+//!
+//! The paper measures `cf` at the minimum frequency of five Grid'5000
+//! / desktop machines. We re-run the *measurement procedure* (pi-app
+//! execution times at min and max frequency, Equation 2) on each
+//! machine preset and compare the recovered `cf_min` against the
+//! paper's printed values — confirming both that the presets embed the
+//! right micro-architecture and that the calibration pipeline works.
+
+use governors::Userspace;
+use hypervisor::host::{HostConfig, SchedulerKind};
+use hypervisor::vm::VmConfig;
+use pas_core::{CfCalibrator, Credit};
+use simkernel::SimTime;
+use workloads::PiApp;
+
+use crate::report::ExperimentReport;
+use crate::scenario::Fidelity;
+
+fn measure_cf_min(machine: &cpumodel::MachineSpec, job_secs: f64) -> f64 {
+    let table = machine.pstate_table();
+    let run_at = |pstate| {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+            .with_machine(machine.clone())
+            .with_governor(Box::new(Userspace::new(pstate)))
+            .build();
+        let fmax = host.fmax_mcps();
+        let vm = host.add_vm(
+            VmConfig::new("pi", Credit::percent(100.0)),
+            Box::new(PiApp::sized_for_seconds(job_secs, fmax)),
+        );
+        host.run_until_vm_finished(vm, SimTime::from_secs_f64(job_secs * 100.0))
+            .expect("pi-app finishes")
+            .as_secs_f64()
+    };
+    let t_max = run_at(table.max_idx());
+    let t_min = run_at(table.min_idx());
+    let mut cal = CfCalibrator::new();
+    cal.record_times(table.min_idx(), table.ratio(table.min_idx()), t_max, t_min);
+    cal.estimate(table.min_idx()).expect("recorded").mean
+}
+
+/// Regenerates Table 1.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> ExperimentReport {
+    let job_secs = match fidelity {
+        Fidelity::Full => 60.0,
+        Fidelity::Quick => 8.0,
+    };
+    let machines = cpumodel::machines::table1_machines();
+    let mut report = ExperimentReport::new("table1", "Table 1: cf_min on different processors");
+    let mut text = String::from(
+        "Table 1: cf_min on different processors (measured via the Section 5.2 procedure)\n\n  \
+         processor                       paper      measured   error%\n",
+    );
+    let mut worst_err: f64 = 0.0;
+    for (machine, paper_cf) in machines.iter().zip(cpumodel::machines::TABLE1_CF_MIN) {
+        let measured = measure_cf_min(machine, job_secs);
+        let err = 100.0 * ((measured - paper_cf) / paper_cf).abs();
+        worst_err = worst_err.max(err);
+        let short: String = machine.name.chars().take(30).collect();
+        text.push_str(&format!("  {short:<30}  {paper_cf:.5}    {measured:.5}    {err:5.2}\n"));
+        report.scalar(format!("cf_min/{short}"), measured);
+    }
+    report.scalar("worst_error_pct", worst_err);
+    text.push_str(&format!("\n  worst relative error: {worst_err:.2}%\n"));
+    report.text = text;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_cf_min_matches_paper() {
+        let r = run(Fidelity::Quick);
+        let err = r.get_scalar("worst_error_pct").unwrap();
+        assert!(err < 3.0, "worst cf_min error {err}% vs Table 1");
+    }
+
+    #[test]
+    fn e5_2620_stands_out() {
+        let r = run(Fidelity::Quick);
+        let e5 = r
+            .scalars
+            .iter()
+            .find(|(n, _)| n.contains("E5-2620"))
+            .map(|&(_, v)| v)
+            .expect("E5-2620 row present");
+        assert!(e5 < 0.85, "the E5-2620's cf_min {e5} is the paper's outlier");
+    }
+}

@@ -1,0 +1,153 @@
+//! Table 2 — execution times on different virtualization platforms.
+//!
+//! The scenario: V20 (20% credit) runs pi-app to completion while V70
+//! (70% credit) stays lazy, on the HP Elite 8300 (i7-3770), for every
+//! platform archetype × {Performance, OnDemand} governor. The paper's
+//! structure to reproduce:
+//!
+//! * fix-credit platforms degrade 25–50% under ondemand;
+//! * Xen/PAS shows **zero** degradation;
+//! * variable-credit platforms run ~2.5× faster in absolute terms and
+//!   show no degradation (but hold the frequency at maximum).
+
+use hypervisor::platforms::{all_table2, GovernorChoice, PlatformSpec};
+use hypervisor::vm::VmConfig;
+use hypervisor::work::{ConstantDemand, Idle};
+use metrics::summary::degradation_pct;
+use pas_core::Credit;
+use simkernel::SimTime;
+use workloads::PiApp;
+
+use crate::report::ExperimentReport;
+use crate::scenario::Fidelity;
+
+/// One platform's measured row.
+#[derive(Debug, Clone)]
+pub struct PlatformRow {
+    /// Platform name.
+    pub name: String,
+    /// pi-app time under the performance governor, seconds.
+    pub t_performance: f64,
+    /// pi-app time under the platform's DVFS policy, seconds.
+    pub t_ondemand: f64,
+    /// `1 − T_perf / T_od` in percent.
+    pub degradation_pct: f64,
+}
+
+fn run_one(platform: &PlatformSpec, governor: GovernorChoice, job_secs: f64) -> f64 {
+    let mut host = platform.build_host(governor);
+    let fmax = host.fmax_mcps();
+    let v20 = host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(PiApp::sized_for_seconds(job_secs, fmax)),
+    );
+    host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(Idle));
+    // Light Dom0 management noise.
+    host.add_vm(VmConfig::dom0(), Box::new(ConstantDemand::new(0.005 * fmax)));
+    host.run_until_vm_finished(v20, SimTime::from_secs_f64(job_secs * 200.0))
+        .expect("pi-app finishes")
+        .as_secs_f64()
+}
+
+/// Regenerates Table 2.
+#[must_use]
+pub fn run(fidelity: Fidelity) -> ExperimentReport {
+    // Sized so the Performance row lands at the paper's ~1559 s scale
+    // at full fidelity (20% credit → T = job/0.2).
+    let job_secs = match fidelity {
+        Fidelity::Full => 311.8,
+        Fidelity::Quick => 16.0,
+    };
+    let mut rows = Vec::new();
+    for platform in all_table2() {
+        let t_perf = run_one(&platform, GovernorChoice::Performance, job_secs);
+        let t_od = run_one(&platform, GovernorChoice::OnDemand, job_secs);
+        rows.push(PlatformRow {
+            name: platform.name.to_owned(),
+            t_performance: t_perf,
+            t_ondemand: t_od,
+            degradation_pct: degradation_pct(t_perf, t_od),
+        });
+    }
+
+    let mut report =
+        ExperimentReport::new("table2", "Table 2: Execution Times on Different Virtualization Platforms");
+    let mut text = String::from(
+        "Table 2: pi-app in V20 (V70 lazy), HP Elite 8300 archetypes\n\n  \
+         platform     T_performance(s)  T_ondemand(s)  degradation%   (paper deg%)\n",
+    );
+    let paper_deg = [50.0, 27.0, 40.0, 0.0, 0.0, 0.0, 0.0];
+    for (row, paper) in rows.iter().zip(paper_deg) {
+        text.push_str(&format!(
+            "  {:<11} {:16.0}  {:13.0}  {:11.1}   ({paper:.0})\n",
+            row.name, row.t_performance, row.t_ondemand, row.degradation_pct
+        ));
+        report.scalar(format!("t_perf/{}", row.name), row.t_performance);
+        report.scalar(format!("t_od/{}", row.name), row.t_ondemand);
+        report.scalar(format!("deg/{}", row.name), row.degradation_pct);
+    }
+    report.notes.push(
+        "Variable-credit platforms finish faster here (~5×) than in the paper (~2.5×): \
+         the paper's SEDF extra-time gave V20 only about half the idle capacity, ours \
+         gives nearly all of it. The structural claims (no degradation, frequency pinned \
+         at maximum) are unchanged."
+            .to_owned(),
+    );
+    report.text = text;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentReport {
+        run(Fidelity::Quick)
+    }
+
+    #[test]
+    fn fix_credit_platforms_degrade() {
+        let r = quick();
+        for (name, lo, hi) in
+            [("Hyper-V", 40.0, 62.0), ("VMware", 18.0, 36.0), ("Xen/credit", 30.0, 50.0)]
+        {
+            let deg = r.get_scalar(&format!("deg/{name}")).unwrap();
+            assert!(
+                (lo..hi).contains(&deg),
+                "{name} degradation {deg}% outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn pas_has_zero_degradation() {
+        let r = quick();
+        let deg = r.get_scalar("deg/Xen/PAS").unwrap();
+        assert!(deg < 3.0, "PAS degradation {deg}%");
+    }
+
+    #[test]
+    fn variable_credit_fast_and_undegraded() {
+        let r = quick();
+        let t_fix = r.get_scalar("t_perf/Xen/credit").unwrap();
+        for name in ["Xen/SEDF", "KVM", "Vbox"] {
+            let deg = r.get_scalar(&format!("deg/{name}")).unwrap();
+            assert!(deg < 5.0, "{name} degradation {deg}%");
+            let t = r.get_scalar(&format!("t_perf/{name}")).unwrap();
+            assert!(
+                t < t_fix / 2.0,
+                "{name} ({t}s) should be much faster than fix-credit ({t_fix}s)"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_matches_paper() {
+        // Hyper-V degrades hardest, VMware least, among fix-credit rows.
+        let r = quick();
+        let h = r.get_scalar("deg/Hyper-V").unwrap();
+        let v = r.get_scalar("deg/VMware").unwrap();
+        let x = r.get_scalar("deg/Xen/credit").unwrap();
+        assert!(h > x && x > v, "ordering H({h}) > X({x}) > V({v})");
+    }
+}

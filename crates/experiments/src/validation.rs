@@ -1,0 +1,196 @@
+//! Section 5.2 — verification of the proportionality assumptions.
+//!
+//! Three sweeps, exactly as the paper describes:
+//!
+//! * **freq-load** (Eq. 1): run web-app workloads at every frequency,
+//!   measure the loads, and check that
+//!   `cf = L_max / (L_i · ratio_i)` is constant across workloads;
+//! * **freq-time** (Eq. 2): run pi-app at every frequency and compare
+//!   execution-time ratios with frequency ratios;
+//! * **credit-time** (Eq. 3): run pi-app under credits 10–100% and
+//!   compare execution-time ratios with credit ratios.
+
+use cpumodel::PStateIdx;
+use governors::Userspace;
+use hypervisor::host::{HostConfig, SchedulerKind};
+use hypervisor::vm::VmConfig;
+use pas_core::{CfCalibrator, Credit};
+use simkernel::{SimDuration, SimTime};
+use workloads::{ArrivalModel, Intensity, PiApp, Profile, WebApp};
+
+use crate::report::ExperimentReport;
+use crate::scenario::Fidelity;
+
+fn measure_load_at(pstate: PStateIdx, demand_fraction: f64, run: SimDuration) -> f64 {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+        .with_governor(Box::new(Userspace::new(pstate)))
+        .build();
+    let fmax = host.fmax_mcps();
+    let profile = Profile::active_for(run * 2, Intensity::Fraction(1.0));
+    host.add_vm(
+        // Uncapped VM: we want the raw load the demand imposes.
+        VmConfig::new("probe", Credit::ZERO),
+        Box::new(WebApp::new(profile, demand_fraction * fmax, fmax, ArrivalModel::Fluid)),
+    );
+    host.run_for(run);
+    100.0 * host.stats().global_busy_fraction()
+}
+
+fn measure_time_at(pstate: PStateIdx, credit: Credit, job_secs: f64) -> f64 {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+        .with_governor(Box::new(Userspace::new(pstate)))
+        .build();
+    let fmax = host.fmax_mcps();
+    let vm = host.add_vm(
+        VmConfig::new("pi", credit),
+        Box::new(PiApp::sized_for_seconds(job_secs, fmax)),
+    );
+    host.run_until_vm_finished(vm, SimTime::from_secs_f64(job_secs * 100.0))
+        .expect("pi-app finishes")
+        .as_secs_f64()
+}
+
+/// Eq. 1 validation: `cf` constant across workloads at each frequency.
+#[must_use]
+pub fn freq_load(fidelity: Fidelity) -> ExperimentReport {
+    let run = match fidelity {
+        Fidelity::Full => SimDuration::from_secs(300),
+        Fidelity::Quick => SimDuration::from_secs(30),
+    };
+    let table = cpumodel::machines::optiplex_755().pstate_table();
+    let max_idx = table.max_idx();
+    let mut cal = CfCalibrator::new();
+    let workload_fractions = [0.10, 0.20, 0.30, 0.40, 0.50];
+
+    let mut text = String::from(
+        "Section 5.2 / Equation 1: cf from load measurements, per frequency\n\
+         (cf must be constant across workloads)\n\n  state   freq   mean cf   stddev   n\n",
+    );
+    for idx in table.indices() {
+        if idx == max_idx {
+            continue;
+        }
+        for &w in &workload_fractions {
+            let l_max = measure_load_at(max_idx, w, run);
+            let l_i = measure_load_at(idx, w, run);
+            cal.record_loads(idx, table.ratio(idx), l_max, l_i);
+        }
+    }
+
+    let mut report =
+        ExperimentReport::new("validation-freq-load", "Validation of Equation 1 (freq/load)");
+    let mut worst_spread: f64 = 0.0;
+    for (idx, est) in cal.estimates() {
+        text.push_str(&format!(
+            "  {idx}   {}   {:7.4}   {:6.4}   {}\n",
+            table.state(idx).frequency,
+            est.mean,
+            est.stddev,
+            est.samples
+        ));
+        worst_spread = worst_spread.max(est.stddev / est.mean);
+        report.scalar(format!("cf_{}", table.state(idx).frequency.as_mhz()), est.mean);
+    }
+    report.scalar("worst_relative_spread", worst_spread);
+    text.push_str(&format!("\n  worst relative spread: {:.3}%\n", worst_spread * 100.0));
+    report.text = text;
+    report
+}
+
+/// Eq. 2 validation: execution-time ratios track frequency ratios.
+#[must_use]
+pub fn freq_time(fidelity: Fidelity) -> ExperimentReport {
+    let job_secs = match fidelity {
+        Fidelity::Full => 100.0,
+        Fidelity::Quick => 10.0,
+    };
+    let table = cpumodel::machines::optiplex_755().pstate_table();
+    let t_max = measure_time_at(table.max_idx(), Credit::percent(100.0), job_secs);
+    let mut cal = CfCalibrator::new();
+    let mut text = String::from(
+        "Section 5.2 / Equation 2: execution time vs frequency (pi-app, 100% credit)\n\n  \
+         freq      T(s)    T_max/T   ratio·cf\n",
+    );
+    let mut report =
+        ExperimentReport::new("validation-freq-time", "Validation of Equation 2 (freq/time)");
+    let mut worst_err: f64 = 0.0;
+    for idx in table.indices() {
+        let t_i = measure_time_at(idx, Credit::percent(100.0), job_secs);
+        if idx != table.max_idx() {
+            cal.record_times(idx, table.ratio(idx), t_max, t_i);
+        }
+        let lhs = t_max / t_i;
+        let rhs = table.ratio(idx) * table.cf(idx);
+        worst_err = worst_err.max(((lhs - rhs) / rhs).abs());
+        text.push_str(&format!(
+            "  {}  {t_i:8.1}  {lhs:7.4}   {rhs:7.4}\n",
+            table.state(idx).frequency
+        ));
+    }
+    report.scalar("worst_relative_error", worst_err);
+    text.push_str(&format!("\n  worst relative error: {:.3}%\n", worst_err * 100.0));
+    report.text = text;
+    report
+}
+
+/// Eq. 3 validation: execution-time ratios track credit ratios.
+#[must_use]
+pub fn credit_time(fidelity: Fidelity) -> ExperimentReport {
+    let job_secs = match fidelity {
+        Fidelity::Full => 60.0,
+        Fidelity::Quick => 6.0,
+    };
+    let table = cpumodel::machines::optiplex_755().pstate_table();
+    let c_init = Credit::percent(10.0);
+    let t_init = measure_time_at(table.max_idx(), c_init, job_secs);
+    let mut text = String::from(
+        "Section 5.2 / Equation 3: execution time vs credit (pi-app at 2667 MHz)\n\n  \
+         credit    T(s)    T_init/T   C_j/C_init\n",
+    );
+    let mut report = ExperimentReport::new(
+        "validation-credit-time",
+        "Validation of Equation 3 (credit/time)",
+    );
+    let mut worst_err: f64 = 0.0;
+    for step in 1..=10 {
+        let c = Credit::percent(10.0 * f64::from(step));
+        let t = measure_time_at(table.max_idx(), c, job_secs);
+        let lhs = t_init / t;
+        let rhs = c.as_percent() / c_init.as_percent();
+        worst_err = worst_err.max(((lhs - rhs) / rhs).abs());
+        text.push_str(&format!("  {c}  {t:8.1}  {lhs:8.4}   {rhs:8.4}\n"));
+    }
+    report.scalar("worst_relative_error", worst_err);
+    text.push_str(&format!("\n  worst relative error: {:.3}%\n", worst_err * 100.0));
+    report.text = text;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_cf_constant_across_workloads() {
+        let r = freq_load(Fidelity::Quick);
+        let spread = r.get_scalar("worst_relative_spread").unwrap();
+        assert!(spread < 0.05, "cf spread across workloads {spread}");
+        // And the measured cf at 1600 MHz matches the machine preset.
+        let cf1600 = r.get_scalar("cf_1600").unwrap();
+        let table = cpumodel::machines::optiplex_755().pstate_table();
+        let want = table.cf(PStateIdx(0));
+        assert!((cf1600 - want).abs() < 0.05, "cf {cf1600} vs preset {want}");
+    }
+
+    #[test]
+    fn eq2_time_tracks_frequency() {
+        let r = freq_time(Fidelity::Quick);
+        assert!(r.get_scalar("worst_relative_error").unwrap() < 0.05);
+    }
+
+    #[test]
+    fn eq3_time_tracks_credit() {
+        let r = credit_time(Fidelity::Quick);
+        assert!(r.get_scalar("worst_relative_error").unwrap() < 0.06);
+    }
+}

@@ -1,0 +1,90 @@
+//! The Linux conservative governor (Section 2.2): steps the frequency
+//! one ladder rung at a time instead of jumping, "through a range of
+//! values supported by the hardware, according to the CPU load".
+
+use cpumodel::PStateIdx;
+
+use crate::cpufreq::GovContext;
+use crate::Governor;
+
+/// Step-by-one frequency adaptation.
+#[derive(Debug, Clone, Copy)]
+pub struct Conservative {
+    /// Step up when load exceeds this percentage.
+    pub up_threshold: f64,
+    /// Step down when load falls below this percentage.
+    pub down_threshold: f64,
+}
+
+impl Default for Conservative {
+    /// Linux defaults: up at 80%, down at 20%.
+    fn default() -> Self {
+        Conservative { up_threshold: 80.0, down_threshold: 20.0 }
+    }
+}
+
+impl Governor for Conservative {
+    fn name(&self) -> &'static str {
+        "conservative"
+    }
+
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+        if ctx.load_pct > self.up_threshold && ctx.current < ctx.table.max_idx() {
+            Some(PStateIdx(ctx.current.0 + 1))
+        } else if ctx.load_pct < self.down_threshold && ctx.current > ctx.table.min_idx() {
+            Some(PStateIdx(ctx.current.0 - 1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpumodel::machines;
+    use simkernel::SimTime;
+
+    fn ctx(table: &cpumodel::PStateTable, current: PStateIdx, load: f64) -> GovContext<'_> {
+        GovContext { now: SimTime::ZERO, load_pct: load, current, table }
+    }
+
+    #[test]
+    fn steps_up_one_rung() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Conservative::default();
+        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(1), 90.0)), Some(PStateIdx(2)));
+    }
+
+    #[test]
+    fn steps_down_one_rung() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Conservative::default();
+        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(3), 10.0)), Some(PStateIdx(2)));
+    }
+
+    #[test]
+    fn holds_in_band_and_at_ends() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Conservative::default();
+        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(2), 50.0)), None);
+        assert_eq!(g.on_sample(&ctx(&t, t.max_idx(), 99.0)), None, "already at top");
+        assert_eq!(g.on_sample(&ctx(&t, t.min_idx(), 1.0)), None, "already at bottom");
+    }
+
+    #[test]
+    fn needs_many_samples_to_cross_ladder() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Conservative::default();
+        let mut current = t.min_idx();
+        let mut steps = 0;
+        while current < t.max_idx() {
+            if let Some(n) = g.on_sample(&ctx(&t, current, 100.0)) {
+                current = n;
+            }
+            steps += 1;
+            assert!(steps < 100, "must terminate");
+        }
+        assert_eq!(steps, t.len() - 1, "one rung per sample");
+    }
+}

@@ -1,0 +1,177 @@
+//! The cpufreq subsystem: plumbing between load measurement, the
+//! governor policy, and the CPU's P-state control.
+
+use cpumodel::{Cpu, PStateIdx, PStateTable};
+use simkernel::SimTime;
+
+use crate::Governor;
+
+/// What a governor sees on each sample.
+#[derive(Debug)]
+pub struct GovContext<'a> {
+    /// The simulated instant of the sample.
+    pub now: SimTime,
+    /// Measured global processor load over the last sampling window,
+    /// in percent of capacity *at the current frequency* (busy time /
+    /// wall time — what `xenpm` / `/proc/stat` report).
+    pub load_pct: f64,
+    /// The current P-state.
+    pub current: PStateIdx,
+    /// The DVFS ladder.
+    pub table: &'a PStateTable,
+}
+
+/// The cpufreq subsystem: owns a governor and applies its decisions to
+/// a [`Cpu`].
+///
+/// # Example
+///
+/// ```
+/// use cpumodel::machines;
+/// use governors::{CpuFreq, Performance};
+/// use simkernel::SimTime;
+///
+/// let mut cpu = machines::optiplex_755().build_cpu();
+/// cpu.set_pstate(cpu.pstates().min_idx())?;
+/// let mut cpufreq = CpuFreq::new(Box::new(Performance));
+/// cpufreq.sample(&mut cpu, SimTime::ZERO, 5.0);
+/// assert_eq!(cpu.pstate(), cpu.pstates().max_idx());
+/// # Ok::<(), cpumodel::CpuError>(())
+/// ```
+pub struct CpuFreq {
+    governor: Box<dyn Governor>,
+    samples: u64,
+    transitions_requested: u64,
+    clamped: u64,
+}
+
+impl CpuFreq {
+    /// Wraps a governor.
+    #[must_use]
+    pub fn new(governor: Box<dyn Governor>) -> Self {
+        CpuFreq { governor, samples: 0, transitions_requested: 0, clamped: 0 }
+    }
+
+    /// The wrapped governor's name.
+    #[must_use]
+    pub fn governor_name(&self) -> &'static str {
+        self.governor.name()
+    }
+
+    /// The governor's preferred sampling-period multiplier.
+    #[must_use]
+    pub fn sampling_multiplier(&self) -> u32 {
+        self.governor.sampling_multiplier()
+    }
+
+    /// Number of samples delivered so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of samples that requested a frequency change.
+    #[must_use]
+    pub fn transitions_requested(&self) -> u64 {
+        self.transitions_requested
+    }
+
+    /// Number of governor decisions that had to be clamped into the
+    /// ladder (a well-behaved governor never triggers this).
+    #[must_use]
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// Feeds one measured load sample to the governor and applies any
+    /// decision to `cpu`. Returns the P-state chosen (current if
+    /// unchanged).
+    ///
+    /// A decision outside the ladder is clamped to the highest
+    /// P-state and counted in [`clamped`](CpuFreq::clamped) — a buggy
+    /// governor must not take the host down, mirroring the kernel's
+    /// cpufreq policy-limit checks.
+    pub fn sample(&mut self, cpu: &mut Cpu, now: SimTime, load_pct: f64) -> PStateIdx {
+        self.samples += 1;
+        let ctx = GovContext {
+            now,
+            load_pct,
+            current: cpu.pstate(),
+            table: cpu.pstates(),
+        };
+        match self.governor.on_sample(&ctx) {
+            Some(target) => {
+                let max = cpu.pstates().max_idx();
+                let target = if target > max {
+                    self.clamped += 1;
+                    max
+                } else {
+                    target
+                };
+                if target != cpu.pstate() {
+                    self.transitions_requested += 1;
+                    cpu.set_pstate(target).expect("clamped p-state is on the ladder");
+                }
+                target
+            }
+            None => cpu.pstate(),
+        }
+    }
+}
+
+impl std::fmt::Debug for CpuFreq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CpuFreq")
+            .field("governor", &self.governor.name())
+            .field("samples", &self.samples)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Performance, Powersave};
+    use cpumodel::machines;
+
+    #[test]
+    fn applies_governor_decision() {
+        let mut cpu = machines::optiplex_755().build_cpu();
+        let mut cf = CpuFreq::new(Box::new(Powersave));
+        let chosen = cf.sample(&mut cpu, SimTime::ZERO, 50.0);
+        assert_eq!(chosen, cpu.pstates().min_idx());
+        assert_eq!(cpu.pstate(), cpu.pstates().min_idx());
+        assert_eq!(cf.samples(), 1);
+        assert_eq!(cf.transitions_requested(), 1);
+    }
+
+    #[test]
+    fn no_change_not_counted_as_transition() {
+        let mut cpu = machines::optiplex_755().build_cpu();
+        let mut cf = CpuFreq::new(Box::new(Performance));
+        cf.sample(&mut cpu, SimTime::ZERO, 10.0);
+        cf.sample(&mut cpu, SimTime::from_secs(1), 10.0);
+        assert_eq!(cf.samples(), 2);
+        assert_eq!(cf.transitions_requested(), 0, "already at fmax");
+    }
+
+    #[test]
+    fn rogue_governor_is_clamped_not_fatal() {
+        struct Rogue;
+        impl crate::Governor for Rogue {
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+            fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+                Some(PStateIdx(ctx.table.len() + 7)) // off the ladder
+            }
+        }
+        let mut cpu = machines::optiplex_755().build_cpu();
+        cpu.set_pstate(cpu.pstates().min_idx()).unwrap();
+        let mut cf = CpuFreq::new(Box::new(Rogue));
+        let chosen = cf.sample(&mut cpu, SimTime::ZERO, 50.0);
+        assert_eq!(chosen, cpu.pstates().max_idx(), "clamped to fmax");
+        assert_eq!(cf.clamped(), 1);
+        assert_eq!(cpu.pstate(), cpu.pstates().max_idx());
+    }
+}

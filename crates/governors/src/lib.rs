@@ -1,0 +1,55 @@
+//! DVFS governors and the cpufreq subsystem (Sections 2.2 and 5.4).
+//!
+//! Xen 4.1.2 exposes the Linux governor set — *ondemand*,
+//! *performance*, *powersave*, *userspace* (plus Linux's
+//! *conservative*) — over the `cpufreq` kernel subsystem. The paper
+//! uses:
+//!
+//! * the stock **ondemand** governor, observed to be "quite aggressive
+//!   and unstable" (Figure 3),
+//! * **their own ondemand variant**, "less aggressive and more stable,
+//!   and consequently saves less energy" (Figure 4 and all later
+//!   figures) — implemented here as [`StableOndemand`],
+//! * **performance** as the no-DVFS baseline of Table 2.
+//!
+//! All governors implement the [`Governor`] trait and are driven by a
+//! [`CpuFreq`] subsystem instance owned by the host simulator. The
+//! governor sees the measured *global* processor load over its
+//! sampling window (what `/proc/stat`-style accounting would show) —
+//! it is deliberately unaware of VMs and credits, which is exactly the
+//! incompatibility the paper demonstrates.
+
+#![warn(missing_docs)]
+
+mod conservative;
+mod cpufreq;
+mod ondemand;
+mod simple;
+mod stable;
+
+pub use conservative::Conservative;
+pub use cpufreq::{CpuFreq, GovContext};
+pub use ondemand::Ondemand;
+pub use simple::{Performance, Powersave, Userspace};
+pub use stable::StableOndemand;
+
+use cpumodel::PStateIdx;
+
+/// A DVFS governor: a policy that maps observed load to a frequency.
+///
+/// Governors are sampled periodically by [`CpuFreq`]; they return the
+/// P-state to switch to, or `None` to keep the current one.
+pub trait Governor {
+    /// A short identifier (`"ondemand"`, `"performance"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Processes one load sample and decides the next P-state.
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx>;
+
+    /// How often this governor wants to be sampled, in multiples of
+    /// the host's base governor period. Linux's ondemand samples fast;
+    /// the paper's stabilised variant samples slowly. Default `1`.
+    fn sampling_multiplier(&self) -> u32 {
+        1
+    }
+}

@@ -1,0 +1,141 @@
+//! The stock Linux/Xen ondemand governor.
+//!
+//! Behaviour per Pallipadi & Starikovskiy ("The ondemand governor",
+//! OLS 2006), which both Linux 2.6.32 and Xen 4.1.2 implement:
+//!
+//! * samples the instantaneous load over a short window (tens of ms),
+//! * if load exceeds `up_threshold` (80%), **jump straight to the
+//!   maximum frequency**,
+//! * otherwise pick the lowest frequency that would keep the observed
+//!   busy work below the threshold
+//!   (`f_target = f_cur · load / up_threshold`).
+//!
+//! With a bursty web workload the short window routinely sees
+//! alternating near-idle and near-saturated samples, so the governor
+//! slams between the ladder ends — the paper's Figure 3 calls it
+//! "quite aggressive and unstable". The paper's fix is
+//! [`StableOndemand`](crate::StableOndemand).
+
+use cpumodel::{Frequency, PStateIdx};
+
+use crate::cpufreq::GovContext;
+use crate::Governor;
+
+/// The classic ondemand policy.
+///
+/// # Example
+///
+/// ```
+/// use cpumodel::machines;
+/// use governors::{Governor, GovContext, Ondemand};
+/// use simkernel::SimTime;
+///
+/// let table = machines::optiplex_755().pstate_table();
+/// let mut g = Ondemand::default();
+/// let busy = GovContext {
+///     now: SimTime::ZERO, load_pct: 95.0, current: table.min_idx(), table: &table,
+/// };
+/// assert_eq!(g.on_sample(&busy), Some(table.max_idx()), "jump to max");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Ondemand {
+    /// Load percentage above which the governor jumps to `fmax`.
+    pub up_threshold: f64,
+    /// Load percentage below which down-scaling is considered
+    /// (`down_differential` below `up_threshold` in Linux terms).
+    pub down_threshold: f64,
+}
+
+impl Default for Ondemand {
+    /// Linux defaults: `up_threshold = 80`, down differential 10
+    /// points below it.
+    fn default() -> Self {
+        Ondemand { up_threshold: 80.0, down_threshold: 70.0 }
+    }
+}
+
+impl Governor for Ondemand {
+    fn name(&self) -> &'static str {
+        "ondemand"
+    }
+
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+        if ctx.load_pct > self.up_threshold {
+            return Some(ctx.table.max_idx());
+        }
+        if ctx.load_pct >= self.down_threshold {
+            return None; // comfortable band: hold
+        }
+        // Scale down proportionally so the load would sit at the
+        // threshold: f_target = f_cur · load / up_threshold.
+        let f_cur = ctx.table.state(ctx.current).frequency.as_mhz() as f64;
+        let target_mhz = f_cur * ctx.load_pct / self.up_threshold;
+        Some(ctx.table.lowest_at_least(Frequency::mhz(target_mhz.ceil() as u32)))
+    }
+
+    /// Fast sampling: one fifth of the host's base governor period
+    /// would be ideal, but multipliers only stretch periods, so
+    /// ondemand runs every base period. (The *host* base period is
+    /// chosen short; the stable governor stretches it instead.)
+    fn sampling_multiplier(&self) -> u32 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpumodel::machines;
+    use simkernel::SimTime;
+
+    fn ctx(table: &cpumodel::PStateTable, current: PStateIdx, load: f64) -> GovContext<'_> {
+        GovContext { now: SimTime::ZERO, load_pct: load, current, table }
+    }
+
+    #[test]
+    fn jumps_to_max_above_threshold() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Ondemand::default();
+        assert_eq!(g.on_sample(&ctx(&t, t.min_idx(), 81.0)), Some(t.max_idx()));
+        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(2), 100.0)), Some(t.max_idx()));
+    }
+
+    #[test]
+    fn holds_in_comfort_band() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Ondemand::default();
+        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(2), 75.0)), None);
+    }
+
+    #[test]
+    fn scales_down_proportionally() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Ondemand::default();
+        // At fmax (2667) with 20% load: target = 2667·20/80 ≈ 667 MHz
+        // → clamps to the lowest state.
+        assert_eq!(g.on_sample(&ctx(&t, t.max_idx(), 20.0)), Some(t.min_idx()));
+        // At fmax with 60% load: target = 2000 → first state ≥ 2000 is
+        // 2133.
+        assert_eq!(g.on_sample(&ctx(&t, t.max_idx(), 60.0)), Some(PStateIdx(2)));
+    }
+
+    #[test]
+    fn oscillates_on_alternating_samples() {
+        // The Figure 3 pathology in miniature: alternating 100%/0%
+        // samples bounce the choice between the ladder ends.
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Ondemand::default();
+        let mut current = t.max_idx();
+        let mut changes = 0;
+        for i in 0..20 {
+            let load = if i % 2 == 0 { 100.0 } else { 5.0 };
+            if let Some(next) = g.on_sample(&ctx(&t, current, load)) {
+                if next != current {
+                    changes += 1;
+                    current = next;
+                }
+            }
+        }
+        assert!(changes >= 18, "ondemand thrashes: {changes} changes in 20 samples");
+    }
+}

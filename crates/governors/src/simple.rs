@@ -1,0 +1,122 @@
+//! The trivial governors: performance, powersave, userspace.
+
+use cpumodel::PStateIdx;
+
+use crate::cpufreq::GovContext;
+use crate::Governor;
+
+/// Always runs at the maximum frequency — the paper's Table 2
+/// "Performance" baseline (no DVFS, no penalty, no savings).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Performance;
+
+impl Governor for Performance {
+    fn name(&self) -> &'static str {
+        "performance"
+    }
+
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+        Some(ctx.table.max_idx())
+    }
+}
+
+/// Always runs at the minimum frequency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Powersave;
+
+impl Governor for Powersave {
+    fn name(&self) -> &'static str {
+        "powersave"
+    }
+
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+        Some(ctx.table.min_idx())
+    }
+}
+
+/// Frequency pinned by the "user" (here: the experiment or the PAS
+/// scheduler, which manages DVFS itself and runs the host's governor
+/// as userspace — exactly how the paper's in-Xen prototype takes over
+/// frequency control).
+#[derive(Debug, Clone, Copy)]
+pub struct Userspace {
+    target: PStateIdx,
+}
+
+impl Userspace {
+    /// Pins the frequency at `target`.
+    #[must_use]
+    pub fn new(target: PStateIdx) -> Self {
+        Userspace { target }
+    }
+
+    /// Changes the pinned frequency (the `scaling_setspeed` knob).
+    pub fn set_speed(&mut self, target: PStateIdx) {
+        self.target = target;
+    }
+
+    /// The pinned frequency.
+    #[must_use]
+    pub fn speed(&self) -> PStateIdx {
+        self.target
+    }
+}
+
+impl Governor for Userspace {
+    fn name(&self) -> &'static str {
+        "userspace"
+    }
+
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+        // Clamp defensively: the table may be smaller than the pin.
+        if ctx.table.get(self.target).is_some() {
+            Some(self.target)
+        } else {
+            Some(ctx.table.max_idx())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpumodel::machines;
+    use simkernel::SimTime;
+
+    fn ctx(table: &cpumodel::PStateTable, load: f64) -> GovContext<'_> {
+        GovContext { now: SimTime::ZERO, load_pct: load, current: table.max_idx(), table }
+    }
+
+    #[test]
+    fn performance_pins_max() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Performance;
+        assert_eq!(g.on_sample(&ctx(&t, 0.0)), Some(t.max_idx()));
+        assert_eq!(g.on_sample(&ctx(&t, 100.0)), Some(t.max_idx()));
+        assert_eq!(g.name(), "performance");
+    }
+
+    #[test]
+    fn powersave_pins_min() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Powersave;
+        assert_eq!(g.on_sample(&ctx(&t, 100.0)), Some(t.min_idx()));
+    }
+
+    #[test]
+    fn userspace_follows_setspeed() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Userspace::new(PStateIdx(2));
+        assert_eq!(g.on_sample(&ctx(&t, 50.0)), Some(PStateIdx(2)));
+        g.set_speed(PStateIdx(0));
+        assert_eq!(g.speed(), PStateIdx(0));
+        assert_eq!(g.on_sample(&ctx(&t, 50.0)), Some(PStateIdx(0)));
+    }
+
+    #[test]
+    fn userspace_clamps_invalid_pin() {
+        let t = machines::optiplex_755().pstate_table();
+        let mut g = Userspace::new(PStateIdx(99));
+        assert_eq!(g.on_sample(&ctx(&t, 50.0)), Some(t.max_idx()));
+    }
+}

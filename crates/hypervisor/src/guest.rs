@@ -1,0 +1,219 @@
+//! A guest operating system with its own process scheduler.
+//!
+//! Section 2.1 of the paper stresses that "the execution of an
+//! application in a virtualized environment involves different levels
+//! of scheduler, but the hypervisor is not conscious of it". This
+//! module supplies that second level: a [`GuestOs`] is a
+//! [`WorkSource`] containing several *processes* (each itself a
+//! [`WorkSource`]), with the CPU time the hypervisor grants the VM
+//! shared round-robin among its runnable processes — the classic
+//! time-sharing guest kernel.
+
+use simkernel::{SimDuration, SimTime};
+
+use crate::work::WorkSource;
+
+struct Process {
+    source: Box<dyn WorkSource>,
+    backlog_mcycles: f64,
+}
+
+/// A guest OS: a round-robin process scheduler over inner work
+/// sources.
+///
+/// # Example
+///
+/// ```
+/// use hypervisor::guest::GuestOs;
+/// use hypervisor::work::{ConstantDemand, FixedWork, WorkSource};
+/// use simkernel::{SimDuration, SimTime};
+///
+/// let mut guest = GuestOs::new();
+/// guest.spawn(Box::new(ConstantDemand::new(100.0)));
+/// guest.spawn(Box::new(FixedWork::new(50.0)));
+/// let demand = guest.generate(SimTime::ZERO, SimDuration::from_secs(1));
+/// assert!((demand - 150.0).abs() < 1e-9);
+/// ```
+#[derive(Default)]
+pub struct GuestOs {
+    processes: Vec<Process>,
+    rr_cursor: usize,
+}
+
+impl GuestOs {
+    /// An empty guest (no processes).
+    #[must_use]
+    pub fn new() -> Self {
+        GuestOs::default()
+    }
+
+    /// Adds a process; returns its index.
+    pub fn spawn(&mut self, source: Box<dyn WorkSource>) -> usize {
+        self.processes.push(Process { source, backlog_mcycles: 0.0 });
+        self.processes.len() - 1
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// The pending demand of one process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn process_backlog(&self, index: usize) -> f64 {
+        self.processes[index].backlog_mcycles
+    }
+
+    /// Whether one process's source reports completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn process_finished(&self, index: usize) -> bool {
+        self.processes[index].source.is_finished()
+    }
+}
+
+impl WorkSource for GuestOs {
+    fn label(&self) -> &str {
+        "guest-os"
+    }
+
+    fn generate(&mut self, now: SimTime, dt: SimDuration) -> f64 {
+        let mut total = 0.0;
+        for p in &mut self.processes {
+            let got = p.source.generate(now, dt);
+            p.backlog_mcycles += got;
+            total += got;
+        }
+        total
+    }
+
+    fn on_progress(&mut self, mcycles: f64, now: SimTime) {
+        // Round-robin: hand the completed cycles to runnable processes
+        // in equal quanta, starting after the last-served process.
+        let mut left = mcycles;
+        let n = self.processes.len();
+        if n == 0 {
+            return;
+        }
+        // A grain small enough to interleave, large enough to finish in
+        // few passes.
+        let grain = (mcycles / n as f64).max(mcycles / 16.0).max(1e-9);
+        let mut guard = 0u32;
+        while left > 1e-12 && self.processes.iter().any(|p| p.backlog_mcycles > 1e-12) {
+            self.rr_cursor = (self.rr_cursor + 1) % n;
+            let p = &mut self.processes[self.rr_cursor];
+            if p.backlog_mcycles > 1e-12 {
+                let done = p.backlog_mcycles.min(grain).min(left);
+                p.backlog_mcycles -= done;
+                p.source.on_progress(done, now);
+                left -= done;
+            }
+            guard += 1;
+            if guard > 100_000 {
+                debug_assert!(false, "guest RR failed to converge");
+                break;
+            }
+        }
+    }
+
+    fn on_dropped(&mut self, mcycles: f64, now: SimTime) {
+        // Attribute drops proportionally to queued demand.
+        let total: f64 = self.processes.iter().map(|p| p.backlog_mcycles).sum();
+        if total <= 0.0 {
+            return;
+        }
+        for p in &mut self.processes {
+            let share = mcycles * p.backlog_mcycles / total;
+            p.backlog_mcycles = (p.backlog_mcycles - share).max(0.0);
+            p.source.on_dropped(share, now);
+        }
+    }
+
+    fn backlog_cap_mcycles(&self) -> f64 {
+        self.processes
+            .iter()
+            .map(|p| p.source.backlog_cap_mcycles())
+            .fold(0.0, |acc, c| if c.is_infinite() { f64::INFINITY } else { acc + c })
+    }
+
+    fn is_finished(&self) -> bool {
+        self.processes.iter().all(|p| p.source.is_finished())
+    }
+
+    fn demand_exhausted(&self) -> bool {
+        self.processes.iter().all(|p| p.source.demand_exhausted())
+    }
+}
+
+impl std::fmt::Debug for GuestOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuestOs").field("processes", &self.processes.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::{ConstantDemand, FixedWork};
+
+    #[test]
+    fn aggregates_demand() {
+        let mut g = GuestOs::new();
+        g.spawn(Box::new(ConstantDemand::new(100.0)));
+        g.spawn(Box::new(ConstantDemand::new(300.0)));
+        let got = g.generate(SimTime::ZERO, SimDuration::from_millis(500));
+        assert!((got - 200.0).abs() < 1e-9);
+        assert_eq!(g.process_count(), 2);
+    }
+
+    #[test]
+    fn progress_shared_round_robin() {
+        let mut g = GuestOs::new();
+        g.spawn(Box::new(FixedWork::new(100.0)));
+        g.spawn(Box::new(FixedWork::new(100.0)));
+        g.generate(SimTime::ZERO, SimDuration::from_secs(1));
+        g.on_progress(100.0, SimTime::from_secs(1));
+        // Fair sharing: both advanced roughly equally.
+        let b0 = g.process_backlog(0);
+        let b1 = g.process_backlog(1);
+        assert!((b0 - 50.0).abs() < 15.0, "p0 backlog {b0}");
+        assert!((b1 - 50.0).abs() < 15.0, "p1 backlog {b1}");
+    }
+
+    #[test]
+    fn short_process_exits_first_long_continues() {
+        let mut g = GuestOs::new();
+        g.spawn(Box::new(FixedWork::new(10.0)));
+        g.spawn(Box::new(FixedWork::new(1000.0)));
+        g.generate(SimTime::ZERO, SimDuration::from_secs(1));
+        g.on_progress(200.0, SimTime::from_secs(1));
+        assert!(g.process_finished(0), "short job done");
+        assert!(!g.process_finished(1));
+        assert!(!g.is_finished());
+        g.on_progress(810.0, SimTime::from_secs(2));
+        assert!(g.is_finished());
+    }
+
+    #[test]
+    fn empty_guest_is_finished() {
+        let g = GuestOs::new();
+        assert!(g.is_finished());
+        assert_eq!(g.backlog_cap_mcycles(), 0.0);
+    }
+
+    #[test]
+    fn infinite_cap_dominates() {
+        let mut g = GuestOs::new();
+        g.spawn(Box::new(ConstantDemand::new(1.0))); // unbounded cap
+        g.spawn(Box::new(FixedWork::new(5.0)));
+        assert!(g.backlog_cap_mcycles().is_infinite());
+    }
+}

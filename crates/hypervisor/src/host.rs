@@ -1,0 +1,595 @@
+//! The host simulation loop.
+//!
+//! [`Host`] ties together one simulated processor ([`cpumodel::Cpu`]),
+//! a hypervisor [`Scheduler`], an optional DVFS governor
+//! ([`governors::CpuFreq`]), the VMs and the statistics engine.
+//!
+//! The loop advances in *variable-length slices*: each slice is the
+//! minimum of the scheduler quantum (Xen: 10 ms), the picked VM's cap
+//! or deadline allowance, its backlog drain time, and the distance to
+//! the next period boundary (accounting / governor / snapshot). This
+//! gives exact cap enforcement (a 20% cap on a 30 ms period yields
+//! precisely 6 ms) without a sub-millisecond fixed step.
+
+use cpumodel::Cpu;
+use governors::{CpuFreq, Governor};
+use simkernel::{SimDuration, SimTime};
+
+use crate::sched::{
+    Credit2Scheduler, CreditScheduler, PasScheduler, SchedCtx, Scheduler, SedfScheduler,
+};
+use crate::stats::HostStats;
+use crate::vm::{Vm, VmConfig, VmId};
+use crate::work::WorkSource;
+
+/// Which hypervisor scheduler the host runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Xen Credit with caps (fix credit).
+    Credit,
+    /// Xen Credit2 (beta in the paper's Xen): weighted fair, no caps
+    /// — behaves as a variable-credit scheduler.
+    Credit2,
+    /// Xen SEDF; `extra = true` is the paper's variable-credit
+    /// configuration.
+    Sedf {
+        /// The extra-time (`b`) flag applied to VMs without an
+        /// explicit triplet.
+        extra: bool,
+    },
+    /// The paper's PAS scheduler (Credit + DVFS + credit
+    /// compensation). The host must not also install a governor.
+    Pas,
+}
+
+/// Host configuration; see [`HostConfig::optiplex_defaults`].
+pub struct HostConfig {
+    /// The simulated machine.
+    pub machine: cpumodel::MachineSpec,
+    /// Scheduler choice.
+    pub scheduler: SchedulerKind,
+    /// Optional DVFS governor (`None` keeps the boot frequency, i.e.
+    /// maximum — equivalent to the performance governor).
+    pub governor: Option<Box<dyn Governor>>,
+    /// Scheduler quantum (Xen: 10 ms).
+    pub quantum: SimDuration,
+    /// Base governor sampling period; each governor stretches it by
+    /// its own `sampling_multiplier`.
+    pub governor_base_period: SimDuration,
+    /// Telemetry snapshot period (the spacing of figure points).
+    pub sample_period: SimDuration,
+    /// PAS smoothing-window override (ablation; the paper uses 3).
+    /// Ignored for other schedulers.
+    pub pas_smoothing_window: Option<usize>,
+    /// PAS planner headroom override, percent (ablation; the paper's
+    /// Listing 1.1 uses none). Ignored for other schedulers.
+    pub pas_headroom_pct: Option<f64>,
+}
+
+impl HostConfig {
+    /// The paper's testbed defaults: Optiplex 755 ladder, 10 ms
+    /// quantum, 50 ms base governor period, 10 s snapshots, no
+    /// governor installed.
+    #[must_use]
+    pub fn optiplex_defaults(scheduler: SchedulerKind) -> Self {
+        HostConfig {
+            machine: cpumodel::machines::optiplex_755(),
+            scheduler,
+            governor: None,
+            quantum: SimDuration::from_millis(10),
+            governor_base_period: SimDuration::from_millis(50),
+            sample_period: SimDuration::from_secs(10),
+            pas_smoothing_window: None,
+            pas_headroom_pct: None,
+        }
+    }
+
+    /// Overrides PAS's load-smoothing window (the paper's footnote 5
+    /// uses 3 samples). Only meaningful with [`SchedulerKind::Pas`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn with_pas_smoothing_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "smoothing window must be at least 1");
+        self.pas_smoothing_window = Some(window);
+        self
+    }
+
+    /// Gives PAS's frequency planner headroom: the chosen state must
+    /// have `headroom_pct` spare capacity above the absolute load.
+    /// Only meaningful with [`SchedulerKind::Pas`].
+    #[must_use]
+    pub fn with_pas_headroom(mut self, headroom_pct: f64) -> Self {
+        self.pas_headroom_pct = Some(headroom_pct);
+        self
+    }
+
+    /// Sets the machine.
+    #[must_use]
+    pub fn with_machine(mut self, machine: cpumodel::MachineSpec) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Installs a governor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler is [`SchedulerKind::Pas`]: PAS manages
+    /// DVFS itself; running a second frequency owner would fight it
+    /// (the paper runs Xen's governor as userspace under PAS).
+    #[must_use]
+    pub fn with_governor(mut self, governor: Box<dyn Governor>) -> Self {
+        assert!(
+            self.scheduler != SchedulerKind::Pas,
+            "PAS manages DVFS itself; do not install a governor"
+        );
+        self.governor = Some(governor);
+        self
+    }
+
+    /// Sets the snapshot period.
+    #[must_use]
+    pub fn with_sample_period(mut self, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "sample period must be non-zero");
+        self.sample_period = period;
+        self
+    }
+
+    /// Builds the host.
+    #[must_use]
+    pub fn build(self) -> Host {
+        let cpu = self.machine.build_cpu();
+        let sched: Box<dyn Scheduler> = match self.scheduler {
+            SchedulerKind::Credit => Box::new(CreditScheduler::new()),
+            SchedulerKind::Credit2 => Box::new(Credit2Scheduler::new()),
+            SchedulerKind::Sedf { extra } => Box::new(SedfScheduler::new(extra)),
+            SchedulerKind::Pas => {
+                let mut pas = PasScheduler::new(&cpu);
+                if let Some(w) = self.pas_smoothing_window {
+                    pas = pas.with_smoothing_window(w);
+                }
+                if let Some(h) = self.pas_headroom_pct {
+                    pas = pas.with_headroom(h);
+                }
+                Box::new(pas)
+            }
+        };
+        let gov_period = match &self.governor {
+            Some(g) => self.governor_base_period * u64::from(g.sampling_multiplier().max(1)),
+            None => self.governor_base_period,
+        };
+        let acct_period = sched.accounting_period();
+        Host {
+            now: SimTime::ZERO,
+            cpu,
+            sched,
+            cpufreq: self.governor.map(CpuFreq::new),
+            vms: Vec::new(),
+            stats: HostStats::new(),
+            quantum: self.quantum,
+            acct_period,
+            gov_period,
+            sample_period: self.sample_period,
+            next_acct: SimTime::ZERO + acct_period,
+            next_gov: SimTime::ZERO + gov_period,
+            next_sample: SimTime::ZERO + self.sample_period,
+        }
+    }
+}
+
+impl std::fmt::Debug for HostConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostConfig")
+            .field("machine", &self.machine.name)
+            .field("scheduler", &self.scheduler)
+            .field("governor", &self.governor.as_ref().map(|g| g.name()))
+            .finish()
+    }
+}
+
+/// One simulated virtualized host.
+pub struct Host {
+    now: SimTime,
+    cpu: Cpu,
+    sched: Box<dyn Scheduler>,
+    cpufreq: Option<CpuFreq>,
+    vms: Vec<Vm>,
+    stats: HostStats,
+    quantum: SimDuration,
+    acct_period: SimDuration,
+    gov_period: SimDuration,
+    sample_period: SimDuration,
+    next_acct: SimTime,
+    next_gov: SimTime,
+    next_sample: SimTime,
+}
+
+impl Host {
+    /// Adds a VM with its workload; returns its id.
+    pub fn add_vm(&mut self, config: VmConfig, work: Box<dyn WorkSource>) -> VmId {
+        let id = VmId(self.vms.len());
+        self.sched.on_vm_added(id, &config);
+        self.stats.register_vm(&config.name);
+        self.vms.push(Vm::new(id, config, work));
+        id
+    }
+
+    /// The current simulated instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The simulated processor.
+    #[must_use]
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// The statistics engine (loads, snapshots, energy).
+    #[must_use]
+    pub fn stats(&self) -> &HostStats {
+        &self.stats
+    }
+
+    /// The scheduler's name ("credit", "sedf", "pas").
+    #[must_use]
+    pub fn scheduler_name(&self) -> &'static str {
+        self.sched.name()
+    }
+
+    /// The machine's capacity at maximum frequency, in mega-cycles per
+    /// second — the reference for "a VM with credit c demands
+    /// `c · fmax_mcps`".
+    #[must_use]
+    pub fn fmax_mcps(&self) -> f64 {
+        self.cpu.pstates().max().effective_mcps()
+    }
+
+    /// Immutable access to a VM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    #[must_use]
+    pub fn vm(&self, id: VmId) -> &Vm {
+        &self.vms[id.0]
+    }
+
+    /// The scheduler's current cap for a VM (percent of wall time).
+    #[must_use]
+    pub fn effective_cap_pct(&self, id: VmId) -> Option<f64> {
+        self.sched.effective_cap(id).map(|c| c * 100.0)
+    }
+
+    /// Number of VMs on this host.
+    #[must_use]
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Externally overrides a VM's cap (fraction of wall time; `None`
+    /// = uncapped). Returns `false` if the scheduler does not support
+    /// external cap changes. This is the control surface the
+    /// user-level PAS controllers of Section 4.1 use.
+    pub fn set_vm_cap(&mut self, id: VmId, cap: Option<f64>) -> bool {
+        self.sched.set_cap_external(id, cap)
+    }
+
+    /// Directly sets the processor P-state (the `userspace` governor
+    /// path used by the user-level full controller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`cpumodel::CpuError`] for an out-of-range index.
+    pub fn set_pstate(&mut self, idx: cpumodel::PStateIdx) -> Result<(), cpumodel::CpuError> {
+        self.cpu.set_pstate(idx)
+    }
+
+    /// Reads and resets the external measurement window: `(load_pct,
+    /// absolute_pct)` accumulated since the previous call.
+    pub fn take_external_load(&mut self) -> (f64, f64) {
+        self.stats.take_ext_window(self.now)
+    }
+
+    /// Retires a VM: its workload is replaced by [`crate::work::Idle`]
+    /// and any queued demand is discarded, so it never runs again. The
+    /// id stays valid (statistics are preserved); scheduler-side state
+    /// is inert since the VM is never runnable.
+    ///
+    /// This models a guest shutdown in churn scenarios; Xen would
+    /// additionally reclaim memory, which this CPU-focused model does
+    /// not track per-host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn retire_vm(&mut self, id: VmId) {
+        let vm = &mut self.vms[id.0];
+        vm.work = Box::new(crate::work::Idle);
+        vm.backlog_mcycles = 0.0;
+    }
+
+    /// The QoS summary a VM's workload tracks, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    #[must_use]
+    pub fn vm_qos(&self, id: VmId) -> Option<crate::work::QosSummary> {
+        self.vms[id.0].work.qos_summary()
+    }
+
+    /// Runs the simulation for `duration`.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let end = self.now + duration;
+        self.run_until(end);
+    }
+
+    /// Runs the simulation until the absolute instant `t_end`.
+    pub fn run_until(&mut self, t_end: SimTime) {
+        while self.now < t_end {
+            self.handle_boundaries();
+            let boundary = self.next_boundary(t_end);
+            debug_assert!(boundary > self.now, "boundary must advance");
+            self.advance_one_slice(boundary);
+        }
+        self.handle_boundaries();
+        self.stats.set_elapsed(self.now);
+    }
+
+    /// Runs until the given VM's workload reports completion, up to
+    /// `limit`. Returns the completion instant if reached.
+    pub fn run_until_vm_finished(&mut self, id: VmId, limit: SimTime) -> Option<SimTime> {
+        while self.now < limit {
+            if self.vms[id.0].work.is_finished() && !self.vms[id.0].is_runnable() {
+                return Some(self.now);
+            }
+            let step_end = (self.now + self.acct_period).min(limit);
+            self.run_until(step_end);
+        }
+        if self.vms[id.0].work.is_finished() && !self.vms[id.0].is_runnable() {
+            Some(self.now)
+        } else {
+            None
+        }
+    }
+
+    fn next_boundary(&self, t_end: SimTime) -> SimTime {
+        let mut b = t_end.min(self.next_acct).min(self.next_sample);
+        if self.cpufreq.is_some() {
+            b = b.min(self.next_gov);
+        }
+        b
+    }
+
+    fn handle_boundaries(&mut self) {
+        if self.now >= self.next_acct {
+            let (load, abs) = self.stats.take_acct_window(self.now);
+            let mut ctx = SchedCtx {
+                now: self.now,
+                cpu: &mut self.cpu,
+                measured_load_pct: load,
+                measured_absolute_pct: abs,
+            };
+            self.sched.on_accounting(&mut ctx);
+            self.next_acct += self.acct_period;
+        }
+        if let Some(cpufreq) = self.cpufreq.as_mut() {
+            if self.now >= self.next_gov {
+                let load = self.stats.take_gov_window(self.now);
+                cpufreq.sample(&mut self.cpu, self.now, load);
+                self.next_gov += self.gov_period;
+            }
+        }
+        if self.now >= self.next_sample {
+            let caps: Vec<Option<f64>> =
+                (0..self.vms.len()).map(|i| self.sched.effective_cap(VmId(i))).collect();
+            let backlogs: Vec<f64> = self.vms.iter().map(|v| v.backlog_mcycles).collect();
+            self.stats.set_elapsed(self.now);
+            self.stats.take_snapshot(self.now, &self.cpu, &caps, &backlogs);
+            self.next_sample += self.sample_period;
+        }
+    }
+
+    fn advance_one_slice(&mut self, boundary: SimTime) {
+        let horizon = boundary - self.now;
+        let runnable: Vec<VmId> = self
+            .vms
+            .iter()
+            .filter(|vm| vm.is_runnable())
+            .map(|vm| vm.id)
+            .collect();
+        let pick = self.sched.pick_next(self.now, &runnable);
+
+        let slice = match pick {
+            None => horizon,
+            Some(vm) => {
+                let cap_slice = self.sched.max_slice(vm, self.now);
+                let mcps = self.cpu.pstates().state(self.cpu.pstate()).effective_mcps();
+                let drain_secs = self.vms[vm.0].backlog_seconds_at(mcps);
+                let drain = if drain_secs.is_finite() {
+                    SimDuration::from_secs_f64(drain_secs.min(horizon.as_secs_f64()))
+                } else {
+                    horizon
+                };
+                let mut s = horizon.min(self.quantum).min(cap_slice).min(drain);
+                if s.is_zero() {
+                    // Sub-microsecond residue (cap or backlog): round up
+                    // to the clock resolution so time always advances.
+                    s = SimDuration::from_micros(1).min(horizon);
+                }
+                s
+            }
+        };
+        debug_assert!(!slice.is_zero());
+
+        let slice_end = self.now + slice;
+        // Demand arrives continuously during the slice.
+        for vm in &mut self.vms {
+            vm.refill(slice_end, slice);
+        }
+
+        match pick {
+            Some(vm) => {
+                let capacity = self.cpu.work_capacity(slice);
+                let done = self.vms[vm.0].execute(capacity, slice_end);
+                let busy_frac = if capacity > 0.0 { (done / capacity).min(1.0) } else { 0.0 };
+                let busy_secs = slice.as_secs_f64() * busy_frac;
+                let busy = SimDuration::from_secs_f64(busy_secs);
+                self.sched.charge(vm, busy);
+                self.cpu.account(busy_frac, slice);
+                let abs_secs = busy_secs * self.cpu.ratio() * self.cpu.cf();
+                self.stats.on_slice(Some((vm, busy_secs, abs_secs)));
+            }
+            None => {
+                self.cpu.account(0.0, slice);
+                self.stats.on_slice(None);
+            }
+        }
+        self.now = slice_end;
+    }
+}
+
+impl std::fmt::Debug for Host {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Host")
+            .field("now", &self.now)
+            .field("scheduler", &self.sched.name())
+            .field("vms", &self.vms.len())
+            .field("pstate", &self.cpu.pstate())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::ConstantDemand;
+    use governors::{Performance, StableOndemand};
+    use pas_core::Credit;
+
+    fn demand(host: &Host, frac: f64) -> Box<ConstantDemand> {
+        Box::new(ConstantDemand::new(frac * host.fmax_mcps()))
+    }
+
+    #[test]
+    fn cap_enforced_under_credit() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        let d = demand(&host, 0.5);
+        host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
+        host.run_for(SimDuration::from_secs(30));
+        let busy = host.stats().vm_busy_fraction(VmId(0));
+        assert!((busy - 0.20).abs() < 0.01, "busy {busy} != 20%");
+    }
+
+    #[test]
+    fn idle_host_consumes_no_cpu() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        host.add_vm(VmConfig::new("idle", Credit::percent(50.0)), Box::new(crate::work::Idle));
+        host.run_for(SimDuration::from_secs(10));
+        assert_eq!(host.stats().global_busy_fraction(), 0.0);
+        assert_eq!(host.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn two_vms_respect_their_caps() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        let d1 = demand(&host, 1.0);
+        let d2 = demand(&host, 1.0);
+        host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d1);
+        host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), d2);
+        host.run_for(SimDuration::from_secs(30));
+        let b0 = host.stats().vm_busy_fraction(VmId(0));
+        let b1 = host.stats().vm_busy_fraction(VmId(1));
+        assert!((b0 - 0.20).abs() < 0.01, "v20 busy {b0}");
+        assert!((b1 - 0.70).abs() < 0.01, "v70 busy {b1}");
+    }
+
+    #[test]
+    fn sedf_redistributes_idle_time() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Sedf { extra: true }).build();
+        let d = demand(&host, 1.0);
+        host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
+        host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(crate::work::Idle));
+        host.run_for(SimDuration::from_secs(30));
+        let b0 = host.stats().vm_busy_fraction(VmId(0));
+        assert!(b0 > 0.9, "work conserving: v20 got {b0}");
+    }
+
+    #[test]
+    fn governor_scales_down_on_low_load() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+            .with_governor(Box::new(StableOndemand::new()))
+            .build();
+        let d = demand(&host, 0.20);
+        host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
+        host.run_for(SimDuration::from_secs(60));
+        assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx());
+    }
+
+    #[test]
+    fn performance_governor_stays_at_max() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+            .with_governor(Box::new(Performance))
+            .build();
+        let d = demand(&host, 0.05);
+        host.add_vm(VmConfig::new("v", Credit::percent(20.0)), d);
+        host.run_for(SimDuration::from_secs(20));
+        assert_eq!(host.cpu().pstate(), host.cpu().pstates().max_idx());
+    }
+
+    #[test]
+    fn pas_self_manages_dvfs() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+        let d = demand(&host, 1.0); // thrashing V20
+        host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
+        host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(crate::work::Idle));
+        host.run_for(SimDuration::from_secs(60));
+        // Host underloaded → PAS parks the frequency at the bottom...
+        assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx());
+        // ...while preserving V20's absolute capacity at ~20%.
+        let abs = host.stats().vm_absolute_fraction(VmId(0));
+        assert!((abs - 0.20).abs() < 0.02, "absolute {abs} != 20%");
+        // And its cap was raised to ~33% (Figure 9).
+        let cap = host.effective_cap_pct(VmId(0)).unwrap();
+        assert!((cap - 33.0).abs() < 2.0, "cap {cap}");
+    }
+
+    #[test]
+    #[should_panic(expected = "PAS manages DVFS itself")]
+    fn pas_plus_governor_rejected() {
+        let _ = HostConfig::optiplex_defaults(SchedulerKind::Pas)
+            .with_governor(Box::new(Performance));
+    }
+
+    #[test]
+    fn snapshots_are_emitted() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+            .with_sample_period(SimDuration::from_secs(5))
+            .build();
+        let d = demand(&host, 0.3);
+        host.add_vm(VmConfig::new("v", Credit::percent(30.0)), d);
+        host.run_for(SimDuration::from_secs(30));
+        let n = host.stats().snapshots().len();
+        assert!((5..=7).contains(&n), "snapshots {n}");
+    }
+
+    #[test]
+    fn run_until_vm_finished_reports_completion() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        // A batch job of exactly 10 seconds of fmax work in a 50% VM:
+        // should take ~20 s of wall time.
+        let total = 10.0 * host.fmax_mcps();
+        host.add_vm(
+            VmConfig::new("batch", Credit::percent(50.0)),
+            Box::new(crate::work::test_batch(total)),
+        );
+        let done = host.run_until_vm_finished(VmId(0), SimTime::from_secs(100));
+        let t = done.expect("finished").as_secs_f64();
+        assert!((t - 20.0).abs() < 0.5, "finished at {t}");
+    }
+}

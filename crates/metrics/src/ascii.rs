@@ -1,0 +1,133 @@
+//! Terminal charts.
+//!
+//! `repro fig9` prints the figure's shape straight into the shell; the
+//! renderer is intentionally simple (one character column per time
+//! bucket, rows top-down from the maximum).
+
+use crate::series::TimeSeries;
+
+/// Renders one series as a fixed-size character chart with an axis
+/// label gutter.
+///
+/// # Example
+///
+/// ```
+/// use metrics::{ascii, TimeSeries};
+/// let s = TimeSeries::from_points("x", (0..100).map(|i| (i as f64, i as f64)).collect());
+/// let chart = ascii::chart(&s, 40, 10);
+/// assert!(chart.contains('*'));
+/// assert!(chart.lines().count() >= 10);
+/// ```
+#[must_use]
+pub fn chart(series: &TimeSeries, width: usize, height: usize) -> String {
+    chart_many(&[series], width, height)
+}
+
+/// Renders several series on shared axes; series are drawn with the
+/// glyphs `*`, `+`, `o`, `x`, `#` in order.
+#[must_use]
+pub fn chart_many(series: &[&TimeSeries], width: usize, height: usize) -> String {
+    let width = width.max(10);
+    let height = height.max(4);
+    let glyphs = ['*', '+', 'o', 'x', '#'];
+
+    let (mut tmin, mut tmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut vmin, mut vmax) = (0.0f64, f64::NEG_INFINITY);
+    for s in series {
+        for &(t, v) in s.points() {
+            tmin = tmin.min(t);
+            tmax = tmax.max(t);
+            vmin = vmin.min(v);
+            vmax = vmax.max(v);
+        }
+    }
+    if !tmin.is_finite() || tmax <= tmin {
+        return String::from("(no data)\n");
+    }
+    if vmax <= vmin {
+        vmax = vmin + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = glyphs[si % glyphs.len()];
+        for &(t, v) in s.points() {
+            let col = (((t - tmin) / (tmax - tmin)) * (width - 1) as f64).round() as usize;
+            let row_f = ((v - vmin) / (vmax - vmin)) * (height - 1) as f64;
+            let row = height - 1 - row_f.round().min((height - 1) as f64) as usize;
+            let cell = &mut grid[row][col.min(width - 1)];
+            // Keep the first glyph on collision so overlapping series
+            // stay distinguishable where they diverge.
+            if *cell == ' ' {
+                *cell = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{vmax:>8.1} |")
+        } else if i == height - 1 {
+            format!("{vmin:>8.1} |")
+        } else {
+            String::from("         |")
+        };
+        out.push_str(&label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "         +{}\n          t: {:.0}s .. {:.0}s   ",
+        "-".repeat(width),
+        tmin,
+        tmax
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("[{}] {}  ", glyphs[si % glyphs.len()], s.name()));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_shape() {
+        let s = TimeSeries::from_points(
+            "step",
+            (0..100)
+                .map(|i| (i as f64, if i < 50 { 10.0 } else { 90.0 }))
+                .collect(),
+        );
+        let c = chart(&s, 50, 12);
+        let lines: Vec<&str> = c.lines().collect();
+        // High plateau appears near the top, low plateau near the bottom.
+        assert!(lines[0].contains('*') || lines[1].contains('*'));
+        assert!(lines[10].contains('*') || lines[11].contains('*'));
+    }
+
+    #[test]
+    fn empty_series_says_so() {
+        let s = TimeSeries::new("empty");
+        assert_eq!(chart(&s, 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn multi_series_legend() {
+        let a = TimeSeries::from_points("v20", vec![(0.0, 1.0), (1.0, 2.0)]);
+        let b = TimeSeries::from_points("v70", vec![(0.0, 3.0), (1.0, 4.0)]);
+        let c = chart_many(&[&a, &b], 30, 8);
+        assert!(c.contains("[*] v20"));
+        assert!(c.contains("[+] v70"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = TimeSeries::from_points("flat", vec![(0.0, 5.0), (10.0, 5.0)]);
+        let c = chart(&s, 20, 6);
+        assert!(c.contains('*'));
+    }
+}

@@ -1,0 +1,163 @@
+//! Exporters: CSV, gnuplot `.dat` and JSON.
+//!
+//! These write the machine-readable artefacts referenced from
+//! `EXPERIMENTS.md`. Several series sharing a time axis are merged
+//! column-wise; series with different time axes are exported as
+//! separate blocks.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::series::TimeSeries;
+
+/// Renders series as CSV: a `t` column plus one column per series.
+///
+/// Rows are the union of all time stamps; missing values are empty
+/// cells.
+///
+/// # Example
+///
+/// ```
+/// use metrics::{export, TimeSeries};
+/// let a = TimeSeries::from_points("a", vec![(0.0, 1.0)]);
+/// let b = TimeSeries::from_points("b", vec![(0.0, 2.0)]);
+/// let csv = export::to_csv(&[&a, &b]);
+/// assert_eq!(csv.lines().next(), Some("t,a,b"));
+/// assert_eq!(csv.lines().nth(1), Some("0,1,2"));
+/// ```
+#[must_use]
+pub fn to_csv(series: &[&TimeSeries]) -> String {
+    let mut times: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points().iter().map(|p| p.0))
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times.dedup();
+
+    let mut out = String::new();
+    out.push('t');
+    for s in series {
+        out.push(',');
+        out.push_str(s.name());
+    }
+    out.push('\n');
+    for &t in &times {
+        let _ = write!(out, "{}", trim_float(t));
+        for s in series {
+            out.push(',');
+            if let Some(&(_, v)) = s.points().iter().find(|&&(pt, _)| pt == t) {
+                let _ = write!(out, "{}", trim_float(v));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders series as gnuplot-style data blocks: one indexed block per
+/// series (`plot 'f.dat' index 0 ...`).
+#[must_use]
+pub fn to_gnuplot(series: &[&TimeSeries]) -> String {
+    let mut out = String::new();
+    for (i, s) in series.iter().enumerate() {
+        let _ = writeln!(out, "# series {}: {}", i, s.name());
+        for &(t, v) in s.points() {
+            let _ = writeln!(out, "{} {}", trim_float(t), trim_float(v));
+        }
+        out.push('\n');
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes any result value as pretty JSON.
+///
+/// # Errors
+///
+/// Returns a `serde_json` error if serialization fails (e.g. NaN in a
+/// float field).
+pub fn to_json<T: Serialize>(value: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(value)
+}
+
+/// Writes a string artefact to disk, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_artifact(path: &Path, content: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, content)
+}
+
+fn trim_float(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_series() -> (TimeSeries, TimeSeries) {
+        (
+            TimeSeries::from_points("load", vec![(0.0, 10.0), (10.0, 20.5)]),
+            TimeSeries::from_points("freq", vec![(0.0, 1600.0), (10.0, 2667.0)]),
+        )
+    }
+
+    #[test]
+    fn csv_merges_columns() {
+        let (a, b) = two_series();
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,load,freq");
+        assert_eq!(lines[1], "0,10,1600");
+        assert_eq!(lines[2], "10,20.5000,2667");
+    }
+
+    #[test]
+    fn csv_handles_missing_cells() {
+        let a = TimeSeries::from_points("a", vec![(0.0, 1.0)]);
+        let b = TimeSeries::from_points("b", vec![(5.0, 2.0)]);
+        let csv = to_csv(&[&a, &b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "5,,2");
+    }
+
+    #[test]
+    fn gnuplot_blocks() {
+        let (a, b) = two_series();
+        let g = to_gnuplot(&[&a, &b]);
+        assert!(g.contains("# series 0: load"));
+        assert!(g.contains("# series 1: freq"));
+        assert!(g.contains("0 1600"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (a, _) = two_series();
+        let j = to_json(&a).unwrap();
+        let back: TimeSeries = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn write_artifact_creates_dirs() {
+        let dir = std::env::temp_dir().join("pas-metrics-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        write_artifact(&path, "t,a\n0,1\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "t,a\n0,1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

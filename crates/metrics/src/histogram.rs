@@ -1,0 +1,177 @@
+//! A simple sample accumulator with percentile queries.
+//!
+//! Used for response-time and per-period load distributions, where a
+//! mean hides exactly the tail the SLA cares about.
+
+/// An unordered sample set with on-demand order statistics.
+///
+/// # Example
+///
+/// ```
+/// use metrics::histogram::Samples;
+/// let mut s = Samples::new();
+/// for v in 1..=100 {
+///     s.add(f64::from(v));
+/// }
+/// assert_eq!(s.percentile(50.0), Some(50.0));
+/// assert_eq!(s.percentile(95.0), Some(95.0));
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(100.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not finite.
+    pub fn add(&mut self, value: f64) {
+        assert!(value.is_finite(), "non-finite sample {value}");
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Mean of the samples (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Smallest sample.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// The `p`-th percentile (nearest-rank method), `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+        if self.values.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let n = self.values.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.values[rank.clamp(1, n) - 1])
+    }
+
+    /// Renders a compact textual summary (`n / mean / p50 / p95 / max`).
+    pub fn summary(&mut self) -> String {
+        match (self.mean(), self.percentile(50.0), self.percentile(95.0), self.max()) {
+            (Some(mean), Some(p50), Some(p95), Some(max)) => format!(
+                "n={} mean={mean:.3} p50={p50:.3} p95={p95:.3} max={max:.3}",
+                self.len()
+            ),
+            _ => String::from("n=0"),
+        }
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Samples::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queries_are_none() {
+        let mut s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.summary(), "n=0");
+    }
+
+    #[test]
+    fn single_sample_everything_equal() {
+        let mut s: Samples = std::iter::once(7.0).collect();
+        assert_eq!(s.mean(), Some(7.0));
+        assert_eq!(s.percentile(0.0), Some(7.0));
+        assert_eq!(s.percentile(100.0), Some(7.0));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s: Samples = (1..=10).map(f64::from).collect();
+        assert_eq!(s.percentile(10.0), Some(1.0));
+        assert_eq!(s.percentile(50.0), Some(5.0));
+        assert_eq!(s.percentile(90.0), Some(9.0));
+        assert_eq!(s.percentile(100.0), Some(10.0));
+    }
+
+    #[test]
+    fn unsorted_insertion_is_fine() {
+        let mut s: Samples = [5.0, 1.0, 9.0, 3.0].into_iter().collect();
+        assert_eq!(s.percentile(50.0), Some(3.0));
+        s.add(2.0);
+        assert_eq!(s.percentile(50.0), Some(3.0), "re-sorts after mutation");
+    }
+
+    #[test]
+    fn summary_contains_fields() {
+        let mut s: Samples = (1..=100).map(f64::from).collect();
+        let text = s.summary();
+        assert!(text.contains("n=100"));
+        assert!(text.contains("p95=95"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite sample")]
+    fn nan_rejected() {
+        Samples::new().add(f64::NAN);
+    }
+}

@@ -1,0 +1,23 @@
+//! Telemetry: time series, summaries, export and terminal plots.
+//!
+//! The experiments crate converts host snapshots into named
+//! [`TimeSeries`], then uses:
+//!
+//! * [`summary`] — phase means, degradation percentages and the
+//!   tolerance helpers the reproduction assertions are written with,
+//! * [`export`] — CSV and gnuplot-style `.dat` writers (the artefacts
+//!   recorded next to `EXPERIMENTS.md`) and JSON via serde,
+//! * [`ascii`] — a quick terminal chart so `repro fig9` shows the
+//!   figure's shape without leaving the shell,
+//! * [`histogram`] — order statistics for tail-sensitive metrics
+//!   (response times).
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod export;
+pub mod histogram;
+mod series;
+pub mod summary;
+
+pub use series::TimeSeries;

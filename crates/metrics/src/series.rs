@@ -1,0 +1,229 @@
+//! A named time series.
+
+use serde::{Deserialize, Serialize};
+
+/// A named series of `(t_secs, value)` points, ordered by time.
+///
+/// # Example
+///
+/// ```
+/// use metrics::TimeSeries;
+/// let s = TimeSeries::from_points("load", vec![(0.0, 10.0), (10.0, 30.0)]);
+/// assert_eq!(s.len(), 2);
+/// assert!((s.mean() - 20.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// Builds a series from points, sorting them by time.
+    #[must_use]
+    pub fn from_points(name: impl Into<String>, mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        TimeSeries { name: name.into(), points }
+    }
+
+    /// The series name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the last point (series are
+    /// time-ordered).
+    pub fn push(&mut self, t: f64, value: f64) {
+        if let Some(&(last_t, _)) = self.points.last() {
+            assert!(t >= last_t, "non-monotonic time {t} after {last_t}");
+        }
+        self.points.push((t, value));
+    }
+
+    /// The points, time-ordered.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when there are no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of all values (0 for an empty series).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Mean of values with `t0 <= t < t1` (`None` if no point falls in
+    /// the window).
+    #[must_use]
+    pub fn mean_between(&self, t0: f64, t1: f64) -> Option<f64> {
+        let vals: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= t0 && t < t1)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            None
+        } else {
+            Some(vals.iter().sum::<f64>() / vals.len() as f64)
+        }
+    }
+
+    /// Minimum value (`None` for an empty series).
+    #[must_use]
+    pub fn min_value(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.1).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Maximum value (`None` for an empty series).
+    #[must_use]
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|p| p.1).fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// The value at the latest time `<= t` (step interpolation), or
+    /// `None` before the first point.
+    #[must_use]
+    pub fn value_at(&self, t: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|&(pt, _)| pt <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+
+    /// Number of changes of value (useful for counting frequency
+    /// transitions in governor stability comparisons).
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.points.windows(2).filter(|w| (w[0].1 - w[1].1).abs() > 1e-12).count()
+    }
+
+    /// A renamed copy.
+    #[must_use]
+    pub fn renamed(&self, name: impl Into<String>) -> TimeSeries {
+        TimeSeries { name: name.into(), points: self.points.clone() }
+    }
+}
+
+impl Extend<(f64, f64)> for TimeSeries {
+    fn extend<I: IntoIterator<Item = (f64, f64)>>(&mut self, iter: I) {
+        for (t, v) in iter {
+            self.push(t, v);
+        }
+    }
+}
+
+impl FromIterator<(f64, f64)> for TimeSeries {
+    fn from_iter<I: IntoIterator<Item = (f64, f64)>>(iter: I) -> Self {
+        TimeSeries::from_points("", iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s() -> TimeSeries {
+        TimeSeries::from_points("x", vec![(0.0, 1.0), (1.0, 3.0), (2.0, 3.0), (3.0, 5.0)])
+    }
+
+    #[test]
+    fn stats() {
+        let s = s();
+        assert_eq!(s.len(), 4);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.min_value(), Some(1.0));
+        assert_eq!(s.max_value(), Some(5.0));
+    }
+
+    #[test]
+    fn windowed_mean() {
+        let s = s();
+        assert_eq!(s.mean_between(1.0, 3.0), Some(3.0));
+        assert_eq!(s.mean_between(10.0, 20.0), None);
+    }
+
+    #[test]
+    fn step_lookup() {
+        let s = s();
+        assert_eq!(s.value_at(-0.5), None);
+        assert_eq!(s.value_at(0.0), Some(1.0));
+        assert_eq!(s.value_at(1.5), Some(3.0));
+        assert_eq!(s.value_at(99.0), Some(5.0));
+    }
+
+    #[test]
+    fn transitions() {
+        let s = s();
+        assert_eq!(s.transition_count(), 2, "1→3, 3→3 (no), 3→5");
+    }
+
+    #[test]
+    fn from_points_sorts() {
+        let s = TimeSeries::from_points("y", vec![(2.0, 1.0), (0.0, 2.0)]);
+        assert_eq!(s.points()[0], (0.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotonic")]
+    fn push_rejects_time_travel() {
+        let mut s = s();
+        s.push(1.0, 0.0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: TimeSeries = vec![(0.0, 1.0)].into_iter().collect();
+        s.extend(vec![(1.0, 2.0)]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_series_edge_cases() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min_value(), None);
+        assert_eq!(s.value_at(0.0), None);
+        assert_eq!(s.transition_count(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Summary statistics and reproduction-assertion helpers.
+
+use crate::series::TimeSeries;
+
+/// The paper's Table 2 degradation: `1 − T_performance / T_ondemand`,
+/// in percent. Zero when ondemand is at least as fast.
+///
+/// # Panics
+///
+/// Panics if either time is not strictly positive and finite.
+///
+/// # Example
+///
+/// ```
+/// use metrics::summary::degradation_pct;
+/// // Hyper-V row of Table 2: 1601 s vs 3212 s → ≈ 50%.
+/// let d = degradation_pct(1601.0, 3212.0);
+/// assert!((d - 50.0).abs() < 1.0);
+/// ```
+#[must_use]
+pub fn degradation_pct(t_performance: f64, t_ondemand: f64) -> f64 {
+    assert!(
+        t_performance.is_finite() && t_performance > 0.0,
+        "invalid performance time {t_performance}"
+    );
+    assert!(t_ondemand.is_finite() && t_ondemand > 0.0, "invalid ondemand time {t_ondemand}");
+    (100.0 * (1.0 - t_performance / t_ondemand)).max(0.0)
+}
+
+/// Relative error `|got − want| / |want|`.
+///
+/// # Panics
+///
+/// Panics if `want` is zero.
+#[must_use]
+pub fn relative_error(got: f64, want: f64) -> f64 {
+    assert!(want != 0.0, "relative error against zero");
+    ((got - want) / want).abs()
+}
+
+/// `true` if `got` is within `tol_pct` percent of `want`.
+#[must_use]
+pub fn within_pct(got: f64, want: f64, tol_pct: f64) -> bool {
+    if want == 0.0 {
+        got.abs() <= tol_pct / 100.0
+    } else {
+        relative_error(got, want) * 100.0 <= tol_pct
+    }
+}
+
+/// Phase means of a series over explicit `[start, end)` windows —
+/// the standard reduction of a three-phase figure.
+#[must_use]
+pub fn phase_means(series: &TimeSeries, phases: &[(f64, f64)]) -> Vec<Option<f64>> {
+    phases.iter().map(|&(a, b)| series.mean_between(a, b)).collect()
+}
+
+/// Sample standard deviation of a series' values (0 for < 2 points).
+#[must_use]
+pub fn stddev(series: &TimeSeries) -> f64 {
+    let n = series.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = series.mean();
+    let var = series.points().iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>()
+        / (n - 1) as f64;
+    var.sqrt()
+}
+
+/// Pearson correlation of two equally-timed series (`None` if lengths
+/// differ, fewer than 2 points, or either side is constant).
+#[must_use]
+pub fn correlation(a: &TimeSeries, b: &TimeSeries) -> Option<f64> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let ma = a.mean();
+    let mb = b.mean();
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&(_, x), &(_, y)) in a.points().iter().zip(b.points()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va.sqrt() * vb.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table2_degradations() {
+        // The three fix-credit columns of Table 2.
+        assert!((degradation_pct(1601.0, 3212.0) - 50.2).abs() < 0.5); // Hyper-V
+        assert!((degradation_pct(1550.0, 2132.0) - 27.3).abs() < 0.5); // VMware
+        assert!((degradation_pct(1559.0, 2599.0) - 40.0).abs() < 0.5); // Xen/credit
+        assert_eq!(degradation_pct(1559.0, 1560.0).round(), 0.0); // Xen/PAS
+    }
+
+    #[test]
+    fn degradation_clamps_at_zero() {
+        assert_eq!(degradation_pct(100.0, 90.0), 0.0, "speedups are not degradation");
+    }
+
+    #[test]
+    fn tolerance_helpers() {
+        assert!(within_pct(102.0, 100.0, 5.0));
+        assert!(!within_pct(110.0, 100.0, 5.0));
+        assert!(within_pct(0.0, 0.0, 1.0));
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_means_reduce_figures() {
+        let s = TimeSeries::from_points(
+            "load",
+            (0..30).map(|i| (i as f64, if i < 10 { 0.0 } else if i < 20 { 35.0 } else { 20.0 })).collect(),
+        );
+        let means = phase_means(&s, &[(0.0, 10.0), (10.0, 20.0), (20.0, 30.0)]);
+        assert_eq!(means, vec![Some(0.0), Some(35.0), Some(20.0)]);
+    }
+
+    #[test]
+    fn stddev_and_correlation() {
+        let a = TimeSeries::from_points("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]);
+        let b = TimeSeries::from_points("b", vec![(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)]);
+        assert!((stddev(&a) - 1.0).abs() < 1e-12);
+        let c = correlation(&a, &b).unwrap();
+        assert!((c - 1.0).abs() < 1e-9, "perfectly correlated");
+        let flat = TimeSeries::from_points("f", vec![(0.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        assert_eq!(correlation(&a, &flat), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid performance time")]
+    fn degradation_validates() {
+        let _ = degradation_pct(0.0, 10.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests on the metrics substrate: series statistics, the
+//! summary helpers and the histogram must agree with first-principles
+//! recomputation on arbitrary data.
+
+use metrics::histogram::Samples;
+use metrics::{export, summary, TimeSeries};
+use proptest::prelude::*;
+
+fn points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((0.0f64..1000.0, -1e6f64..1e6), 1..50)
+}
+
+fn values() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 1..100)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `from_points` sorts by time, and lookups respect the ordering.
+    #[test]
+    fn series_is_time_sorted(pts in points()) {
+        let s = TimeSeries::from_points("s", pts);
+        let ts: Vec<f64> = s.points().iter().map(|&(t, _)| t).collect();
+        prop_assert!(ts.windows(2).all(|w| w[0] <= w[1]), "{ts:?}");
+    }
+
+    /// The mean lies within [min, max] and matches a direct sum.
+    #[test]
+    fn series_mean_is_consistent(pts in points()) {
+        let s = TimeSeries::from_points("s", pts.clone());
+        let direct: f64 = pts.iter().map(|&(_, v)| v).sum::<f64>() / pts.len() as f64;
+        prop_assert!((s.mean() - direct).abs() < 1e-6 * direct.abs().max(1.0));
+        let min = s.min_value().expect("non-empty");
+        let max = s.max_value().expect("non-empty");
+        prop_assert!(min <= s.mean() + 1e-9 && s.mean() <= max + 1e-9);
+    }
+
+    /// `mean_between` over the full span equals the global mean, and a
+    /// window covering nothing returns `None`.
+    #[test]
+    fn mean_between_windows(pts in points()) {
+        let s = TimeSeries::from_points("s", pts);
+        let (t0, _) = s.points()[0];
+        let (t1, _) = *s.points().last().expect("non-empty");
+        let full = s.mean_between(t0, t1 + 1.0).expect("covers all points");
+        prop_assert!((full - s.mean()).abs() < 1e-9 * s.mean().abs().max(1.0));
+        prop_assert!(s.mean_between(t1 + 10.0, t1 + 20.0).is_none());
+    }
+
+    /// Standard deviation is translation-invariant and zero for
+    /// constant series.
+    #[test]
+    fn stddev_translation_invariant(vals in values(), shift in -1e3f64..1e3) {
+        let a = TimeSeries::from_points(
+            "a",
+            vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+        );
+        let b = TimeSeries::from_points(
+            "b",
+            vals.iter().enumerate().map(|(i, &v)| (i as f64, v + shift)).collect(),
+        );
+        let scale = summary::stddev(&a).abs().max(1.0);
+        prop_assert!((summary::stddev(&a) - summary::stddev(&b)).abs() < 1e-6 * scale);
+
+        let c = TimeSeries::from_points("c", vec![(0.0, shift), (1.0, shift), (2.0, shift)]);
+        prop_assert!(summary::stddev(&c).abs() < 1e-12);
+    }
+
+    /// A series correlates perfectly with itself and anti-correlates
+    /// with its negation (when it varies at all).
+    #[test]
+    fn correlation_endpoints(vals in values()) {
+        let varies = vals.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9);
+        prop_assume!(varies && vals.len() >= 2);
+        let a = TimeSeries::from_points(
+            "a",
+            vals.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+        );
+        let neg = TimeSeries::from_points(
+            "neg",
+            vals.iter().enumerate().map(|(i, &v)| (i as f64, -v)).collect(),
+        );
+        let self_r = summary::correlation(&a, &a).expect("varying series");
+        prop_assert!((self_r - 1.0).abs() < 1e-6, "{self_r}");
+        let anti_r = summary::correlation(&a, &neg).expect("varying series");
+        prop_assert!((anti_r + 1.0).abs() < 1e-6, "{anti_r}");
+    }
+
+    /// Histogram percentiles are monotone in `p`, bracketed by
+    /// min/max, and the median of a constant sample is that constant.
+    #[test]
+    fn histogram_percentiles_monotone(vals in values()) {
+        let mut h = Samples::new();
+        for &v in &vals {
+            h.add(v);
+        }
+        let mut prev = h.min().expect("non-empty");
+        for p in [5.0, 25.0, 50.0, 75.0, 95.0, 100.0] {
+            let q = h.percentile(p).expect("non-empty");
+            prop_assert!(q + 1e-9 >= prev, "p{p}: {q} < {prev}");
+            prop_assert!(q <= h.max().expect("non-empty") + 1e-9);
+            prev = q;
+        }
+    }
+
+    /// Degradation: OnDemand equal to Performance is 0%; doubling the
+    /// time is 50% in the paper's convention (Table 2's formula).
+    #[test]
+    fn degradation_convention(t in 1.0f64..1e4) {
+        prop_assert!(summary::degradation_pct(t, t).abs() < 1e-9);
+        let d = summary::degradation_pct(t, 2.0 * t);
+        prop_assert!((d - 50.0).abs() < 1e-9, "{d}");
+    }
+
+    /// CSV export: header row lists every series; one data row per
+    /// distinct timestamp across all series.
+    #[test]
+    fn csv_shape(pts in points()) {
+        let a = TimeSeries::from_points("a", pts.clone());
+        let csv = export::to_csv(&[&a]);
+        let mut lines = csv.lines();
+        prop_assert_eq!(lines.next(), Some("t,a"));
+        let mut distinct: Vec<f64> = pts.iter().map(|&(t, _)| t).collect();
+        distinct.sort_by(f64::total_cmp);
+        distinct.dedup();
+        prop_assert_eq!(lines.count(), distinct.len());
+    }
+}

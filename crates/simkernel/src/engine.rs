@@ -1,0 +1,285 @@
+//! The event loop.
+//!
+//! [`Engine`] owns the clock and the pending-event set; the user owns
+//! the world state and passes it to [`Engine::run`]. Event payloads are
+//! `FnOnce(&mut W, &mut Engine<W>)` closures, so handlers can freely
+//! schedule or cancel further events.
+
+use std::fmt;
+
+use crate::event::{EventId, EventQueue};
+use crate::time::SimTime;
+
+type Handler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+/// Errors reported by the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// An event was scheduled strictly before the current simulated time.
+    ScheduleInPast {
+        /// The engine clock when the scheduling was attempted.
+        now: SimTime,
+        /// The (invalid) requested firing time.
+        at: SimTime,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ScheduleInPast { now, at } => {
+                write!(f, "event scheduled in the past (now {now}, requested {at})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A deterministic, single-threaded discrete-event engine.
+///
+/// The type parameter `W` is the simulation "world": whatever mutable
+/// state the event handlers operate on. See the [crate-level
+/// example](crate) for typical use.
+pub struct Engine<W> {
+    now: SimTime,
+    queue: EventQueue<Handler<W>>,
+    executed: u64,
+    stop_requested: bool,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Creates an engine with the clock at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            executed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// The current simulated instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    #[must_use]
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `handler` to run at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is strictly before [`now`](Self::now); use
+    /// [`try_schedule`](Self::try_schedule) for a fallible variant.
+    pub fn schedule(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        self.try_schedule(at, handler)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Schedules `handler` to run at `at`, reporting an error instead of
+    /// panicking when `at` lies in the past.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::ScheduleInPast`] if `at < self.now()`.
+    pub fn try_schedule(
+        &mut self,
+        at: SimTime,
+        handler: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> Result<EventId, EngineError> {
+        if at < self.now {
+            return Err(EngineError::ScheduleInPast { now: self.now, at });
+        }
+        Ok(self.queue.push(at, Box::new(handler)))
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Requests that the run loop stop after the current event handler
+    /// returns. Pending events stay queued.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Executes the single earliest pending event, advancing the clock
+    /// to its firing time. Returns `false` when the queue is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.queue.pop() {
+            None => false,
+            Some(ev) => {
+                debug_assert!(ev.at >= self.now, "event queue yielded a past event");
+                self.now = ev.at;
+                self.executed += 1;
+                (ev.payload)(world, self);
+                true
+            }
+        }
+    }
+
+    /// Runs until the queue is empty or [`stop`](Self::stop) is called.
+    pub fn run(&mut self, world: &mut W) {
+        self.stop_requested = false;
+        while !self.stop_requested && self.step(world) {}
+    }
+
+    /// Runs until the clock would pass `deadline`, the queue empties, or
+    /// [`stop`](Self::stop) is called. Events at exactly `deadline` do
+    /// fire; the clock is left at `deadline` if the horizon was reached
+    /// with events still pending.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        self.stop_requested = false;
+        loop {
+            if self.stop_requested {
+                return;
+            }
+            match self.queue.peek_time() {
+                None => return,
+                Some(t) if t > deadline => {
+                    self.now = deadline.max(self.now);
+                    return;
+                }
+                Some(_) => {
+                    self.step(world);
+                }
+            }
+        }
+    }
+}
+
+impl<W> fmt::Debug for Engine<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn runs_events_in_order() {
+        let mut engine = Engine::new();
+        let mut log: Vec<u32> = Vec::new();
+        engine.schedule(SimTime::from_millis(20), |w: &mut Vec<u32>, _| w.push(2));
+        engine.schedule(SimTime::from_millis(10), |w: &mut Vec<u32>, _| w.push(1));
+        engine.schedule(SimTime::from_millis(30), |w: &mut Vec<u32>, _| w.push(3));
+        engine.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(engine.now(), SimTime::from_millis(30));
+        assert_eq!(engine.executed_events(), 3);
+    }
+
+    #[test]
+    fn handlers_can_reschedule() {
+        struct W {
+            count: u32,
+        }
+        fn tick(w: &mut W, eng: &mut Engine<W>) {
+            w.count += 1;
+            if w.count < 10 {
+                eng.schedule(eng.now() + SimDuration::from_millis(1), tick);
+            }
+        }
+        let mut engine = Engine::new();
+        let mut w = W { count: 0 };
+        engine.schedule(SimTime::ZERO, tick);
+        engine.run(&mut w);
+        assert_eq!(w.count, 10);
+        assert_eq!(engine.now(), SimTime::from_millis(9));
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut engine = Engine::new();
+        let mut fired = Vec::new();
+        for ms in [5u64, 10, 15, 20] {
+            engine.schedule(SimTime::from_millis(ms), move |w: &mut Vec<u64>, _| w.push(ms));
+        }
+        engine.run_until(&mut fired, SimTime::from_millis(10));
+        assert_eq!(fired, vec![5, 10], "events at the deadline fire");
+        assert_eq!(engine.now(), SimTime::from_millis(10));
+        assert_eq!(engine.pending_events(), 2);
+        engine.run_until(&mut fired, SimTime::from_millis(100));
+        assert_eq!(fired, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn schedule_in_past_errors() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.schedule(SimTime::from_millis(10), |_, _| {});
+        engine.run(&mut ());
+        let err = engine.try_schedule(SimTime::from_millis(5), |_, _| {}).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::ScheduleInPast {
+                now: SimTime::from_millis(10),
+                at: SimTime::from_millis(5)
+            }
+        );
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn stop_halts_run() {
+        let mut engine = Engine::new();
+        let mut log: Vec<u32> = Vec::new();
+        engine.schedule(SimTime::from_millis(1), |w: &mut Vec<u32>, eng: &mut Engine<_>| {
+            w.push(1);
+            eng.stop();
+        });
+        engine.schedule(SimTime::from_millis(2), |w: &mut Vec<u32>, _| w.push(2));
+        engine.run(&mut log);
+        assert_eq!(log, vec![1]);
+        assert_eq!(engine.pending_events(), 1);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut engine = Engine::new();
+        let mut log: Vec<u32> = Vec::new();
+        let id = engine.schedule(SimTime::from_millis(1), |w: &mut Vec<u32>, _| w.push(1));
+        engine.schedule(SimTime::from_millis(2), |w: &mut Vec<u32>, _| w.push(2));
+        assert!(engine.cancel(id));
+        engine.run(&mut log);
+        assert_eq!(log, vec![2]);
+    }
+
+    #[test]
+    fn run_until_with_no_events_keeps_clock() {
+        let mut engine: Engine<()> = Engine::new();
+        engine.run_until(&mut (), SimTime::from_secs(5));
+        // No events: the clock does not jump to the horizon.
+        assert_eq!(engine.now(), SimTime::ZERO);
+    }
+}

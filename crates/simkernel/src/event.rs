@@ -1,0 +1,244 @@
+//! The pending-event set.
+//!
+//! A binary heap ordered by `(time, sequence)` so that events scheduled
+//! for the same instant fire in FIFO order — the property every
+//! deterministic simulation needs and `BinaryHeap` alone does not give.
+//! Cancellation is O(1) amortised via tombstones.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// Ids are unique for the lifetime of one [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+/// An event popped from the queue: when it fires and its payload.
+#[derive(Debug)]
+pub struct QueuedEvent<E> {
+    /// The instant the event fires.
+    pub at: SimTime,
+    /// Handle under which the event was scheduled.
+    pub id: EventId,
+    /// The user payload.
+    pub payload: E,
+}
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A total-ordered pending-event set with stable FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(20), "later");
+/// let first = q.push(SimTime::from_millis(10), "sooner");
+/// q.cancel(first);
+/// let ev = q.pop().expect("one event left");
+/// assert_eq!(ev.payload, "later");
+/// assert!(q.is_empty());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<EventId>,
+    next_seq: u64,
+    live: usize,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns a handle for
+    /// [`cancel`](Self::cancel).
+    pub fn push(&mut self, at: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = EventId(seq);
+        self.heap.push(Entry { at, seq, id, payload });
+        self.live += 1;
+        id
+    }
+
+    /// Cancels a scheduled event. Returns `true` if the event was still
+    /// pending (it will never fire), `false` if it already fired or was
+    /// already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.insert(id) {
+            // It may have already popped; `live` is corrected lazily in pop.
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event, skipping tombstones.
+    pub fn pop(&mut self) -> Option<QueuedEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                self.live = self.live.saturating_sub(1);
+                continue;
+            }
+            self.live = self.live.saturating_sub(1);
+            return Some(QueuedEvent { at: entry.at, id: entry.id, payload: entry.payload });
+        }
+        None
+    }
+
+    /// The firing time of the earliest live event, if any, without
+    /// removing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        loop {
+            let skip = match self.heap.peek() {
+                None => return None,
+                Some(entry) => self.cancelled.contains(&entry.id),
+            };
+            if skip {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                self.live = self.live.saturating_sub(1);
+            } else {
+                return self.heap.peek().map(|e| e.at);
+            }
+        }
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` if no live events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), 3);
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_millis(1), "a");
+        let b = q.push(SimTime::from_millis(2), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.payload, "b");
+        assert_eq!(ev.id, b);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q = EventQueue::<()>::new();
+        assert!(!q.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_millis(1), "a");
+        q.push(SimTime::from_millis(2), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn len_tracks_cancellations() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10).map(|i| q.push(SimTime::from_millis(i), i)).collect();
+        for id in &ids[..4] {
+            q.cancel(*id);
+        }
+        // Tombstones are lazy: drain and confirm only 6 events fire.
+        let mut fired = 0;
+        while q.pop().is_some() {
+            fired += 1;
+        }
+        assert_eq!(fired, 6);
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,50 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the substrate every other crate in the workspace
+//! builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time,
+//! * [`EventQueue`] — a total-ordered pending-event set with stable
+//!   FIFO tie-breaking and O(log n) cancellation,
+//! * [`Engine`] — the event loop, generic over a user-supplied world type,
+//! * [`SimRng`] — a seeded, reproducible random number generator.
+//!
+//! The kernel is deliberately single-threaded: reproducing a scheduling
+//! paper requires bit-for-bit reproducible runs, so all parallelism in
+//! this workspace lives *across* experiment runs (see the `experiments`
+//! crate), never inside one.
+//!
+//! # Example
+//!
+//! ```
+//! use simkernel::{Engine, SimTime, SimDuration};
+//!
+//! struct World { ticks: u32 }
+//!
+//! let mut engine = Engine::new();
+//! let mut world = World { ticks: 0 };
+//! // A self-rescheduling periodic event.
+//! fn tick(w: &mut World, eng: &mut Engine<World>) {
+//!     w.ticks += 1;
+//!     if w.ticks < 5 {
+//!         let next = eng.now() + SimDuration::from_millis(10);
+//!         eng.schedule(next, tick);
+//!     }
+//! }
+//! engine.schedule(SimTime::ZERO, tick);
+//! engine.run(&mut world);
+//! assert_eq!(world.ticks, 5);
+//! assert_eq!(engine.now(), SimTime::from_millis(40));
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+mod event;
+mod rng;
+mod time;
+
+pub use engine::{Engine, EngineError};
+pub use event::{EventId, EventQueue, QueuedEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,105 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use simkernel::{Engine, EventQueue, SimDuration, SimTime};
+
+proptest! {
+    /// Popping the queue always yields events in non-decreasing time
+    /// order, whatever the insertion order.
+    #[test]
+    fn queue_yields_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.at >= last, "time went backwards");
+            last = ev.at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Events at equal times pop in insertion (FIFO) order.
+    #[test]
+    fn queue_equal_times_fifo(n in 1usize..100, t in 0u64..1_000) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        prop_assert_eq!(order, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Cancelling an arbitrary subset fires exactly the complement.
+    #[test]
+    fn cancellation_fires_complement(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = times.iter().enumerate()
+            .map(|(i, &t)| (q.push(SimTime::from_micros(t), i), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (idx, (id, payload)) in ids.iter().enumerate() {
+            if *mask.get(idx % mask.len()).unwrap_or(&false) {
+                q.cancel(*id);
+            } else {
+                expected.push(*payload);
+            }
+        }
+        let mut fired: Vec<usize> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        fired.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// The engine clock is monotone non-decreasing across any schedule.
+    #[test]
+    fn engine_clock_monotone(offsets in proptest::collection::vec(0u64..5_000, 1..50)) {
+        struct W { seen: Vec<SimTime> }
+        let mut engine = Engine::new();
+        let mut w = W { seen: Vec::new() };
+        for &off in &offsets {
+            engine.schedule(
+                SimTime::from_micros(off),
+                move |w: &mut W, eng: &mut Engine<W>| {
+                    w.seen.push(eng.now());
+                    // Handlers may reschedule relative to now.
+                    if off % 7 == 0 {
+                        let at = eng.now() + SimDuration::from_micros(off % 13);
+                        eng.schedule(at, |w: &mut W, eng: &mut Engine<W>| {
+                            w.seen.push(eng.now());
+                        });
+                    }
+                },
+            );
+        }
+        engine.run(&mut w);
+        for pair in w.seen.windows(2) {
+            prop_assert!(pair[1] >= pair[0]);
+        }
+    }
+
+    /// `run_until` never executes an event past the horizon.
+    #[test]
+    fn run_until_respects_horizon(
+        times in proptest::collection::vec(0u64..10_000, 1..100),
+        horizon in 0u64..10_000,
+    ) {
+        let mut engine = Engine::new();
+        let mut fired: Vec<u64> = Vec::new();
+        for &t in &times {
+            engine.schedule(SimTime::from_micros(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        engine.run_until(&mut fired, SimTime::from_micros(horizon));
+        for &t in &fired {
+            prop_assert!(t <= horizon);
+        }
+        let expected = times.iter().filter(|&&t| t <= horizon).count();
+        prop_assert_eq!(fired.len(), expected);
+    }
+}

@@ -1,0 +1,188 @@
+//! The pi-app: the paper's execution-time probe.
+//!
+//! "When we aim at measuring an execution time, we use an application
+//! which computes an approximation of pi" (Section 5.1). What matters
+//! for every experiment that uses it is only that it is a CPU-bound
+//! job of fixed total work; its execution time is then
+//! `W / (credit · F · cf)` — the quantity Equations 2 and 3 relate
+//! across frequencies and credits.
+
+use hypervisor::work::WorkSource;
+use simkernel::{SimDuration, SimTime};
+
+/// A fixed-work CPU-bound batch job with start-delay support and
+/// completion timing.
+///
+/// # Example
+///
+/// ```
+/// use workloads::PiApp;
+///
+/// // A job sized to take 100 s on a whole 2667 MHz core:
+/// let pi = PiApp::sized_for_seconds(100.0, 2667.0);
+/// assert!((pi.total_mcycles() - 266_700.0).abs() < 1e-6);
+/// assert!(pi.finished_at().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PiApp {
+    total_mcycles: f64,
+    remaining: f64,
+    start_after: SimDuration,
+    released: bool,
+    started_at: Option<SimTime>,
+    finished_at: Option<SimTime>,
+}
+
+impl PiApp {
+    /// A job of `total_mcycles` mega-cycles starting at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_mcycles` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(total_mcycles: f64) -> Self {
+        assert!(
+            total_mcycles.is_finite() && total_mcycles > 0.0,
+            "invalid job size {total_mcycles}"
+        );
+        PiApp {
+            total_mcycles,
+            remaining: total_mcycles,
+            start_after: SimDuration::ZERO,
+            released: false,
+            started_at: None,
+            finished_at: None,
+        }
+    }
+
+    /// A job sized to take `seconds` on a full core running at
+    /// `fmax_mcps` mega-cycles per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not strictly positive and finite.
+    #[must_use]
+    pub fn sized_for_seconds(seconds: f64, fmax_mcps: f64) -> Self {
+        assert!(seconds.is_finite() && seconds > 0.0, "invalid duration {seconds}");
+        assert!(fmax_mcps.is_finite() && fmax_mcps > 0.0, "invalid capacity {fmax_mcps}");
+        PiApp::new(seconds * fmax_mcps)
+    }
+
+    /// Delays the job's release (builder style).
+    #[must_use]
+    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
+        self.start_after = delay;
+        self
+    }
+
+    /// Total size of the job in mega-cycles.
+    #[must_use]
+    pub fn total_mcycles(&self) -> f64 {
+        self.total_mcycles
+    }
+
+    /// Remaining work in mega-cycles.
+    #[must_use]
+    pub fn remaining_mcycles(&self) -> f64 {
+        self.remaining.max(0.0)
+    }
+
+    /// When the job was released to the VM.
+    #[must_use]
+    pub fn started_at(&self) -> Option<SimTime> {
+        self.started_at
+    }
+
+    /// When the job completed.
+    #[must_use]
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+
+    /// The job's execution time (finish − release), once finished.
+    #[must_use]
+    pub fn execution_time(&self) -> Option<SimDuration> {
+        match (self.started_at, self.finished_at) {
+            (Some(s), Some(f)) => Some(f.duration_since(s)),
+            _ => None,
+        }
+    }
+}
+
+impl WorkSource for PiApp {
+    fn label(&self) -> &str {
+        "pi-app"
+    }
+
+    fn generate(&mut self, now: SimTime, _dt: SimDuration) -> f64 {
+        if self.released || now < SimTime::ZERO + self.start_after {
+            return 0.0;
+        }
+        self.released = true;
+        self.started_at = Some(SimTime::ZERO + self.start_after);
+        self.total_mcycles
+    }
+
+    fn on_progress(&mut self, mcycles: f64, now: SimTime) {
+        self.remaining -= mcycles;
+        if self.remaining <= 1e-9 && self.finished_at.is_none() {
+            self.finished_at = Some(now);
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    fn demand_exhausted(&self) -> bool {
+        self.released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_all_work_once() {
+        let mut pi = PiApp::new(1000.0);
+        let a = pi.generate(SimTime::ZERO, SimDuration::from_millis(10));
+        let b = pi.generate(SimTime::from_millis(10), SimDuration::from_millis(10));
+        assert_eq!(a, 1000.0);
+        assert_eq!(b, 0.0);
+        assert_eq!(pi.started_at(), Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn start_delay_holds_release() {
+        let mut pi = PiApp::new(1000.0).with_start_delay(SimDuration::from_secs(5));
+        assert_eq!(pi.generate(SimTime::from_secs(1), SimDuration::from_secs(1)), 0.0);
+        assert_eq!(pi.generate(SimTime::from_secs(5), SimDuration::from_secs(1)), 1000.0);
+        assert_eq!(pi.started_at(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn completion_and_execution_time() {
+        let mut pi = PiApp::new(100.0);
+        pi.generate(SimTime::ZERO, SimDuration::from_millis(1));
+        pi.on_progress(60.0, SimTime::from_secs(6));
+        assert!(!pi.is_finished());
+        assert!((pi.remaining_mcycles() - 40.0).abs() < 1e-9);
+        pi.on_progress(40.0, SimTime::from_secs(10));
+        assert!(pi.is_finished());
+        assert_eq!(pi.finished_at(), Some(SimTime::from_secs(10)));
+        assert_eq!(pi.execution_time(), Some(SimDuration::from_secs(10)));
+    }
+
+    #[test]
+    fn sized_for_seconds() {
+        let pi = PiApp::sized_for_seconds(10.0, 2667.0);
+        assert!((pi.total_mcycles() - 26_670.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid job size")]
+    fn zero_size_rejected() {
+        let _ = PiApp::new(0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Piecewise-constant demand traces.
+//!
+//! For scenarios beyond the paper's three-phase profile (consolidation
+//! examples, ablations), [`TraceDemand`] plays back an arbitrary
+//! sequence of `(duration, rate)` segments.
+
+use hypervisor::work::WorkSource;
+use simkernel::{SimDuration, SimTime};
+
+/// A demand source defined by explicit `(duration, mega-cycles/sec)`
+/// segments; demand is zero after the last segment.
+///
+/// # Example
+///
+/// ```
+/// use hypervisor::work::WorkSource;
+/// use simkernel::{SimDuration, SimTime};
+/// use workloads::TraceDemand;
+///
+/// let mut t = TraceDemand::new()
+///     .segment(SimDuration::from_secs(10), 100.0)
+///     .segment(SimDuration::from_secs(10), 400.0);
+/// assert_eq!(t.rate_at(SimTime::from_secs(5)), 100.0);
+/// assert_eq!(t.rate_at(SimTime::from_secs(15)), 400.0);
+/// assert_eq!(t.rate_at(SimTime::from_secs(25)), 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceDemand {
+    segments: Vec<(SimDuration, f64)>,
+    offered_mcycles: f64,
+    past_end: bool,
+}
+
+impl TraceDemand {
+    /// An empty trace (always zero demand).
+    #[must_use]
+    pub fn new() -> Self {
+        TraceDemand::default()
+    }
+
+    /// Appends a segment (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_mcps` is negative or not finite.
+    #[must_use]
+    pub fn segment(mut self, duration: SimDuration, rate_mcps: f64) -> Self {
+        assert!(rate_mcps.is_finite() && rate_mcps >= 0.0, "invalid rate {rate_mcps}");
+        self.segments.push((duration, rate_mcps));
+        self
+    }
+
+    /// The demand rate at `now`.
+    #[must_use]
+    pub fn rate_at(&self, now: SimTime) -> f64 {
+        let mut t = SimTime::ZERO;
+        for &(dur, rate) in &self.segments {
+            let end = t + dur;
+            if now < end {
+                return rate;
+            }
+            t = end;
+        }
+        0.0
+    }
+
+    /// Total demand offered so far.
+    #[must_use]
+    pub fn offered_mcycles(&self) -> f64 {
+        self.offered_mcycles
+    }
+
+    /// Total trace length.
+    #[must_use]
+    pub fn total_duration(&self) -> SimDuration {
+        self.segments.iter().fold(SimDuration::ZERO, |acc, &(d, _)| acc + d)
+    }
+}
+
+impl WorkSource for TraceDemand {
+    fn label(&self) -> &str {
+        "trace"
+    }
+
+    fn generate(&mut self, now: SimTime, dt: SimDuration) -> f64 {
+        let mid = (now.as_secs_f64() - dt.as_secs_f64() / 2.0).max(0.0);
+        let demand = self.rate_at(SimTime::from_secs_f64(mid)) * dt.as_secs_f64();
+        self.offered_mcycles += demand;
+        self.past_end = now >= SimTime::ZERO + self.total_duration();
+        demand
+    }
+
+    fn is_finished(&self) -> bool {
+        false
+    }
+
+    fn demand_exhausted(&self) -> bool {
+        self.past_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn playback_follows_segments() {
+        let mut t = TraceDemand::new()
+            .segment(SimDuration::from_secs(2), 100.0)
+            .segment(SimDuration::from_secs(2), 0.0)
+            .segment(SimDuration::from_secs(2), 300.0);
+        assert_eq!(t.total_duration(), SimDuration::from_secs(6));
+        let d1 = t.generate(SimTime::from_secs(1), SimDuration::from_secs(1));
+        assert!((d1 - 100.0).abs() < 1e-9);
+        let d2 = t.generate(SimTime::from_secs(3), SimDuration::from_secs(1));
+        assert_eq!(d2, 0.0);
+        let d3 = t.generate(SimTime::from_secs(5), SimDuration::from_secs(1));
+        assert!((d3 - 300.0).abs() < 1e-9);
+        assert!((t.offered_mcycles() - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_silent() {
+        let mut t = TraceDemand::new();
+        assert_eq!(t.generate(SimTime::from_secs(1), SimDuration::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn negative_rate_rejected() {
+        let _ = TraceDemand::new().segment(SimDuration::from_secs(1), -5.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property tests on the workload generators: demand conservation,
+//! profile phase resolution, and the pi-app completion bookkeeping
+//! must hold for arbitrary profiles and slicing.
+
+use hypervisor::work::WorkSource;
+use proptest::prelude::*;
+use simkernel::{SimDuration, SimRng, SimTime};
+use workloads::{ArrivalModel, Intensity, PiApp, Profile, TraceDemand, WebApp};
+
+const VM_CAP: f64 = 533.4; // 20% of the Optiplex's 2667 mc/s
+const HOST_CAP: f64 = 2667.0;
+
+/// Strategy: a profile of 1..5 phases with arbitrary intensities and
+/// 1..30-second durations.
+fn profiles() -> impl Strategy<Value = Profile> {
+    proptest::collection::vec(
+        (1u64..30, 0usize..4, 0.0f64..2.0),
+        1..5,
+    )
+    .prop_map(|phases| {
+        let mut p = Profile::new();
+        for (secs, kind, frac) in phases {
+            let intensity = match kind {
+                0 => Intensity::Idle,
+                1 => Intensity::Exact,
+                2 => Intensity::Thrashing,
+                _ => Intensity::Fraction(frac),
+            };
+            p = p.then(SimDuration::from_secs(secs), intensity);
+        }
+        p
+    })
+}
+
+/// Strategy: a cut of a fixed horizon into 1..40 slices.
+fn slicings() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..200_000, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fluid web-app demand matches the profile integral up to the
+    /// midpoint-sampling error at phase boundaries: the generator
+    /// resolves the intensity at each slice's midpoint, so every
+    /// boundary contributes at most half a slice of demand error.
+    #[test]
+    fn fluid_offered_volume_matches_profile_integral(profile in profiles(), slices in slicings()) {
+        let expected: f64 = profile
+            .phases()
+            .iter()
+            .map(|ph| ph.intensity.rate_mcps(VM_CAP, HOST_CAP) * ph.duration.as_secs_f64())
+            .sum();
+        let horizon = profile.total_duration();
+        let max_slice_secs =
+            slices.iter().map(|&us| us as f64 / 1e6).fold(0.0f64, f64::max);
+        let boundaries = profile.phases().len() as f64;
+        let tol = 0.05 + boundaries * HOST_CAP * max_slice_secs;
+
+        let mut app = WebApp::new(profile, VM_CAP, HOST_CAP, ArrivalModel::Fluid);
+        let mut now = SimTime::ZERO;
+        let mut i = 0;
+        while now < SimTime::ZERO + horizon {
+            let dt = SimDuration::from_micros(slices[i % slices.len()])
+                .min((SimTime::ZERO + horizon) - now);
+            now = now + dt;
+            let _ = app.generate(now, dt);
+            i += 1;
+        }
+        prop_assert!(
+            (app.offered_mcycles() - expected).abs() < tol,
+            "offered {} vs integral {}",
+            app.offered_mcycles(),
+            expected
+        );
+    }
+
+    /// Conservation: served + dropped never exceeds offered, whatever
+    /// progress/drop pattern the host reports.
+    #[test]
+    fn web_app_conserves_demand(profile in profiles(), seed in 0u64..1000) {
+        let mut app = WebApp::new(profile, VM_CAP, HOST_CAP, ArrivalModel::Fluid);
+        let mut rng = SimRng::seed_from(seed);
+        let mut backlog = 0.0f64;
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            let dt = SimDuration::from_millis(100);
+            now = now + dt;
+            backlog += app.generate(now, dt);
+            // The host serves a random share of the backlog…
+            let served = backlog * rng.uniform_f64();
+            app.on_progress(served, now);
+            backlog -= served;
+            // …and occasionally drops the rest (queue overflow).
+            if rng.uniform_f64() < 0.1 {
+                app.on_dropped(backlog, now);
+                backlog = 0.0;
+            }
+        }
+        let accounted = app.served_mcycles() + app.dropped_mcycles();
+        prop_assert!(
+            accounted <= app.offered_mcycles() + 1e-6,
+            "served {} + dropped {} exceeds offered {}",
+            app.served_mcycles(),
+            app.dropped_mcycles(),
+            app.offered_mcycles()
+        );
+    }
+
+    /// Latency samples are non-negative and the summary is ordered
+    /// (mean ≤ p95 ≤ max) whenever any demand completed.
+    #[test]
+    fn latency_summary_is_ordered(seed in 0u64..1000) {
+        let profile = Profile::active_for(SimDuration::from_secs(20), Intensity::Exact);
+        let mut app = WebApp::new(profile, VM_CAP, HOST_CAP, ArrivalModel::Poisson {
+            request_mcycles: 30.0,
+            rng: SimRng::seed_from(seed),
+        });
+        let mut now = SimTime::ZERO;
+        let mut backlog = 0.0;
+        for _ in 0..200 {
+            let dt = SimDuration::from_millis(100);
+            now = now + dt;
+            backlog += app.generate(now, dt);
+            // Serve at ~80% of the demand rate so queues form.
+            let served = (0.8 * VM_CAP * dt.as_secs_f64()).min(backlog);
+            app.on_progress(served, now);
+            backlog -= served;
+        }
+        let stats = app.latency_stats();
+        if stats.samples > 0 {
+            prop_assert!(stats.mean_s >= 0.0);
+            prop_assert!(stats.mean_s <= stats.p95_s + 1e-9, "{stats:?}");
+            prop_assert!(stats.p95_s <= stats.max_s + 1e-9, "{stats:?}");
+        }
+    }
+
+    /// pi-app: remaining work decreases monotonically to zero, total
+    /// progress equals the job size, and the completion instant is the
+    /// first slice where the budget is exhausted.
+    #[test]
+    fn pi_app_bookkeeping(total in 100.0f64..10_000.0, rate in 50.0f64..500.0) {
+        let mut app = PiApp::new(total);
+        let mut now = SimTime::ZERO;
+        let dt = SimDuration::from_millis(100);
+        let mut remaining_prev = app.total_mcycles();
+        let mut delivered = 0.0;
+        // First ask the app for demand, then report completion of the
+        // demanded work at `rate` mc/s until it finishes.
+        for _ in 0..10_000 {
+            now = now + dt;
+            let _ = app.generate(now, dt);
+            let step = rate * dt.as_secs_f64();
+            let grant = step.min(remaining_prev);
+            app.on_progress(grant, now);
+            delivered += grant;
+            let remaining = app.remaining_mcycles();
+            prop_assert!(remaining <= remaining_prev + 1e-9, "remaining must not grow");
+            remaining_prev = remaining;
+            if app.is_finished() {
+                break;
+            }
+        }
+        prop_assert!(app.is_finished(), "job of {total} mc at {rate} mc/s must finish");
+        prop_assert!((delivered - total).abs() < 1e-6 * total, "{delivered} vs {total}");
+        let t = app.execution_time().expect("finished");
+        let ideal = total / rate;
+        prop_assert!(
+            (t.as_secs_f64() - ideal).abs() <= dt.as_secs_f64() + 1e-9,
+            "execution time {} vs ideal {ideal}",
+            t.as_secs_f64()
+        );
+    }
+
+    /// TraceDemand plays back its segments verbatim: the rate at any
+    /// instant is the covering segment's rate, zero after the end.
+    #[test]
+    fn trace_demand_lookup(rates in proptest::collection::vec(0.0f64..1000.0, 1..6)) {
+        let seg = SimDuration::from_secs(10);
+        let mut trace = TraceDemand::new();
+        for &r in &rates {
+            trace = trace.segment(seg, r);
+        }
+        for (i, &r) in rates.iter().enumerate() {
+            let probe = SimTime::from_secs(10 * i as u64 + 5);
+            prop_assert_eq!(trace.rate_at(probe), r);
+        }
+        let after = SimTime::from_secs(10 * rates.len() as u64 + 5);
+        prop_assert_eq!(trace.rate_at(after), 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! The paper's closing perspective, runnable: PAS on a multi-core
+//! host with global vs per-socket vs per-core DVFS domains.
+//!
+//! Run with: `cargo run --example multicore_dvfs`
+
+use pas_repro::experiments::{runner, Fidelity};
+
+fn main() {
+    let report =
+        runner::run_experiment("multicore", Fidelity::Full).expect("multicore is registered");
+    println!("{}", report.text);
+}

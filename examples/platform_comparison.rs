@@ -1,0 +1,20 @@
+//! Table 2 on your terminal: pi-app execution times across the seven
+//! 2013-era platform archetypes, Performance vs OnDemand.
+//!
+//! Run with: `cargo run --release --example platform_comparison`
+//! (add `-- --full` for paper-scale job sizes).
+
+use pas_repro::experiments::{runner, Fidelity};
+
+fn main() {
+    let fidelity = if std::env::args().any(|a| a == "--full") {
+        Fidelity::Full
+    } else {
+        Fidelity::Quick
+    };
+    let report = runner::run_experiment("table2", fidelity).expect("table2 is registered");
+    println!("{}", report.text);
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+}

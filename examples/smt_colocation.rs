@@ -1,0 +1,80 @@
+//! Hyper-threaded co-location: what a CPU credit is worth when your
+//! sibling wakes up.
+//!
+//! Two tenants are pinned to the two hardware threads of one physical
+//! core (Intel-typical SMT: 1.25× aggregate speedup, so each contended
+//! thread runs at 0.625× of a dedicated one). Tenant A books 40% of a
+//! thread and thrashes throughout; tenant B is idle at first, then
+//! starts thrashing too.
+//!
+//! Under the paper's PAS verbatim (frequency compensation only), A
+//! silently loses capacity the moment B wakes — the hyper-threading
+//! analogue of the paper's Scenario 1. The SMT-aware extension folds
+//! the observed sibling contention into Equation 4 and restores A's
+//! booking.
+//!
+//! Run with: `cargo run --example smt_colocation`
+
+use pas_repro::cpumodel::machines;
+use pas_repro::cpumodel::smt::SmtSpec;
+use pas_repro::hypervisor::smt::{SmtAwareness, SmtHost, ThreadId};
+use pas_repro::hypervisor::work::{ConstantDemand, Idle};
+use pas_repro::hypervisor::VmConfig;
+use pas_repro::pas_core::Credit;
+use pas_repro::simkernel::SimDuration;
+
+/// One run: tenant A books 40% on thread 0; the sibling is idle for
+/// the first half, thrashing for the second. Returns A's delivered
+/// absolute capacity (percent of a non-contended thread at fmax) per
+/// half.
+fn run(awareness: SmtAwareness) -> (f64, f64) {
+    let mut host = SmtHost::new(&machines::optiplex_755(), SmtSpec::intel_typical(), awareness);
+    let thrash = host.fmax_mcps();
+    let a = host.add_vm(
+        VmConfig::new("tenant-a", Credit::percent(40.0)),
+        Box::new(ConstantDemand::new(thrash)),
+        ThreadId(0),
+    );
+
+    // First half: sibling idle.
+    host.add_vm(VmConfig::new("tenant-b", Credit::percent(60.0)), Box::new(Idle), ThreadId(1));
+    host.run_for(SimDuration::from_secs(120));
+    let half1 = 100.0 * host.vm_absolute_fraction(a);
+
+    // Second half: rebuild with a thrashing sibling (steady states are
+    // what matter; a fresh host keeps the two halves independent).
+    let mut host2 = SmtHost::new(&machines::optiplex_755(), SmtSpec::intel_typical(), awareness);
+    let a2 = host2.add_vm(
+        VmConfig::new("tenant-a", Credit::percent(40.0)),
+        Box::new(ConstantDemand::new(thrash)),
+        ThreadId(0),
+    );
+    host2.add_vm(
+        VmConfig::new("tenant-b", Credit::percent(60.0)),
+        Box::new(ConstantDemand::new(thrash)),
+        ThreadId(1),
+    );
+    host2.run_for(SimDuration::from_secs(120));
+    let half2 = 100.0 * host2.vm_absolute_fraction(a2);
+    (half1, half2)
+}
+
+fn main() {
+    println!(
+        "Tenant A books 40% of a hardware thread (Optiplex 755 ladder,\n\
+         2-way SMT, 1.25x aggregate speedup). Delivered absolute capacity:\n"
+    );
+    println!("  {:<18} {:>14} {:>18}", "PAS variant", "sibling idle", "sibling thrashing");
+    for (label, awareness) in [
+        ("naive (paper)", SmtAwareness::Naive),
+        ("SMT-aware", SmtAwareness::Aware),
+    ] {
+        let (idle, busy) = run(awareness);
+        println!("  {label:<18} {idle:>13.1}% {busy:>17.1}%");
+    }
+    println!(
+        "\nThe naive scheduler honours the booking only while the sibling\n\
+         sleeps; the SMT-aware Equation 4 (credit / (ratio * cf * contention))\n\
+         holds it at 40% in both states."
+    );
+}

@@ -1,0 +1,56 @@
+//! A hosting-center day: the paper's three-phase web scenario,
+//! rendered as terminal charts for all three schedulers.
+//!
+//! Reproduces the qualitative content of Figures 5, 7 and 10 side by
+//! side: the absolute (fmax-equivalent) load each scheduler actually
+//! delivers to V20 against its 20% booking.
+//!
+//! Run with: `cargo run --example web_hosting`
+
+use pas_repro::experiments::scenario::{build, Fidelity, ScenarioConfig};
+use pas_repro::governors::StableOndemand;
+use pas_repro::hypervisor::SchedulerKind;
+use pas_repro::metrics::ascii;
+use pas_repro::workloads::Intensity;
+
+fn show(label: &str, scheduler: SchedulerKind, intensity: Intensity, governed: bool) {
+    let mut cfg = ScenarioConfig::new(scheduler, intensity, Fidelity::Quick);
+    if governed {
+        cfg = cfg.with_governor(Box::new(StableOndemand::new()));
+    }
+    let mut sc = build(cfg);
+    sc.run();
+    let v20 = sc.absolute_load_series(sc.v20, "v20 absolute %");
+    let freq = sc.freq_series().renamed("freq (MHz/100)");
+    let freq_scaled = pas_repro::metrics::TimeSeries::from_points(
+        "freq/100",
+        freq.points().iter().map(|&(t, v)| (t, v / 100.0)).collect(),
+    );
+    println!("--- {label} ---");
+    println!("{}", ascii::chart_many(&[&v20, &freq_scaled], 70, 12));
+}
+
+fn main() {
+    println!(
+        "Three-phase scenario: V20 active early, V70 joins later.\n\
+         The booking is 20% of maximum-frequency capacity.\n"
+    );
+    show(
+        "Credit + ondemand, exact load (Figure 5: V20 shortchanged in phase A)",
+        SchedulerKind::Credit,
+        Intensity::Exact,
+        true,
+    );
+    show(
+        "SEDF + ondemand, exact load (Figure 7: idle slices mask the penalty)",
+        SchedulerKind::Sedf { extra: true },
+        Intensity::Exact,
+        true,
+    );
+    show(
+        "PAS, thrashing load (Figure 10: booked capacity at low frequency)",
+        SchedulerKind::Pas,
+        Intensity::Thrashing,
+        false,
+    );
+}

@@ -1,0 +1,52 @@
+//! **pas-repro** — a full reproduction of *"DVFS Aware CPU Credit
+//! Enforcement in a Virtualized System"* (Hagimont, Mayap Kamga,
+//! Broto, Tchana, De Palma — ACM/IFIP/USENIX Middleware 2013).
+//!
+//! This façade crate re-exports the whole workspace:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`simkernel`] | deterministic discrete-event kernel |
+//! | [`cpumodel`] | P-states, `cf` factors, power/energy, machine presets |
+//! | [`governors`] | cpufreq + ondemand / conservative / performance / powersave / userspace / the paper's stabilised governor |
+//! | [`pas_core`] | the paper's contribution: Equations 1–4, Listings 1.1/1.2, controllers, calibration |
+//! | [`hypervisor`] | the virtualized host: VMs, guest scheduler, Credit / SEDF / PAS |
+//! | [`workloads`] | pi-app, web-app (httperf-like), three-phase profiles |
+//! | [`metrics`] | time series, summaries, CSV/JSON export, ASCII charts |
+//! | [`enforcer`] | simulator + cgroup-v2 enforcement backends |
+//! | [`experiments`] | one module per paper table/figure + extensions |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pas_repro::hypervisor::{HostConfig, SchedulerKind, VmConfig};
+//! use pas_repro::hypervisor::work::ConstantDemand;
+//! use pas_repro::pas_core::Credit;
+//! use pas_repro::simkernel::SimDuration;
+//!
+//! // The paper's headline scenario: V20 overloaded, V70 lazy, PAS on.
+//! let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+//! let demand = host.fmax_mcps(); // thrashing demand
+//! host.add_vm(VmConfig::new("v20", Credit::percent(20.0)),
+//!             Box::new(ConstantDemand::new(demand)));
+//! host.add_vm(VmConfig::new("v70", Credit::percent(70.0)),
+//!             Box::new(pas_repro::hypervisor::work::Idle));
+//! host.run_for(SimDuration::from_secs(60));
+//!
+//! // Frequency lowered, V20's absolute capacity preserved at 20%.
+//! assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx());
+//! let abs = host.stats().vm_absolute_fraction(pas_repro::hypervisor::VmId(0));
+//! assert!((abs - 0.20).abs() < 0.02);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use cpumodel;
+pub use enforcer;
+pub use experiments;
+pub use governors;
+pub use hypervisor;
+pub use metrics;
+pub use pas_core;
+pub use simkernel;
+pub use workloads;

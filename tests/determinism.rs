@@ -1,0 +1,54 @@
+//! Reproducibility: identical seeds give bit-identical runs; the
+//! figures are therefore exactly regenerable.
+
+use pas_repro::experiments::scenario::{build, Fidelity, ScenarioConfig};
+use pas_repro::governors::Ondemand;
+use pas_repro::hypervisor::SchedulerKind;
+use pas_repro::workloads::Intensity;
+
+fn run_seeded(seed: u64) -> Vec<(f64, f64)> {
+    let mut sc = build(
+        ScenarioConfig::new(SchedulerKind::Credit, Intensity::Exact, Fidelity::Quick)
+            .with_governor(Box::new(Ondemand::default()))
+            .with_bursty_arrivals(seed),
+    );
+    sc.run();
+    sc.global_load_series(sc.v20, "v20").points().to_vec()
+}
+
+#[test]
+fn same_seed_same_trace() {
+    let a = run_seeded(7);
+    let b = run_seeded(7);
+    assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.iter().zip(&b) {
+        assert_eq!(pa.0.to_bits(), pb.0.to_bits(), "timestamps identical");
+        assert_eq!(pa.1.to_bits(), pb.1.to_bits(), "values identical");
+    }
+}
+
+#[test]
+fn different_seed_different_trace() {
+    let a = run_seeded(7);
+    let b = run_seeded(8);
+    let differing = a.iter().zip(&b).filter(|(x, y)| x.1 != y.1).count();
+    assert!(differing > 0, "bursty arrivals must depend on the seed");
+}
+
+#[test]
+fn fluid_runs_are_seed_independent() {
+    let run = |seed| {
+        let mut sc = build(
+            ScenarioConfig::new(SchedulerKind::Pas, Intensity::Thrashing, Fidelity::Quick)
+                .with_bursty_arrivals(seed), // bursty flag off below
+        );
+        // Note: thrashing + Poisson still saturates; use global load.
+        sc.run();
+        sc.global_load_series(sc.v20, "v20").mean()
+    };
+    // Saturated thrashing runs are statistically identical across
+    // seeds even with Poisson arrivals (the queue never empties).
+    let a = run(1);
+    let b = run(2);
+    assert!((a - b).abs() < 1.0, "saturated runs agree: {a} vs {b}");
+}

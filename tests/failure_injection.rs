@@ -1,0 +1,185 @@
+//! Failure injection across the stack: rogue governors, VMs retired
+//! and added mid-run, out-of-range P-state requests, and a cgroup shim
+//! facing a broken sysfs. The host must degrade gracefully — never
+//! panic, never strand a healthy VM below its booking.
+
+use pas_repro::cpumodel::{machines, PStateIdx};
+use pas_repro::enforcer::testkit::{temp_root, FakeSysfs};
+use pas_repro::enforcer::{CgroupBackend, CgroupLayout};
+use pas_repro::governors::{GovContext, Governor};
+use pas_repro::hypervisor::work::{ConstantDemand, Idle};
+use pas_repro::hypervisor::{HostConfig, SchedulerKind, VmConfig};
+use pas_repro::pas_core::{Credit, PasBackend};
+use pas_repro::simkernel::SimDuration;
+
+/// A governor that always demands a P-state far off the ladder.
+struct Rogue;
+
+impl Governor for Rogue {
+    fn name(&self) -> &'static str {
+        "rogue"
+    }
+
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+        Some(PStateIdx(ctx.table.len() + 42))
+    }
+}
+
+/// A governor that oscillates between the ladder's endpoints on every
+/// sample — the worst legal behaviour for frequency-transition churn.
+struct Flapper {
+    up: bool,
+}
+
+impl Governor for Flapper {
+    fn name(&self) -> &'static str {
+        "flapper"
+    }
+
+    fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
+        self.up = !self.up;
+        Some(if self.up { ctx.table.max_idx() } else { ctx.table.min_idx() })
+    }
+}
+
+#[test]
+fn rogue_governor_cannot_crash_the_host() {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+        .with_governor(Box::new(Rogue))
+        .build();
+    let demand = 0.5 * host.fmax_mcps();
+    let v = host.add_vm(VmConfig::new("v", Credit::percent(50.0)), Box::new(ConstantDemand::new(demand)));
+    host.run_for(SimDuration::from_secs(30));
+    // The rogue decision is clamped to fmax; the VM still gets its cap.
+    assert_eq!(host.cpu().pstate(), host.cpu().pstates().max_idx());
+    let busy = host.stats().vm_busy_fraction(v);
+    assert!((busy - 0.50).abs() < 0.02, "cap still enforced: {busy}");
+}
+
+#[test]
+fn flapping_governor_degrades_but_does_not_break_accounting() {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+        .with_governor(Box::new(Flapper { up: false }))
+        .build();
+    let demand = 0.3 * host.fmax_mcps();
+    let v = host.add_vm(VmConfig::new("v", Credit::percent(30.0)), Box::new(ConstantDemand::new(demand)));
+    host.run_for(SimDuration::from_secs(60));
+    // Wall-clock cap enforcement is frequency-independent.
+    let busy = host.stats().vm_busy_fraction(v);
+    assert!(busy <= 0.32, "cap never exceeded under flapping: {busy}");
+    // Absolute capacity is degraded by the low-frequency halves — the
+    // paper's Scenario 1 amplified — but stays within the physical
+    // envelope.
+    let abs = host.stats().vm_absolute_fraction(v);
+    assert!(abs <= 0.31, "absolute {abs}");
+    assert!(abs >= 0.15, "still runs most of the time: {abs}");
+}
+
+#[test]
+fn retiring_a_vm_mid_run_lets_pas_lower_the_frequency() {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+    let thrash = host.fmax_mcps();
+    let v20 = host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
+    let v70 = host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(ConstantDemand::new(thrash)));
+    host.run_for(SimDuration::from_secs(30));
+    assert_eq!(
+        host.cpu().pstate(),
+        host.cpu().pstates().max_idx(),
+        "both thrashing: max frequency"
+    );
+
+    host.retire_vm(v70);
+    host.run_for(SimDuration::from_secs(30));
+    assert!(
+        host.cpu().pstate() < host.cpu().pstates().max_idx(),
+        "after v70's departure the 20% load fits a lower P-state"
+    );
+    // V20's booking survives the transition: its whole-run absolute
+    // fraction stays at 20% (it was 20% in both halves).
+    let abs = host.stats().vm_absolute_fraction(v20);
+    assert!((abs - 0.20).abs() < 0.02, "v20 absolute {abs}");
+}
+
+#[test]
+fn vm_added_mid_run_is_scheduled_and_compensated() {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+    let thrash = host.fmax_mcps();
+    let v20 = host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
+    host.run_for(SimDuration::from_secs(30));
+
+    let late = host.add_vm(VmConfig::new("late", Credit::percent(40.0)), Box::new(ConstantDemand::new(thrash)));
+    host.run_for(SimDuration::from_secs(30));
+
+    // The late VM runs and receives its booking over its own lifetime
+    // (half the total run → ~20% of the whole-run average).
+    let late_abs = host.stats().vm_absolute_fraction(late);
+    assert!((late_abs - 0.20).abs() < 0.03, "late VM whole-run absolute {late_abs}");
+    // And the incumbent keeps its booking throughout.
+    let abs = host.stats().vm_absolute_fraction(v20);
+    assert!((abs - 0.20).abs() < 0.02, "v20 absolute {abs}");
+}
+
+#[test]
+fn out_of_range_pstate_request_is_an_error_not_a_panic() {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+    let ladder_len = host.cpu().pstates().len();
+    let err = host.set_pstate(PStateIdx(ladder_len + 1));
+    assert!(err.is_err(), "out-of-range index must be rejected");
+    // The host is still usable afterwards.
+    host.add_vm(VmConfig::new("v", Credit::percent(10.0)), Box::new(Idle));
+    host.run_for(SimDuration::from_secs(1));
+}
+
+#[test]
+fn shim_survives_a_broken_setspeed_file() {
+    let root = temp_root("broken-setspeed");
+    let table = machines::optiplex_755().pstate_table();
+    let mut fake = FakeSysfs::create(&root, &table, &["v20"]);
+    let mut backend = CgroupBackend::with_table(
+        CgroupLayout::new(&root),
+        vec![("v20".to_owned(), Credit::percent(20.0))],
+        table.clone(),
+    );
+
+    let setspeed = backend.layout().setspeed();
+    fake.break_file(&setspeed);
+    let err = backend.set_pstate(PStateIdx(0));
+    assert!(err.is_err(), "write to a broken file must surface as an error");
+
+    // Quota writes use a different file and must still work.
+    backend
+        .apply_credits(&[Credit::percent(40.0)])
+        .expect("cpu.max is intact");
+    let (quota, period) = fake.read_cpu_max("v20");
+    assert!((quota.expect("capped") as f64 / period as f64 - 0.40).abs() < 1e-3);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shim_reports_missing_cgroup_directory() {
+    let root = temp_root("missing-cgroup");
+    let table = machines::optiplex_755().pstate_table();
+    // Sysfs exists but the VM's cgroup was never created.
+    let _fake = FakeSysfs::create(&root, &table, &[]);
+    let mut backend = CgroupBackend::with_table(
+        CgroupLayout::new(&root),
+        vec![("ghost".to_owned(), Credit::percent(20.0))],
+        table,
+    );
+    let err = backend.apply_credits(&[Credit::percent(30.0)]);
+    assert!(err.is_err(), "missing cgroup dir must surface as an error");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn zero_credit_vm_under_pas_behaves_like_xens_null_cap() {
+    // Xen's credit scheduler treats credit 0 as "no cap". PAS must
+    // preserve that semantic at every frequency rather than computing
+    // 0 / ratio = 0.
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+    let demand = 0.10 * host.fmax_mcps();
+    let free = host.add_vm(VmConfig::new("free", Credit::percent(0.0)), Box::new(ConstantDemand::new(demand)));
+    host.run_for(SimDuration::from_secs(30));
+    let abs = host.stats().vm_absolute_fraction(free);
+    assert!((abs - 0.10).abs() < 0.02, "uncapped VM runs its demand: {abs}");
+}

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the paper's qualitative claims,
+//! asserted end-to-end on the simulated host.
+
+use pas_repro::governors::StableOndemand;
+use pas_repro::hypervisor::work::{ConstantDemand, Idle};
+use pas_repro::hypervisor::{HostConfig, SchedulerKind, VmConfig, VmId};
+use pas_repro::pas_core::Credit;
+use pas_repro::simkernel::SimDuration;
+use pas_repro::workloads::PiApp;
+
+/// Builds the canonical host: V20 overloaded (demand = whole machine),
+/// V70 idle.
+fn overloaded_v20(scheduler: SchedulerKind, governed: bool) -> pas_repro::hypervisor::Host {
+    let mut cfg = HostConfig::optiplex_defaults(scheduler);
+    if governed {
+        cfg = cfg.with_governor(Box::new(StableOndemand::new()));
+    }
+    let mut host = cfg.build();
+    let thrash = host.fmax_mcps();
+    host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
+    host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(Idle));
+    host
+}
+
+#[test]
+fn scenario1_fix_credit_plus_dvfs_starves_v20() {
+    // Section 3.2, Scenario 1: the ondemand governor scales down and
+    // the capped V20 loses real capacity.
+    let mut host = overloaded_v20(SchedulerKind::Credit, true);
+    host.run_for(SimDuration::from_secs(300));
+    assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx(), "host underloaded");
+    let abs = 100.0 * host.stats().vm_absolute_fraction(VmId(0));
+    assert!(
+        abs < 13.0,
+        "V20 received {abs}% of fmax capacity instead of its booked 20%"
+    );
+}
+
+#[test]
+fn scenario2_variable_credit_prevents_scaling() {
+    // Section 3.2, Scenario 2: the work-conserving scheduler hands V20
+    // all idle slices, so the frequency can never drop.
+    let mut host = overloaded_v20(SchedulerKind::Sedf { extra: true }, true);
+    host.run_for(SimDuration::from_secs(300));
+    assert_eq!(host.cpu().pstate(), host.cpu().pstates().max_idx(), "frequency pinned");
+    let busy = host.stats().vm_busy_fraction(VmId(0));
+    assert!(busy > 0.85, "V20 consumed {busy} of the host, far beyond its 20% credit");
+}
+
+#[test]
+fn pas_resolves_both_scenarios() {
+    let mut host = overloaded_v20(SchedulerKind::Pas, false);
+    host.run_for(SimDuration::from_secs(300));
+    // Energy side: frequency low.
+    assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx());
+    // SLA side: booked absolute capacity delivered.
+    let abs = 100.0 * host.stats().vm_absolute_fraction(VmId(0));
+    assert!((abs - 20.0).abs() < 1.5, "V20 absolute capacity {abs}% (booked 20%)");
+    // And V20 is *not* allowed beyond its compensated credit.
+    let busy = host.stats().vm_busy_fraction(VmId(0));
+    assert!(busy < 0.36, "V20 wall-time share {busy} stays near the 33% compensated cap");
+}
+
+#[test]
+fn pas_beats_credit_on_pi_app_execution_time() {
+    // The Table 2 structure on the Optiplex: same job, ondemand DVFS,
+    // Credit vs PAS.
+    let time_with = |scheduler, governed: bool| {
+        let mut cfg = HostConfig::optiplex_defaults(scheduler);
+        if governed {
+            cfg = cfg.with_governor(Box::new(StableOndemand::new()));
+        }
+        let mut host = cfg.build();
+        let fmax = host.fmax_mcps();
+        let vm = host.add_vm(
+            VmConfig::new("v20", Credit::percent(20.0)),
+            Box::new(PiApp::sized_for_seconds(20.0, fmax)),
+        );
+        host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(Idle));
+        host.run_until_vm_finished(vm, pas_repro::simkernel::SimTime::from_secs(4000))
+            .expect("pi-app finishes")
+            .as_secs_f64()
+    };
+    let t_credit = time_with(SchedulerKind::Credit, true);
+    let t_pas = time_with(SchedulerKind::Pas, false);
+    let t_ref = time_with(SchedulerKind::Credit, false); // performance baseline
+    assert!(
+        t_credit > 1.4 * t_ref,
+        "credit+ondemand degrades: {t_credit} vs baseline {t_ref}"
+    );
+    assert!(
+        (t_pas - t_ref).abs() / t_ref < 0.08,
+        "PAS matches the performance baseline: {t_pas} vs {t_ref}"
+    );
+}
+
+#[test]
+fn energy_ordering_holds() {
+    // PAS consumes less than performance-governed credit on the same
+    // underloaded host.
+    let energy_with = |scheduler, governed: bool| {
+        let mut host = overloaded_v20(scheduler, governed);
+        host.run_for(SimDuration::from_secs(300));
+        host.cpu().energy().joules()
+    };
+    let e_perf = energy_with(SchedulerKind::Credit, false);
+    let e_pas = energy_with(SchedulerKind::Pas, false);
+    assert!(
+        e_pas < 0.9 * e_perf,
+        "PAS ({e_pas} J) saves energy over the performance baseline ({e_perf} J)"
+    );
+}
+
+#[test]
+fn dom0_priority_survives_thrashing_guests() {
+    // The management domain stays responsive whatever the guests do.
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+    let thrash = host.fmax_mcps();
+    host.add_vm(VmConfig::new("v90", Credit::percent(90.0)), Box::new(ConstantDemand::new(thrash)));
+    let dom0 = host.add_vm(
+        VmConfig::dom0(),
+        Box::new(ConstantDemand::new(0.05 * thrash)),
+    );
+    host.run_for(SimDuration::from_secs(60));
+    let dom0_busy = host.stats().vm_busy_fraction(dom0);
+    assert!(
+        (dom0_busy - 0.05).abs() < 0.01,
+        "dom0 got {dom0_busy} of the CPU for its 5% demand"
+    );
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the PAS core invariants, across random
+//! ladders, credits and loads.
+
+use pas_repro::cpumodel::{CfModel, Frequency, PStateTable};
+use pas_repro::hypervisor::work::ConstantDemand;
+use pas_repro::hypervisor::{HostConfig, SchedulerKind, VmConfig, VmId};
+use pas_repro::pas_core::{equations, Credit, FreqPlanner};
+use pas_repro::simkernel::SimDuration;
+use proptest::prelude::*;
+
+/// A strategy producing valid DVFS ladders: 2–8 strictly ascending
+/// frequencies between 400 and 4000 MHz, with a random cf model.
+fn ladder_strategy() -> impl Strategy<Value = PStateTable> {
+    (
+        proptest::collection::btree_set(400u32..4000, 2..8),
+        0.0f64..0.4,
+        0.0f64..0.4,
+    )
+        .prop_map(|(freqs, alpha, beta)| {
+            let model = CfModel::microarch(alpha, beta);
+            PStateTable::from_frequencies(freqs.into_iter().map(Frequency::mhz), &model)
+                .expect("ascending by construction")
+        })
+}
+
+proptest! {
+    /// Equation 4 round-trip: compensating a credit for a frequency
+    /// and then granting `cap · ratio · cf` restores the original
+    /// credit exactly.
+    #[test]
+    fn eq4_preserves_absolute_capacity(
+        table in ladder_strategy(),
+        credit_pct in 1.0f64..100.0,
+        state_sel in 0usize..8,
+    ) {
+        let idx = pas_repro::cpumodel::PStateIdx(state_sel % table.len());
+        let credit = Credit::percent(credit_pct);
+        let comp = equations::compensated_credit(credit, table.ratio(idx), table.cf(idx));
+        let granted = comp.as_percent() * table.ratio(idx) * table.cf(idx);
+        prop_assert!((granted - credit_pct).abs() < 1e-9);
+    }
+
+    /// The planner always returns a state whose capacity covers the
+    /// load, or the maximum state when nothing can.
+    #[test]
+    fn planner_choice_is_sufficient_or_max(
+        table in ladder_strategy(),
+        load in 0.0f64..150.0,
+    ) {
+        let planner = FreqPlanner::new(table.clone());
+        let idx = planner.compute_new_freq(load);
+        let cap = equations::capacity_percent(table.ratio(idx), table.cf(idx));
+        if idx != table.max_idx() {
+            prop_assert!(cap > load, "chosen capacity {cap} <= load {load}");
+            // And it is the *lowest* sufficient state.
+            if idx.0 > 0 {
+                let below = pas_repro::cpumodel::PStateIdx(idx.0 - 1);
+                let cap_below =
+                    equations::capacity_percent(table.ratio(below), table.cf(below));
+                prop_assert!(cap_below <= load, "a lower state would also fit");
+            }
+        }
+    }
+
+    /// The planner is monotone: more load never picks a lower state.
+    #[test]
+    fn planner_monotone(table in ladder_strategy(), a in 0.0f64..120.0, b in 0.0f64..120.0) {
+        let planner = FreqPlanner::new(table);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(planner.compute_new_freq(lo) <= planner.compute_new_freq(hi));
+    }
+
+    /// Equations 2 and 3 compose to the identity the paper derives:
+    /// T(compensated credit, low freq) == T(initial credit, fmax).
+    #[test]
+    fn compensation_cancels_slowdown(
+        t_max in 1.0f64..10_000.0,
+        credit_pct in 1.0f64..100.0,
+        ratio in 0.05f64..1.0,
+        cf in 0.5f64..1.1,
+    ) {
+        let c0 = Credit::percent(credit_pct);
+        let slow = equations::time_at_ratio(t_max, ratio, cf);
+        let c1 = equations::compensated_credit(c0, ratio, cf);
+        let restored = equations::time_with_credit(slow, c0, c1);
+        prop_assert!((restored - t_max).abs() / t_max < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Credit conservation on a live host: with random credit splits,
+    /// every capped VM's busy fraction stays at (or below) its cap and
+    /// the total never exceeds wall time.
+    #[test]
+    fn host_conserves_time_under_random_credits(
+        splits in proptest::collection::vec(5u32..50, 2..5),
+    ) {
+        let total: u32 = splits.iter().sum();
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        let thrash = host.fmax_mcps();
+        let mut caps = Vec::new();
+        for (i, &s) in splits.iter().enumerate() {
+            // Normalize so caps sum to at most 95%.
+            let pct = f64::from(s) / f64::from(total) * 95.0;
+            caps.push(pct);
+            host.add_vm(
+                VmConfig::new(format!("vm{i}"), Credit::percent(pct)),
+                Box::new(ConstantDemand::new(thrash)),
+            );
+        }
+        host.run_for(SimDuration::from_secs(30));
+        let mut sum = 0.0;
+        for (i, cap) in caps.iter().enumerate() {
+            let busy = 100.0 * host.stats().vm_busy_fraction(VmId(i));
+            prop_assert!(busy <= cap + 1.5, "vm{i}: busy {busy}% over cap {cap}%");
+            prop_assert!(busy >= cap - 1.5, "vm{i}: busy {busy}% under cap {cap}% despite thrashing");
+            sum += busy;
+        }
+        prop_assert!(sum <= 100.0 + 1e-6);
+    }
+
+    /// The PAS host invariant under random demand levels: V20's
+    /// delivered absolute capacity equals min(booked, demand).
+    #[test]
+    fn pas_delivers_min_of_booking_and_demand(demand_frac in 0.02f64..0.6) {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+        let fmax = host.fmax_mcps();
+        host.add_vm(
+            VmConfig::new("v20", Credit::percent(20.0)),
+            Box::new(ConstantDemand::new(demand_frac * fmax)),
+        );
+        host.run_for(SimDuration::from_secs(120));
+        let abs = 100.0 * host.stats().vm_absolute_fraction(VmId(0));
+        let expected = (demand_frac * 100.0).min(20.0);
+        prop_assert!(
+            (abs - expected).abs() < 2.0,
+            "delivered {abs}% vs expected {expected}% (demand {demand_frac})"
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests of the cgroup-v2 shim: whatever the controller
+//! writes must parse back and preserve the Equation 4 invariant.
+
+use pas_repro::cpumodel::machines;
+use pas_repro::enforcer::testkit::{temp_root, FakeSysfs};
+use pas_repro::enforcer::{CgroupBackend, CgroupLayout};
+use pas_repro::pas_core::{Credit, PasBackend};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Credits written as quotas read back within rounding of one
+    /// microsecond per period.
+    #[test]
+    fn quota_round_trip(credits in proptest::collection::vec(0.0f64..150.0, 1..4)) {
+        let root = temp_root("prop-quota");
+        let table = machines::optiplex_755().pstate_table();
+        let names: Vec<String> = (0..credits.len()).map(|i| format!("vm{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let fake = FakeSysfs::create(&root, &table, &name_refs);
+        let mut backend = CgroupBackend::with_table(
+            CgroupLayout::new(&root),
+            names.iter().map(|n| (n.clone(), Credit::percent(50.0))).collect(),
+            table,
+        );
+        let creds: Vec<Credit> = credits.iter().map(|&c| Credit::percent(c)).collect();
+        backend.apply_credits(&creds).expect("writes succeed");
+        for (name, &pct) in names.iter().zip(&credits) {
+            let (quota, period) = fake.read_cpu_max(name);
+            if pct == 0.0 {
+                prop_assert_eq!(quota, None, "zero credit means uncapped");
+            } else {
+                let got = quota.expect("capped") as f64 / period as f64 * 100.0;
+                prop_assert!((got - pct).abs() < 0.01, "{name}: {got} vs {pct}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Frequency set → kernel tick → read back resolves to the same
+    /// p-state.
+    #[test]
+    fn pstate_round_trip(sel in 0usize..5) {
+        let root = temp_root("prop-freq");
+        let table = machines::optiplex_755().pstate_table();
+        let mut fake = FakeSysfs::create(&root, &table, &["v"]);
+        let mut backend = CgroupBackend::with_table(
+            CgroupLayout::new(&root),
+            vec![("v".to_owned(), Credit::percent(50.0))],
+            table.clone(),
+        );
+        let idx = pas_repro::cpumodel::PStateIdx(sel % table.len());
+        backend.set_pstate(idx).expect("write succeeds");
+        fake.kernel_tick();
+        prop_assert_eq!(backend.current_pstate().expect("readable"), idx);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Load deltas reconstruct any busy fraction the fake kernel
+    /// accrues.
+    #[test]
+    fn load_delta_reconstruction(busy in 0.0f64..1.0) {
+        let root = temp_root("prop-load");
+        let table = machines::optiplex_755().pstate_table();
+        let mut fake = FakeSysfs::create(&root, &table, &["v"]);
+        let mut backend = CgroupBackend::with_table(
+            CgroupLayout::new(&root),
+            vec![("v".to_owned(), Credit::percent(50.0))],
+            table,
+        );
+        backend.prime_load().expect("prime");
+        fake.advance_time(10_000, busy);
+        let got = backend.global_load_percent().expect("readable");
+        prop_assert!((got - busy * 100.0).abs() < 0.05, "{got} vs {}", busy * 100.0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
