@@ -10,20 +10,21 @@ use governors::StableOndemand;
 use hypervisor::host::SchedulerKind;
 use workloads::Intensity;
 
+/// A named scenario recipe for the scheduler-ablation table.
+type ScenarioCase = (&'static str, fn() -> ScenarioConfig);
+
 fn bench_extensions(c: &mut Criterion) {
     let mut group = c.benchmark_group("extensions");
-    for name in
-        [
-            "energy",
-            "placement",
-            "multicore",
-            "smt",
-            "sensitivity",
-            "overbooking",
-            "consolidation",
-            "churn",
-        ]
-    {
+    for name in [
+        "energy",
+        "placement",
+        "multicore",
+        "smt",
+        "sensitivity",
+        "overbooking",
+        "consolidation",
+        "churn",
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let report = run_experiment(name, Fidelity::Quick).expect("registered");
@@ -38,7 +39,7 @@ fn bench_scheduler_ablation(c: &mut Criterion) {
     // Same scenario, three schedulers: the cost of the PAS tick
     // relative to plain Credit is the interesting delta.
     let mut group = c.benchmark_group("scheduler-ablation");
-    let cases: Vec<(&str, fn() -> ScenarioConfig)> = vec![
+    let cases: Vec<ScenarioCase> = vec![
         ("credit", || {
             ScenarioConfig::new(SchedulerKind::Credit, Intensity::Thrashing, Fidelity::Quick)
                 .with_governor(Box::new(StableOndemand::new()))

@@ -8,9 +8,9 @@ use experiments::{run_experiment, Fidelity};
 
 fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
-    for name in
-        ["fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"]
-    {
+    for name in [
+        "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let report = run_experiment(name, Fidelity::Quick).expect("registered");

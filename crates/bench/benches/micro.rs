@@ -1,8 +1,8 @@
 //! Micro-benchmarks of the hot paths: the event queue, the scheduler
 //! dispatch decision, the PAS planner, and one simulated host-second.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpumodel::machines;
+use criterion::{criterion_group, criterion_main, Criterion};
 use hypervisor::sched::{CreditScheduler, Scheduler};
 use hypervisor::vm::{VmConfig, VmId};
 use hypervisor::work::ConstantDemand;
@@ -31,10 +31,7 @@ fn bench_scheduler_dispatch(c: &mut Criterion) {
         let mut sched = CreditScheduler::new();
         let ids: Vec<VmId> = (0..8).map(VmId).collect();
         for (i, id) in ids.iter().enumerate() {
-            sched.on_vm_added(
-                *id,
-                &VmConfig::new(format!("vm{i}"), Credit::percent(10.0)),
-            );
+            sched.on_vm_added(*id, &VmConfig::new(format!("vm{i}"), Credit::percent(10.0)));
         }
         b.iter(|| {
             let pick = sched.pick_next(SimTime::ZERO, &ids);
@@ -49,8 +46,11 @@ fn bench_scheduler_dispatch(c: &mut Criterion) {
 fn bench_planner(c: &mut Criterion) {
     c.bench_function("pas/plan_3_vms", |b| {
         let planner = FreqPlanner::new(machines::optiplex_755().pstate_table());
-        let credits =
-            [Credit::percent(20.0), Credit::percent(70.0), Credit::percent(10.0)];
+        let credits = [
+            Credit::percent(20.0),
+            Credit::percent(70.0),
+            Credit::percent(10.0),
+        ];
         let mut load = 0.0f64;
         b.iter(|| {
             load = (load + 7.3) % 110.0;

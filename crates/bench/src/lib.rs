@@ -18,5 +18,7 @@ use criterion::Criterion;
 /// each iteration is a complete deterministic simulation run.
 #[must_use]
 pub fn experiment_criterion() -> Criterion {
-    Criterion::default().sample_size(10)
+    // configure_from_args picks up the name filter, so
+    // `cargo bench --bench figures fig9` runs a single artefact.
+    Criterion::default().sample_size(10).configure_from_args()
 }

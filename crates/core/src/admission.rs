@@ -78,11 +78,17 @@ pub enum AdmissionError {
 impl std::fmt::Display for AdmissionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AdmissionError::Infeasible { booked_pct, capacity_pct } => write!(
+            AdmissionError::Infeasible {
+                booked_pct,
+                capacity_pct,
+            } => write!(
                 f,
                 "bookings total {booked_pct:.1}% of fmax but the host caps at {capacity_pct:.1}%"
             ),
-            AdmissionError::FloorTooHigh { required, requested } => write!(
+            AdmissionError::FloorTooHigh {
+                required,
+                requested,
+            } => write!(
                 f,
                 "bookings force the DVFS floor up to {required} (wanted {requested})"
             ),
@@ -109,7 +115,11 @@ impl AdmissionPolicy {
     /// (zero) credits book nothing — they only scavenge idle time.
     #[must_use]
     pub fn booked_pct(bookings: &[Credit]) -> f64 {
-        bookings.iter().filter(|c| !c.is_uncapped()).map(|c| c.as_percent()).sum()
+        bookings
+            .iter()
+            .filter(|c| !c.is_uncapped())
+            .map(|c| c.as_percent())
+            .sum()
     }
 
     /// `true` if all bookings can be honoured simultaneously at
@@ -176,7 +186,10 @@ impl AdmissionPolicy {
         }
         let required = self.enforceable_floor(&all);
         if required > floor_guard {
-            return Err(AdmissionError::FloorTooHigh { required, requested: floor_guard });
+            return Err(AdmissionError::FloorTooHigh {
+                required,
+                requested: floor_guard,
+            });
         }
         Ok(required)
     }
@@ -273,7 +286,10 @@ mod tests {
             .admit(&pct(&[40.0]), Credit::percent(30.0), p.table().min_idx())
             .unwrap_err();
         match err {
-            AdmissionError::FloorTooHigh { required, requested } => {
+            AdmissionError::FloorTooHigh {
+                required,
+                requested,
+            } => {
                 assert!(required > requested);
             }
             other => panic!("wrong rejection: {other:?}"),
@@ -284,7 +300,11 @@ mod tests {
     fn admit_rejects_hard_infeasibility() {
         let p = policy();
         let err = p
-            .admit(&pct(&[70.0, 25.0]), Credit::percent(10.0), p.table().max_idx())
+            .admit(
+                &pct(&[70.0, 25.0]),
+                Credit::percent(10.0),
+                p.table().max_idx(),
+            )
             .unwrap_err();
         assert!(matches!(err, AdmissionError::Infeasible { .. }), "{err}");
         // The error is displayable for operator logs.

@@ -94,7 +94,11 @@ impl CfCalibrator {
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
-        Some(CfEstimate { mean, stddev, samples: n })
+        Some(CfEstimate {
+            mean,
+            stddev,
+            samples: n,
+        })
     }
 
     /// All estimates, keyed and ordered by P-state.

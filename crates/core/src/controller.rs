@@ -41,7 +41,10 @@ impl BackendError {
     /// Creates an error.
     #[must_use]
     pub fn new(operation: impl Into<String>, detail: impl Into<String>) -> Self {
-        BackendError { operation: operation.into(), detail: detail.into() }
+        BackendError {
+            operation: operation.into(),
+            detail: detail.into(),
+        }
     }
 }
 
@@ -252,8 +255,7 @@ mod tests {
     #[test]
     fn full_controller_lowers_freq_and_raises_credits() {
         let mut be = FakeBackend::new(20.0);
-        let mut ctl =
-            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
+        let mut ctl = PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
         let target = ctl.step(&mut be).unwrap();
         assert_eq!(target, be.table.min_idx(), "20% load fits at 1600 MHz");
         assert_eq!(be.pstate, be.table.min_idx());
@@ -282,9 +284,8 @@ mod tests {
     fn high_load_drives_full_controller_to_fmax() {
         let mut be = FakeBackend::new(100.0);
         be.pstate = be.table.min_idx();
-        let mut ctl =
-            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone())
-                .with_smoothing_window(1);
+        let mut ctl = PasController::new(ControllerPlacement::UserLevelFull, be.table.clone())
+            .with_smoothing_window(1);
         // The CPU is saturated at every frequency it is moved to, so
         // each control step climbs one more rung of the ladder.
         for _ in 0..4 {
@@ -298,8 +299,7 @@ mod tests {
     #[test]
     fn smoothing_damps_single_spike() {
         let mut be = FakeBackend::new(10.0);
-        let mut ctl =
-            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
+        let mut ctl = PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
         ctl.step(&mut be).unwrap();
         be.load = 100.0; // one-sample spike
         let t = ctl.step(&mut be).unwrap();
@@ -313,8 +313,7 @@ mod tests {
     fn apply_failure_propagates() {
         let mut be = FakeBackend::new(20.0);
         be.fail_next_apply = true;
-        let mut ctl =
-            PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
+        let mut ctl = PasController::new(ControllerPlacement::UserLevelFull, be.table.clone());
         let err = ctl.step(&mut be).unwrap_err();
         assert_eq!(err.operation, "apply credits");
         assert!(format!("{err}").contains("injected failure"));

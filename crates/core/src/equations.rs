@@ -111,7 +111,10 @@ impl Div<f64> for Credit {
 }
 
 fn check_ratio_cf(ratio: f64, cf: f64) {
-    assert!(ratio > 0.0 && ratio <= 1.0, "frequency ratio {ratio} out of (0,1]");
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "frequency ratio {ratio} out of (0,1]"
+    );
     assert!(cf > 0.0 && cf.is_finite(), "cf {cf} must be positive");
 }
 
@@ -167,7 +170,10 @@ pub fn time_at_ratio(t_max: f64, ratio: f64, cf: f64) -> f64 {
 /// Xen and has no proportionality semantics).
 #[must_use]
 pub fn time_with_credit(t_init: f64, c_init: Credit, c_j: Credit) -> f64 {
-    assert!(!c_init.is_uncapped() && !c_j.is_uncapped(), "equation 3 needs non-zero credits");
+    assert!(
+        !c_init.is_uncapped() && !c_j.is_uncapped(),
+        "equation 3 needs non-zero credits"
+    );
     t_init * c_init.as_percent() / c_j.as_percent()
 }
 
@@ -228,7 +234,9 @@ mod tests {
         // Figure 1: 2133/2667 = 0.7999; credits 10..100 map to
         // 13, 25, 38, 50, 63, 75, 88, 100, 113, 125 (rounded).
         let ratio = 2133.0 / 2667.0;
-        let expected = [13.0, 25.0, 38.0, 50.0, 63.0, 75.0, 88.0, 100.0, 113.0, 125.0];
+        let expected = [
+            13.0, 25.0, 38.0, 50.0, 63.0, 75.0, 88.0, 100.0, 113.0, 125.0,
+        ];
         for (i, want) in expected.iter().enumerate() {
             let init = Credit::percent((i as f64 + 1.0) * 10.0);
             let got = compensated_credit(init, ratio, 1.0).as_percent().round();
@@ -274,7 +282,10 @@ mod tests {
         assert_eq!(c, Credit::percent(50.0));
         assert_eq!(Credit::percent(20.0) * 2.0, Credit::percent(40.0));
         assert_eq!(Credit::percent(20.0) / 2.0, Credit::percent(10.0));
-        assert_eq!(Credit::percent(120.0).clamped_to(100.0), Credit::percent(100.0));
+        assert_eq!(
+            Credit::percent(120.0).clamped_to(100.0),
+            Credit::percent(100.0)
+        );
         assert_eq!(Credit::fraction(0.25), Credit::percent(25.0));
     }
 

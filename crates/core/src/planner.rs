@@ -52,7 +52,10 @@ impl FreqPlanner {
     /// (the paper's Listing 1.1 uses a strict `>` test and no margin).
     #[must_use]
     pub fn new(table: PStateTable) -> Self {
-        FreqPlanner { table, headroom_pct: 0.0 }
+        FreqPlanner {
+            table,
+            headroom_pct: 0.0,
+        }
     }
 
     /// Adds a safety margin: a state is only eligible if its capacity
@@ -124,8 +127,10 @@ impl FreqPlanner {
     #[must_use]
     pub fn plan(&self, initial_credits: &[Credit], absolute_load: f64) -> CreditPlan {
         let pstate = self.compute_new_freq(absolute_load);
-        let credits =
-            initial_credits.iter().map(|&c| self.compensate(c, pstate)).collect();
+        let credits = initial_credits
+            .iter()
+            .map(|&c| self.compensate(c, pstate))
+            .collect();
         CreditPlan { pstate, credits }
     }
 }
@@ -151,7 +156,11 @@ mod tests {
         let p = FreqPlanner::new(ladder());
         let t = ladder();
         assert_eq!(p.compute_new_freq(99.0), t.max_idx());
-        assert_eq!(p.compute_new_freq(150.0), t.max_idx(), "overload clamps to fmax");
+        assert_eq!(
+            p.compute_new_freq(150.0),
+            t.max_idx(),
+            "overload clamps to fmax"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl MovingAverage {
     #[must_use]
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be non-zero");
-        MovingAverage { window, samples: VecDeque::with_capacity(window), sum: 0.0 }
+        MovingAverage {
+            window,
+            samples: VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
     }
 
     /// The paper's 3-sample smoother.

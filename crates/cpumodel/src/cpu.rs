@@ -22,8 +22,14 @@ pub enum CpuError {
 impl fmt::Display for CpuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CpuError::UnknownPState { requested, available } => {
-                write!(f, "unknown p-state {requested} (table has {available} states)")
+            CpuError::UnknownPState {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "unknown p-state {requested} (table has {available} states)"
+                )
             }
         }
     }
@@ -137,7 +143,10 @@ impl Cpu {
     /// Returns [`CpuError::UnknownPState`] when `idx` is out of range.
     pub fn set_pstate(&mut self, idx: PStateIdx) -> Result<(), CpuError> {
         if self.pstates.get(idx).is_none() {
-            return Err(CpuError::UnknownPState { requested: idx, available: self.pstates.len() });
+            return Err(CpuError::UnknownPState {
+                requested: idx,
+                available: self.pstates.len(),
+            });
         }
         if idx != self.current {
             self.current = idx;
@@ -167,7 +176,13 @@ impl Cpu {
     ///
     /// Panics if `busy` is outside `[0, 1]`.
     pub fn account(&mut self, busy: f64, dt: SimDuration) {
-        self.energy.advance(&self.power, &self.pstates, self.current, busy, dt.as_secs_f64());
+        self.energy.advance(
+            &self.power,
+            &self.pstates,
+            self.current,
+            busy,
+            dt.as_secs_f64(),
+        );
     }
 
     /// The energy meter.
@@ -184,11 +199,9 @@ mod tests {
     use crate::freq::Frequency;
 
     fn cpu() -> Cpu {
-        let t = PStateTable::from_frequencies(
-            [1600, 2133, 2667].map(Frequency::mhz),
-            &CfModel::Ideal,
-        )
-        .unwrap();
+        let t =
+            PStateTable::from_frequencies([1600, 2133, 2667].map(Frequency::mhz), &CfModel::Ideal)
+                .unwrap();
         Cpu::new(t, PowerModel::default())
     }
 
@@ -212,7 +225,13 @@ mod tests {
     fn unknown_pstate_is_error() {
         let mut c = cpu();
         let err = c.set_pstate(PStateIdx(9)).unwrap_err();
-        assert_eq!(err, CpuError::UnknownPState { requested: PStateIdx(9), available: 3 });
+        assert_eq!(
+            err,
+            CpuError::UnknownPState {
+                requested: PStateIdx(9),
+                available: 3
+            }
+        );
         assert!(!format!("{err}").is_empty());
     }
 

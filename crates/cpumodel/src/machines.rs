@@ -176,11 +176,16 @@ mod tests {
 
     #[test]
     fn all_presets_build() {
-        for spec in
-            table1_machines().into_iter().chain(std::iter::once(optiplex_755()))
+        for spec in table1_machines()
+            .into_iter()
+            .chain(std::iter::once(optiplex_755()))
         {
             let cpu = spec.build_cpu();
-            assert!(cpu.pstates().len() >= 2, "{} needs >= 2 p-states", spec.name);
+            assert!(
+                cpu.pstates().len() >= 2,
+                "{} needs >= 2 p-states",
+                spec.name
+            );
             assert!((cpu.pstates().cf(cpu.pstates().max_idx()) - 1.0).abs() < 1e-9);
         }
     }

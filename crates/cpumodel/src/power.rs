@@ -49,9 +49,18 @@ impl PowerModel {
     /// Panics if either component is negative or not finite.
     #[must_use]
     pub fn new(p_static_w: f64, p_dynamic_max_w: f64) -> Self {
-        assert!(p_static_w.is_finite() && p_static_w >= 0.0, "bad static power");
-        assert!(p_dynamic_max_w.is_finite() && p_dynamic_max_w >= 0.0, "bad dynamic power");
-        PowerModel { p_static_w, p_dynamic_max_w }
+        assert!(
+            p_static_w.is_finite() && p_static_w >= 0.0,
+            "bad static power"
+        );
+        assert!(
+            p_dynamic_max_w.is_finite() && p_dynamic_max_w >= 0.0,
+            "bad dynamic power"
+        );
+        PowerModel {
+            p_static_w,
+            p_dynamic_max_w,
+        }
     }
 
     /// Instantaneous power in watts at P-state `state` with busy
@@ -72,7 +81,10 @@ impl PowerModel {
     /// Panics if `busy` is outside `[0, 1]`.
     #[must_use]
     pub fn power_scaled(&self, state: &PState, fmax_state: &PState, busy: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&busy), "busy fraction {busy} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&busy),
+            "busy fraction {busy} out of [0,1]"
+        );
         let f_ratio = state.frequency.as_mhz() as f64 / fmax_state.frequency.as_mhz() as f64;
         let v_ratio = state.voltage / fmax_state.voltage;
         self.p_static_w + busy * self.p_dynamic_max_w * f_ratio * v_ratio * v_ratio

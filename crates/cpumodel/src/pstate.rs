@@ -59,7 +59,10 @@ impl fmt::Display for PStateTableError {
         match self {
             PStateTableError::Empty => write!(f, "p-state table is empty"),
             PStateTableError::NotAscending { index } => {
-                write!(f, "p-state frequencies not strictly ascending at index {index}")
+                write!(
+                    f,
+                    "p-state frequencies not strictly ascending at index {index}"
+                )
             }
         }
     }
@@ -239,7 +242,10 @@ impl PStateTable {
     /// The index of the state with exactly frequency `f`, if present.
     #[must_use]
     pub fn index_of(&self, f: Frequency) -> Option<PStateIdx> {
-        self.states.iter().position(|s| s.frequency == f).map(PStateIdx)
+        self.states
+            .iter()
+            .position(|s| s.frequency == f)
+            .map(PStateIdx)
     }
 
     /// The lowest state whose frequency is `>= f`, or the maximum state
@@ -294,7 +300,11 @@ mod tests {
 
     #[test]
     fn non_ascending_rejected() {
-        let mk = |f| PState { frequency: Frequency::mhz(f), voltage: 1.0, cf: 1.0 };
+        let mk = |f| PState {
+            frequency: Frequency::mhz(f),
+            voltage: 1.0,
+            cf: 1.0,
+        };
         let err = PStateTable::new(vec![mk(2000), mk(1500)]).unwrap_err();
         assert_eq!(err, PStateTableError::NotAscending { index: 1 });
         let err2 = PStateTable::new(vec![mk(2000), mk(2000)]).unwrap_err();
@@ -340,7 +350,11 @@ mod tests {
 
     #[test]
     fn effective_mcps() {
-        let s = PState { frequency: Frequency::mhz(2000), voltage: 1.0, cf: 0.9 };
+        let s = PState {
+            frequency: Frequency::mhz(2000),
+            voltage: 1.0,
+            cf: 0.9,
+        };
         assert!((s.effective_mcps() - 1800.0).abs() < 1e-9);
     }
 }

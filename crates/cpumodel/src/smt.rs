@@ -91,20 +91,29 @@ impl SmtSpec {
                 threads,
             });
         }
-        Ok(SmtSpec { threads, aggregate_speedup })
+        Ok(SmtSpec {
+            threads,
+            aggregate_speedup,
+        })
     }
 
     /// The common Intel configuration: 2 threads per core, 1.25×
     /// aggregate throughput with both busy.
     #[must_use]
     pub fn intel_typical() -> Self {
-        SmtSpec { threads: 2, aggregate_speedup: 1.25 }
+        SmtSpec {
+            threads: 2,
+            aggregate_speedup: 1.25,
+        }
     }
 
     /// SMT disabled: one thread per core, factor always 1.
     #[must_use]
     pub fn off() -> Self {
-        SmtSpec { threads: 1, aggregate_speedup: 1.0 }
+        SmtSpec {
+            threads: 1,
+            aggregate_speedup: 1.0,
+        }
     }
 
     /// Hardware threads per core.

@@ -80,7 +80,11 @@ impl Topology {
     pub fn new(sockets: usize, cores_per_socket: usize, granularity: DvfsGranularity) -> Self {
         assert!(sockets > 0, "at least one socket");
         assert!(cores_per_socket > 0, "at least one core per socket");
-        Topology { sockets, cores_per_socket, granularity }
+        Topology {
+            sockets,
+            cores_per_socket,
+            granularity,
+        }
     }
 
     /// A single-core, single-domain host — the paper's testbed shape.
@@ -234,7 +238,10 @@ mod tests {
         assert_eq!(t.n_domains(), 2);
         assert_eq!(t.domain_of(CoreId(2)), DomainId(0));
         assert_eq!(t.domain_of(CoreId(3)), DomainId(1));
-        assert_eq!(t.cores_in(DomainId(1)), vec![CoreId(3), CoreId(4), CoreId(5)]);
+        assert_eq!(
+            t.cores_in(DomainId(1)),
+            vec![CoreId(3), CoreId(4), CoreId(5)]
+        );
     }
 
     #[test]

@@ -10,8 +10,7 @@ use proptest::prelude::*;
 /// Strategy: a strictly increasing ladder of 2..=8 frequencies in the
 /// 800..4000 MHz range.
 fn ladders() -> impl Strategy<Value = Vec<u32>> {
-    proptest::collection::btree_set(800u32..4000, 2..=8)
-        .prop_map(|set| set.into_iter().collect())
+    proptest::collection::btree_set(800u32..4000, 2..=8).prop_map(|set| set.into_iter().collect())
 }
 
 fn table_from(mhz: &[u32]) -> PStateTable {

@@ -121,17 +121,13 @@ impl CgroupBackend {
         vms: Vec<(String, Credit)>,
         cf_model: &cpumodel::CfModel,
     ) -> Result<Self, BackendError> {
-        let raw = fs::read_to_string(layout.available_frequencies()).map_err(|e| {
-            BackendError::new("read available frequencies", e.to_string())
-        })?;
+        let raw = fs::read_to_string(layout.available_frequencies())
+            .map_err(|e| BackendError::new("read available frequencies", e.to_string()))?;
         let mut khz: Vec<u64> = raw
             .split_whitespace()
             .map(|tok| {
                 tok.parse::<u64>().map_err(|e| {
-                    BackendError::new(
-                        "parse available frequencies",
-                        format!("token {tok:?}: {e}"),
-                    )
+                    BackendError::new("parse available frequencies", format!("token {tok:?}: {e}"))
                 })
             })
             .collect::<Result<_, _>>()?;
@@ -232,9 +228,10 @@ impl PasBackend for CgroupBackend {
     }
 
     fn set_pstate(&mut self, idx: PStateIdx) -> Result<(), BackendError> {
-        let state = self.table.get(idx).ok_or_else(|| {
-            BackendError::new("set frequency", format!("unknown p-state {idx}"))
-        })?;
+        let state = self
+            .table
+            .get(idx)
+            .ok_or_else(|| BackendError::new("set frequency", format!("unknown p-state {idx}")))?;
         let khz = u64::from(state.frequency.as_mhz()) * 1000;
         fs::write(self.layout.setspeed(), format!("{khz}\n"))
             .map_err(|e| BackendError::new("write scaling_setspeed", e.to_string()))
@@ -262,10 +259,7 @@ impl PasBackend for CgroupBackend {
                 format!("{quota} {}\n", self.period_us)
             };
             fs::write(self.layout.cpu_max(&vm.cgroup), content).map_err(|e| {
-                BackendError::new(
-                    "write cpu.max",
-                    format!("cgroup {}: {e}", vm.cgroup),
-                )
+                BackendError::new("write cpu.max", format!("cgroup {}: {e}", vm.cgroup))
             })?;
         }
         Ok(())

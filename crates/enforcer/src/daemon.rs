@@ -250,7 +250,10 @@ mod tests {
         fake.kernel_tick();
         let (quota, period) = fake.read_cpu_max("v20");
         let cap = quota.expect("capped") as f64 / period as f64;
-        assert!((cap - 0.20).abs() < 1e-3, "initial credit restored, got {cap}");
+        assert!(
+            (cap - 0.20).abs() < 1e-3,
+            "initial credit restored, got {cap}"
+        );
         assert_eq!(fake.cur_freq_khz(), 2_667_000, "fmax restored");
         let _ = std::fs::remove_dir_all(&root);
     }

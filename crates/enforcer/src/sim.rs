@@ -46,7 +46,10 @@ impl<'a> SimBackend<'a> {
     #[must_use]
     pub fn new(host: &'a mut Host) -> Self {
         let cached_load_pct = host.take_external_load().0;
-        SimBackend { host, cached_load_pct }
+        SimBackend {
+            host,
+            cached_load_pct,
+        }
     }
 }
 
@@ -135,7 +138,6 @@ mod tests {
         backend.apply_credits(&[Credit::percent(33.0)]).unwrap();
         let min = backend.pstate_table().min_idx();
         backend.set_pstate(min).unwrap();
-        drop(backend);
         assert_eq!(host.effective_cap_pct(VmId(0)), Some(33.0));
         assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx());
     }
@@ -150,8 +152,7 @@ mod tests {
 
     #[test]
     fn sedf_rejects_external_caps() {
-        let mut host =
-            HostConfig::optiplex_defaults(SchedulerKind::Sedf { extra: true }).build();
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Sedf { extra: true }).build();
         host.add_vm(
             VmConfig::new("v", Credit::percent(20.0)),
             Box::new(ConstantDemand::new(100.0)),

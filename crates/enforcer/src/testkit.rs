@@ -35,10 +35,8 @@ impl FakeSysfs {
         fs::create_dir_all(layout.cpufreq_dir()).expect("create cpufreq dir");
         fs::create_dir_all(layout.proc_stat().parent().expect("proc dir")).expect("create proc");
         for name in cgroups {
-            fs::create_dir_all(
-                layout.cpu_max(name).parent().expect("cgroup dir"),
-            )
-            .expect("create cgroup dir");
+            fs::create_dir_all(layout.cpu_max(name).parent().expect("cgroup dir"))
+                .expect("create cgroup dir");
             fs::write(layout.cpu_max(name), "max 100000\n").expect("init cpu.max");
         }
         let khz_list: Vec<String> = table
@@ -50,7 +48,11 @@ impl FakeSysfs {
         let max_khz = u64::from(table.max().frequency.as_mhz()) * 1000;
         fs::write(layout.cur_freq(), format!("{max_khz}\n")).expect("write cur freq");
         fs::write(layout.setspeed(), format!("{max_khz}\n")).expect("write setspeed");
-        let mut fake = FakeSysfs { layout, busy_jiffies: 0, total_jiffies: 0 };
+        let mut fake = FakeSysfs {
+            layout,
+            busy_jiffies: 0,
+            total_jiffies: 0,
+        };
         fake.flush_stat();
         fake
     }
@@ -103,7 +105,11 @@ impl FakeSysfs {
             "max" => None,
             q => Some(q.parse().expect("numeric quota")),
         };
-        let period = parts.next().expect("period field").parse().expect("numeric period");
+        let period = parts
+            .next()
+            .expect("period field")
+            .parse()
+            .expect("numeric period");
         (quota, period)
     }
 
@@ -205,7 +211,11 @@ mod tests {
         assert_eq!(p, 100_000);
         assert_eq!(q20, Some(33_300));
         let (q70, _) = fake.read_cpu_max("v70");
-        assert_eq!(q70, Some(116_700), "quota above the period is legal in cgroup v2");
+        assert_eq!(
+            q70,
+            Some(116_700),
+            "quota above the period is legal in cgroup v2"
+        );
         teardown(&root);
     }
 
@@ -214,10 +224,14 @@ mod tests {
         let (fake, mut backend, root) = setup("uncapped");
         let mut b2 = CgroupBackend::with_table(
             backend.layout().clone(),
-            vec![("v20".to_owned(), Credit::ZERO), ("v70".to_owned(), Credit::percent(70.0))],
+            vec![
+                ("v20".to_owned(), Credit::ZERO),
+                ("v70".to_owned(), Credit::percent(70.0)),
+            ],
             backend.pstate_table().clone(),
         );
-        b2.apply_credits(&[Credit::ZERO, Credit::percent(70.0)]).unwrap();
+        b2.apply_credits(&[Credit::ZERO, Credit::percent(70.0)])
+            .unwrap();
         let (q, _) = fake.read_cpu_max("v20");
         assert_eq!(q, None);
         let _ = &mut backend;
@@ -227,10 +241,16 @@ mod tests {
     #[test]
     fn frequency_round_trip() {
         let (mut fake, mut backend, root) = setup("freq");
-        assert_eq!(backend.current_pstate().unwrap(), backend.pstate_table().max_idx());
+        assert_eq!(
+            backend.current_pstate().unwrap(),
+            backend.pstate_table().max_idx()
+        );
         backend.set_pstate(PStateIdx(0)).unwrap();
         // The kernel hasn't applied it yet:
-        assert_eq!(backend.current_pstate().unwrap(), backend.pstate_table().max_idx());
+        assert_eq!(
+            backend.current_pstate().unwrap(),
+            backend.pstate_table().max_idx()
+        );
         fake.kernel_tick();
         assert_eq!(backend.current_pstate().unwrap(), PStateIdx(0));
         assert_eq!(fake.cur_freq_khz(), 1_600_000);

@@ -44,7 +44,11 @@ fn parse_args() -> Result<Args, String> {
     if names.is_empty() {
         names.push("help".to_owned());
     }
-    Ok(Args { names, fidelity, out })
+    Ok(Args {
+        names,
+        fidelity,
+        out,
+    })
 }
 
 fn emit(report: &ExperimentReport, out: Option<&PathBuf>) {

@@ -68,7 +68,13 @@ pub struct ChurnRow {
     pub sla_ratio: f64,
 }
 
-fn run_config(label: &str, scheduler: SchedulerKind, governed: Option<bool>, tenants: &[Tenant], horizon_s: f64) -> ChurnRow {
+fn run_config(
+    label: &str,
+    scheduler: SchedulerKind,
+    governed: Option<bool>,
+    tenants: &[Tenant],
+    horizon_s: f64,
+) -> ChurnRow {
     let mut cfg = HostConfig::optiplex_defaults(scheduler);
     match governed {
         Some(true) => cfg = cfg.with_governor(Box::new(StableOndemand::new())),
@@ -130,7 +136,11 @@ fn run_config(label: &str, scheduler: SchedulerKind, governed: Option<bool>, ten
     ChurnRow {
         label: label.to_owned(),
         energy_j: host.cpu().energy().joules(),
-        sla_ratio: if entitled > 0.0 { delivered / entitled } else { 1.0 },
+        sla_ratio: if entitled > 0.0 {
+            delivered / entitled
+        } else {
+            1.0
+        },
     }
 }
 
@@ -143,8 +153,20 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
     };
     let tenants = calendar(2013, horizon_s);
     let rows = vec![
-        run_config("credit+performance", SchedulerKind::Credit, Some(false), &tenants, horizon_s),
-        run_config("credit+ondemand", SchedulerKind::Credit, Some(true), &tenants, horizon_s),
+        run_config(
+            "credit+performance",
+            SchedulerKind::Credit,
+            Some(false),
+            &tenants,
+            horizon_s,
+        ),
+        run_config(
+            "credit+ondemand",
+            SchedulerKind::Credit,
+            Some(true),
+            &tenants,
+            horizon_s,
+        ),
         run_config("pas", SchedulerKind::Pas, None, &tenants, horizon_s),
     ];
 
@@ -199,9 +221,15 @@ mod tests {
         let sla_pas = r.get_scalar("sla_ratio/pas").unwrap();
         let sla_perf = r.get_scalar("sla_ratio/credit+performance").unwrap();
         let sla_od = r.get_scalar("sla_ratio/credit+ondemand").unwrap();
-        assert!(sla_perf > 0.95, "performance reference meets SLAs: {sla_perf}");
+        assert!(
+            sla_perf > 0.95,
+            "performance reference meets SLAs: {sla_perf}"
+        );
         assert!(sla_pas > 0.93, "PAS meets SLAs under churn: {sla_pas}");
-        assert!(sla_od < sla_pas, "plain ondemand erodes SLAs: {sla_od} vs {sla_pas}");
+        assert!(
+            sla_od < sla_pas,
+            "plain ondemand erodes SLAs: {sla_od} vs {sla_pas}"
+        );
     }
 
     #[test]
@@ -209,6 +237,9 @@ mod tests {
         let r = run(Fidelity::Quick);
         let e_perf = r.get_scalar("energy_j/credit+performance").unwrap();
         let e_pas = r.get_scalar("energy_j/pas").unwrap();
-        assert!(e_pas < 0.95 * e_perf, "PAS saves energy: {e_pas} vs {e_perf}");
+        assert!(
+            e_pas < 0.95 * e_perf,
+            "PAS saves energy: {e_pas} vs {e_perf}"
+        );
     }
 }

@@ -39,7 +39,12 @@ pub struct FleetVm {
 /// most of the time (below 30%)" population the paper cites.
 #[must_use]
 pub fn default_fleet() -> Vec<FleetVm> {
-    (0..12).map(|i| FleetVm { mem_gib: 4.0, cpu_frac: 0.04 + 0.005 * f64::from(i % 4) }).collect()
+    (0..12)
+        .map(|i| FleetVm {
+            mem_gib: 4.0,
+            cpu_frac: 0.04 + 0.005 * f64::from(i % 4),
+        })
+        .collect()
 }
 
 /// First-fit decreasing pack by memory; returns per-host VM index
@@ -48,12 +53,18 @@ pub fn default_fleet() -> Vec<FleetVm> {
 pub fn pack_by_memory(fleet: &[FleetVm], host_mem_gib: f64) -> Vec<Vec<usize>> {
     let mut order: Vec<usize> = (0..fleet.len()).collect();
     order.sort_by(|&a, &b| {
-        fleet[b].mem_gib.partial_cmp(&fleet[a].mem_gib).expect("finite memory")
+        fleet[b]
+            .mem_gib
+            .partial_cmp(&fleet[a].mem_gib)
+            .expect("finite memory")
     });
     let mut hosts: Vec<(f64, Vec<usize>)> = Vec::new();
     for idx in order {
         let need = fleet[idx].mem_gib;
-        match hosts.iter_mut().find(|(used, _)| used + need <= host_mem_gib) {
+        match hosts
+            .iter_mut()
+            .find(|(used, _)| used + need <= host_mem_gib)
+        {
             Some((used, vms)) => {
                 *used += need;
                 vms.push(idx);
@@ -66,7 +77,11 @@ pub fn pack_by_memory(fleet: &[FleetVm], host_mem_gib: f64) -> Vec<Vec<usize>> {
 
 /// Simulates one packed host for `secs` and returns its energy (J).
 fn host_energy(fleet: &[FleetVm], vm_idxs: &[usize], pas: bool, secs: u64) -> f64 {
-    let scheduler = if pas { SchedulerKind::Pas } else { SchedulerKind::Credit };
+    let scheduler = if pas {
+        SchedulerKind::Pas
+    } else {
+        SchedulerKind::Credit
+    };
     let mut cfg = HostConfig::optiplex_defaults(scheduler);
     if !pas {
         cfg = cfg.with_governor(Box::new(governors::Performance));
@@ -95,15 +110,20 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
     let host_mem_gib = 16.0;
 
     // Unconsolidated: one VM per host, performance governor.
-    let unconsolidated: f64 =
-        (0..fleet.len()).map(|i| host_energy(&fleet, &[i], false, secs)).sum();
+    let unconsolidated: f64 = (0..fleet.len())
+        .map(|i| host_energy(&fleet, &[i], false, secs))
+        .sum();
 
     // Memory-bound packing.
     let packing = pack_by_memory(&fleet, host_mem_gib);
-    let consolidated_perf: f64 =
-        packing.iter().map(|vms| host_energy(&fleet, vms, false, secs)).sum();
-    let consolidated_pas: f64 =
-        packing.iter().map(|vms| host_energy(&fleet, vms, true, secs)).sum();
+    let consolidated_perf: f64 = packing
+        .iter()
+        .map(|vms| host_energy(&fleet, vms, false, secs))
+        .sum();
+    let consolidated_pas: f64 = packing
+        .iter()
+        .map(|vms| host_energy(&fleet, vms, true, secs))
+        .sum();
 
     // How CPU-underloaded did memory-bound packing leave the hosts?
     let cpu_per_host: Vec<f64> = packing
@@ -173,10 +193,16 @@ mod tests {
         let un = r.get_scalar("energy_j/unconsolidated").unwrap();
         let cons = r.get_scalar("energy_j/consolidated+performance").unwrap();
         let pas = r.get_scalar("energy_j/consolidated+pas").unwrap();
-        assert!(cons < 0.5 * un, "consolidation alone saves >50%: {cons} vs {un}");
+        assert!(
+            cons < 0.5 * un,
+            "consolidation alone saves >50%: {cons} vs {un}"
+        );
         assert!(pas < cons, "PAS saves further on the memory-bound hosts");
         let extra = r.get_scalar("pas_extra_saving_pct").unwrap();
-        assert!(extra > 3.0, "the residual DVFS saving is material: {extra}%");
+        assert!(
+            extra > 3.0,
+            "the residual DVFS saving is material: {extra}%"
+        );
     }
 
     #[test]

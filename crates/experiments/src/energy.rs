@@ -95,11 +95,12 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
         report.scalar(format!("energy_j/{}", row.label), row.energy_j);
         report.scalar(format!("saving_pct/{}", row.label), saving);
         report.scalar(format!("v20_abs_a/{}", row.label), row.v20_abs_phase_a);
-        report.scalar(format!("v20_latency_s/{}", row.label), row.v20_mean_latency_s);
+        report.scalar(
+            format!("v20_latency_s/{}", row.label),
+            row.v20_mean_latency_s,
+        );
     }
-    text.push_str(
-        "\n  PAS keeps nearly the ondemand saving while restoring the booked 20%.\n",
-    );
+    text.push_str("\n  PAS keeps nearly the ondemand saving while restoring the booked 20%.\n");
     report.text = text;
     report
 }
@@ -118,14 +119,26 @@ mod tests {
         // whenever a VM demands); the ordering, not the magnitude, is
         // the claim: ondemand saves most, PAS nearly as much, both
         // strictly below the performance baseline.
-        assert!(e_od < e_perf * 0.96, "ondemand saves energy: {e_od} vs {e_perf}");
-        assert!(e_pas < e_perf * 0.98, "PAS saves energy too: {e_pas} vs {e_perf}");
-        assert!(e_od <= e_pas, "ondemand outsaves PAS (which buys back the SLA)");
+        assert!(
+            e_od < e_perf * 0.96,
+            "ondemand saves energy: {e_od} vs {e_perf}"
+        );
+        assert!(
+            e_pas < e_perf * 0.98,
+            "PAS saves energy too: {e_pas} vs {e_perf}"
+        );
+        assert!(
+            e_od <= e_pas,
+            "ondemand outsaves PAS (which buys back the SLA)"
+        );
 
         let sla_perf = r.get_scalar("v20_abs_a/credit+performance").unwrap();
         let sla_od = r.get_scalar("v20_abs_a/credit+ondemand").unwrap();
         let sla_pas = r.get_scalar("v20_abs_a/pas").unwrap();
-        assert!((sla_perf - 20.0).abs() < 2.5, "performance meets SLA: {sla_perf}");
+        assert!(
+            (sla_perf - 20.0).abs() < 2.5,
+            "performance meets SLA: {sla_perf}"
+        );
         assert!(sla_od < 15.0, "ondemand violates SLA: {sla_od}");
         assert!((sla_pas - 20.0).abs() < 2.5, "PAS meets SLA: {sla_pas}");
     }

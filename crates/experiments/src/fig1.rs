@@ -84,7 +84,11 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
         rows.push_str(&format!(
             "  {init_pct:5.0}  {:5.0}  {t_base:9.1}  {t_comp:12.1}  {gap:5.1}{}\n",
             compensated.as_percent().round(),
-            if clamped { "  (cap clamped at 100%)" } else { "" },
+            if clamped {
+                "  (cap clamped at 100%)"
+            } else {
+                ""
+            },
         ));
     }
 
@@ -112,7 +116,10 @@ mod tests {
     fn compensation_restores_execution_time() {
         let r = run(Fidelity::Quick);
         let gap = r.get_scalar("max_gap_unclamped_pct").unwrap();
-        assert!(gap < 5.0, "compensated runs within 5% of fmax runs (gap {gap}%)");
+        assert!(
+            gap < 5.0,
+            "compensated runs within 5% of fmax runs (gap {gap}%)"
+        );
     }
 
     #[test]
@@ -122,6 +129,9 @@ mod tests {
         let t10 = base.value_at(10.0).unwrap();
         let t100 = base.value_at(100.0).unwrap();
         let ratio = t10 / t100;
-        assert!((ratio - 10.0).abs() < 1.5, "T(10%) / T(100%) = {ratio} (expected ~10)");
+        assert!(
+            (ratio - 10.0).abs() < 1.5,
+            "T(10%) / T(100%) = {ratio} (expected ~10)"
+        );
     }
 }

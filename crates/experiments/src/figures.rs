@@ -57,7 +57,10 @@ fn render(
     let v70_b = v70s.mean_between(b0, b1).unwrap_or(0.0);
     let freq_a = freq.mean_between(a0, a1).unwrap_or(0.0);
     let freq_b = freq.mean_between(b0, b1).unwrap_or(0.0);
-    let transitions = freq.transition_count();
+    // Count transitions at the source: the snapshot series is sampled
+    // far too coarsely (tens of seconds) to see governor-rate
+    // switching, which is exactly what separates Figure 3 from 4.
+    let transitions = sc.host.cpu().transitions();
 
     report.scalar("v20_phase_a_pct", v20_a);
     report.scalar("v20_phase_b_pct", v20_b);
@@ -80,7 +83,9 @@ fn render(
     text.push_str(&format!(
         "  phase B (both active):          V20 = {v20_b:5.1}%  V70 = {v70_b:5.1}%  freq = {freq_b:6.0} MHz\n"
     ));
-    text.push_str(&format!("  frequency transitions over the run: {transitions}\n\n"));
+    text.push_str(&format!(
+        "  frequency transitions over the run: {transitions}\n\n"
+    ));
     text.push_str(&ascii::chart_many(&[&v20s, &v70s], 72, 14));
 
     if extra_cap_series {
@@ -108,7 +113,13 @@ pub fn fig2(fidelity: Fidelity) -> ExperimentReport {
         ScenarioConfig::new(SchedulerKind::Credit, Intensity::Exact, fidelity)
             .with_governor(Box::new(governors::Performance)),
     );
-    render("fig2", "Figure 2: Load profile (at the maximum frequency)", sc, View::Global, false)
+    render(
+        "fig2",
+        "Figure 2: Load profile (at the maximum frequency)",
+        sc,
+        View::Global,
+        false,
+    )
 }
 
 /// Figure 3 — stock ondemand + Credit, exact (bursty) load:
@@ -174,8 +185,12 @@ pub fn fig5(fidelity: Fidelity) -> ExperimentReport {
 #[must_use]
 pub fn fig6(fidelity: Fidelity) -> ExperimentReport {
     let sc = build(
-        ScenarioConfig::new(SchedulerKind::Sedf { extra: true }, Intensity::Exact, fidelity)
-            .with_governor(Box::new(StableOndemand::new())),
+        ScenarioConfig::new(
+            SchedulerKind::Sedf { extra: true },
+            Intensity::Exact,
+            fidelity,
+        )
+        .with_governor(Box::new(StableOndemand::new())),
     );
     render(
         "fig6",
@@ -191,8 +206,12 @@ pub fn fig6(fidelity: Fidelity) -> ExperimentReport {
 #[must_use]
 pub fn fig7(fidelity: Fidelity) -> ExperimentReport {
     let sc = build(
-        ScenarioConfig::new(SchedulerKind::Sedf { extra: true }, Intensity::Exact, fidelity)
-            .with_governor(Box::new(StableOndemand::new())),
+        ScenarioConfig::new(
+            SchedulerKind::Sedf { extra: true },
+            Intensity::Exact,
+            fidelity,
+        )
+        .with_governor(Box::new(StableOndemand::new())),
     );
     render(
         "fig7",
@@ -275,9 +294,20 @@ mod tests {
     #[test]
     fn fig2_loads_at_max_frequency() {
         let r = fig2(Fidelity::Quick);
-        assert!(within_pct(r.get_scalar("v20_phase_a_pct").unwrap(), 20.0, 12.0));
-        assert!(within_pct(r.get_scalar("v70_phase_b_pct").unwrap(), 70.0, 12.0));
-        assert!(r.get_scalar("freq_phase_a_mhz").unwrap() > 2600.0, "performance governor");
+        assert!(within_pct(
+            r.get_scalar("v20_phase_a_pct").unwrap(),
+            20.0,
+            12.0
+        ));
+        assert!(within_pct(
+            r.get_scalar("v70_phase_b_pct").unwrap(),
+            70.0,
+            12.0
+        ));
+        assert!(
+            r.get_scalar("freq_phase_a_mhz").unwrap() > 2600.0,
+            "performance governor"
+        );
     }
 
     #[test]
@@ -323,7 +353,10 @@ mod tests {
     #[test]
     fn fig8_sedf_thrashing_pins_max_freq() {
         let r = fig8(Fidelity::Quick);
-        assert!(r.get_scalar("freq_phase_a_mhz").unwrap() > 2600.0, "frequency pinned");
+        assert!(
+            r.get_scalar("freq_phase_a_mhz").unwrap() > 2600.0,
+            "frequency pinned"
+        );
         assert!(
             r.get_scalar("v20_phase_a_pct").unwrap() > 60.0,
             "V20 far beyond its 20% credit"
@@ -334,11 +367,20 @@ mod tests {
     fn fig9_pas_grants_compensated_credit() {
         let r = fig9(Fidelity::Quick);
         let freq_a = r.get_scalar("freq_phase_a_mhz").unwrap();
-        assert!(freq_a < 1700.0, "PAS keeps the frequency low in phase A: {freq_a}");
+        assert!(
+            freq_a < 1700.0,
+            "PAS keeps the frequency low in phase A: {freq_a}"
+        );
         let cap = r.get_scalar("v20_cap_phase_a_pct").unwrap();
-        assert!((cap - 33.0).abs() < 3.0, "granted credit {cap} (paper: 33%)");
+        assert!(
+            (cap - 33.0).abs() < 3.0,
+            "granted credit {cap} (paper: 33%)"
+        );
         let v20_a = r.get_scalar("v20_phase_a_pct").unwrap();
-        assert!((30.0..38.0).contains(&v20_a), "V20 global {v20_a} (paper: ~33%)");
+        assert!(
+            (30.0..38.0).contains(&v20_a),
+            "V20 global {v20_a} (paper: ~33%)"
+        );
     }
 
     #[test]
@@ -349,6 +391,9 @@ mod tests {
         assert!(within_pct(a, 20.0, 15.0), "phase A absolute {a}");
         assert!(within_pct(b, 20.0, 15.0), "phase B absolute {b}");
         let v70_b = r.get_scalar("v70_phase_b_pct").unwrap();
-        assert!(within_pct(v70_b, 70.0, 15.0), "V70 phase B absolute {v70_b}");
+        assert!(
+            within_pct(v70_b, 70.0, 15.0),
+            "V70 phase B absolute {v70_b}"
+        );
     }
 }

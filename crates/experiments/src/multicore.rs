@@ -52,7 +52,8 @@ fn study(granularity: DvfsGranularity, horizon_secs: f64) -> GranularityRow {
             .map(|c| CORE_LOADS[c.0])
             .fold(0.0f64, f64::max);
         let pstate = planner.compute_new_freq(busiest);
-        pkg.set_domain_pstate(domain, pstate).expect("valid p-state");
+        pkg.set_domain_pstate(domain, pstate)
+            .expect("valid p-state");
     }
 
     // Compensate credits and integrate energy: each VM's busy fraction
@@ -69,7 +70,8 @@ fn study(granularity: DvfsGranularity, horizon_secs: f64) -> GranularityRow {
         let granted_abs = cap.as_percent() * ratio * cf;
         worst_granted = worst_granted.min(granted_abs - load);
         let busy = (load / (100.0 * ratio * cf)).min(1.0);
-        pkg.core_mut(id).account(busy, simkernel::SimDuration::from_secs_f64(horizon_secs));
+        pkg.core_mut(id)
+            .account(busy, simkernel::SimDuration::from_secs_f64(horizon_secs));
     }
 
     let pstates = (0..topo.n_cores())
@@ -159,7 +161,10 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
             row.worst_granted_pct
         ));
         report.scalar(format!("energy_j/{}", row.label), row.energy_j);
-        report.scalar(format!("worst_granted/{}", row.label), row.worst_granted_pct);
+        report.scalar(
+            format!("worst_granted/{}", row.label),
+            row.worst_granted_pct,
+        );
     }
     text.push_str("\n  Finer domains save energy; Equation 4 holds at every granularity.\n");
 
@@ -173,14 +178,21 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
         "\nDynamic simulation ({secs} s, thrashing VMs, per-domain PAS):\n\n  \
          granularity   energy(J)   worst (delivered - booked)%\n",
     ));
-    for g in [DvfsGranularity::Global, DvfsGranularity::PerSocket, DvfsGranularity::PerCore] {
+    for g in [
+        DvfsGranularity::Global,
+        DvfsGranularity::PerSocket,
+        DvfsGranularity::PerCore,
+    ] {
         let row = dynamic_study(g, secs);
         text.push_str(&format!(
             "  {:<12} {:9.0}   {:+.2}\n",
             row.label, row.energy_j, row.worst_delta_pct
         ));
         report.scalar(format!("dyn_energy_j/{}", row.label), row.energy_j);
-        report.scalar(format!("dyn_worst_delta/{}", row.label), row.worst_delta_pct);
+        report.scalar(
+            format!("dyn_worst_delta/{}", row.label),
+            row.worst_delta_pct,
+        );
     }
     report.text = text;
     report
@@ -196,9 +208,18 @@ mod tests {
         let global = r.get_scalar("energy_j/Global").unwrap();
         let socket = r.get_scalar("energy_j/PerSocket").unwrap();
         let core = r.get_scalar("energy_j/PerCore").unwrap();
-        assert!(socket <= global + 1e-6, "per-socket {socket} vs global {global}");
-        assert!(core <= socket + 1e-6, "per-core {core} vs per-socket {socket}");
-        assert!(core < global, "per-core strictly saves on heterogeneous loads");
+        assert!(
+            socket <= global + 1e-6,
+            "per-socket {socket} vs global {global}"
+        );
+        assert!(
+            core <= socket + 1e-6,
+            "per-core {core} vs per-socket {socket}"
+        );
+        assert!(
+            core < global,
+            "per-core strictly saves on heterogeneous loads"
+        );
     }
 
     #[test]
@@ -206,7 +227,10 @@ mod tests {
         let r = run(Fidelity::Quick);
         for label in ["Global", "PerSocket", "PerCore"] {
             let worst = r.get_scalar(&format!("worst_granted/{label}")).unwrap();
-            assert!(worst > -0.5, "{label}: granted capacity {worst} below booking");
+            assert!(
+                worst > -0.5,
+                "{label}: granted capacity {worst} below booking"
+            );
         }
     }
 
@@ -218,7 +242,10 @@ mod tests {
         assert!(core < global, "dynamic per-core {core} vs global {global}");
         for label in ["Global", "PerSocket", "PerCore"] {
             let worst = r.get_scalar(&format!("dyn_worst_delta/{label}")).unwrap();
-            assert!(worst > -3.0, "{label}: delivered {worst} points under booking");
+            assert!(
+                worst > -3.0,
+                "{label}: delivered {worst} points under booking"
+            );
         }
     }
 
@@ -227,7 +254,10 @@ mod tests {
         // Socket 0 holds the 70% core → both its cores run fast under
         // per-socket DVFS; socket 1's cores can idle low.
         let row = study(DvfsGranularity::PerSocket, 10.0);
-        assert!(row.pstates[0] == row.pstates[1], "same domain, same p-state");
+        assert!(
+            row.pstates[0] == row.pstates[1],
+            "same domain, same p-state"
+        );
         assert!(row.pstates[2] == row.pstates[3]);
         assert!(row.pstates[0] > row.pstates[2], "busy socket runs faster");
     }

@@ -64,7 +64,12 @@ fn run_total(total: f64, secs: u64) -> FrontierRow {
     FrontierRow {
         booked_pct: total,
         predicted_mhz: policy.table().state(floor).frequency.as_mhz(),
-        simulated_mhz: host.cpu().pstates().state(host.cpu().pstate()).frequency.as_mhz(),
+        simulated_mhz: host
+            .cpu()
+            .pstates()
+            .state(host.cpu().pstate())
+            .frequency
+            .as_mhz(),
         idle_w,
     }
 }

@@ -42,9 +42,13 @@ fn evaluate(sc: &Scenario, label: &str) -> PlacementRow {
         .map(|&(_, v)| v)
         .collect();
     let mean = pts.iter().sum::<f64>() / pts.len().max(1) as f64;
-    let rms = (pts.iter().map(|v| (v - 20.0).powi(2)).sum::<f64>() / pts.len().max(1) as f64)
-        .sqrt();
-    PlacementRow { label: label.to_owned(), mean_abs: mean, rms_error: rms }
+    let rms =
+        (pts.iter().map(|v| (v - 20.0).powi(2)).sum::<f64>() / pts.len().max(1) as f64).sqrt();
+    PlacementRow {
+        label: label.to_owned(),
+        mean_abs: mean,
+        rms_error: rms,
+    }
 }
 
 fn run_in_scheduler(fidelity: Fidelity) -> PlacementRow {
@@ -64,15 +68,16 @@ fn run_user_level(placement: ControllerPlacement, fidelity: Fidelity) -> Placeme
         cfg = cfg.with_governor(Box::new(governors::StableOndemand::new()));
     }
     let mut sc = build(cfg);
-    let mut controller =
-        PasController::new(placement, sc.host.cpu().pstates().clone());
+    let mut controller = PasController::new(placement, sc.host.cpu().pstates().clone());
     let control_period = SimDuration::from_secs(1);
     let total = SimDuration::from_secs_f64(sc.timeline.total);
     let steps = total / control_period;
     for _ in 0..steps {
         sc.host.run_for(control_period);
         let mut backend = SimBackend::new(&mut sc.host);
-        controller.step(&mut backend).expect("sim backend never fails");
+        controller
+            .step(&mut backend)
+            .expect("sim backend never fails");
     }
     let label = match placement {
         ControllerPlacement::UserLevelCreditOnly => "user-level credits only (1s)",

@@ -48,7 +48,10 @@ impl ExperimentReport {
     /// Looks up a scalar by name.
     #[must_use]
     pub fn get_scalar(&self, name: &str) -> Option<f64> {
-        self.scalars.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.scalars
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 
     /// Renders the report's CSV artefact (all series merged).
@@ -74,7 +77,8 @@ mod tests {
     #[test]
     fn csv_includes_series() {
         let mut r = ExperimentReport::new("x", "X");
-        r.series.push(TimeSeries::from_points("s", vec![(0.0, 1.0)]));
+        r.series
+            .push(TimeSeries::from_points("s", vec![(0.0, 1.0)]));
         assert!(r.to_csv().contains("t,s"));
     }
 }

@@ -233,7 +233,13 @@ pub fn build(config: ScenarioConfig) -> Scenario {
             ArrivalModel::Fluid,
         )),
     );
-    Scenario { host, v20, v70, dom0, timeline }
+    Scenario {
+        host,
+        v20,
+        v70,
+        dom0,
+        timeline,
+    }
 }
 
 impl Scenario {

@@ -122,7 +122,9 @@ mod tests {
         let r = quick();
         for &w in &WINDOWS {
             for &h in &HEADROOMS {
-                let err = r.get_scalar(&format!("sla_error/w{w}_h{}", h as i64)).unwrap();
+                let err = r
+                    .get_scalar(&format!("sla_error/w{w}_h{}", h as i64))
+                    .unwrap();
                 assert!(err > -5.0, "w{w} h{h}: SLA error {err}pp too negative");
                 assert!(err < 5.0, "w{w} h{h}: SLA error {err}pp too positive");
             }

@@ -40,9 +40,21 @@ struct Case {
 }
 
 const CASES: [Case; 3] = [
-    Case { name: "sibling idle", booked_a: 40.0, booked_b: None },
-    Case { name: "sibling 40%", booked_a: 40.0, booked_b: Some(40.0) },
-    Case { name: "sibling 80%", booked_a: 40.0, booked_b: Some(80.0) },
+    Case {
+        name: "sibling idle",
+        booked_a: 40.0,
+        booked_b: None,
+    },
+    Case {
+        name: "sibling 40%",
+        booked_a: 40.0,
+        booked_b: Some(40.0),
+    },
+    Case {
+        name: "sibling 80%",
+        booked_a: 40.0,
+        booked_b: Some(80.0),
+    },
 ];
 
 /// Outcome of one (case, awareness) run.
@@ -62,8 +74,11 @@ pub struct SmtRow {
 }
 
 fn run_case(case: Case, awareness: SmtAwareness, secs: u64) -> SmtRow {
-    let mut host =
-        SmtHost::new(&machines::optiplex_755(), SmtSpec::intel_typical(), awareness);
+    let mut host = SmtHost::new(
+        &machines::optiplex_755(),
+        SmtSpec::intel_typical(),
+        awareness,
+    );
     let thrash = host.fmax_mcps();
     let a = host.add_vm(
         VmConfig::new("a", Credit::percent(case.booked_a)),
@@ -79,7 +94,11 @@ fn run_case(case: Case, awareness: SmtAwareness, secs: u64) -> SmtRow {
             );
         }
         None => {
-            host.add_vm(VmConfig::new("b", Credit::percent(40.0)), Box::new(Idle), ThreadId(1));
+            host.add_vm(
+                VmConfig::new("b", Credit::percent(40.0)),
+                Box::new(Idle),
+                ThreadId(1),
+            );
         }
     }
     host.run_for(SimDuration::from_secs(secs));
@@ -155,7 +174,10 @@ mod tests {
         let r = run(Fidelity::Quick);
         for case in ["sibling_40%", "sibling_80%"] {
             let delta = r.get_scalar(&format!("delta/naive/{case}")).unwrap();
-            assert!(delta < -4.0, "{case}: naive delta {delta} should be well below 0");
+            assert!(
+                delta < -4.0,
+                "{case}: naive delta {delta} should be well below 0"
+            );
         }
     }
 
@@ -166,7 +188,10 @@ mod tests {
             let delta = r.get_scalar(&format!("delta/smt-aware/{case}")).unwrap();
             assert!(delta > -2.5, "{case}: aware delta {delta} should be near 0");
             let naive = r.get_scalar(&format!("delta/naive/{case}")).unwrap();
-            assert!(delta > naive + 3.0, "{case}: aware must beat naive ({delta} vs {naive})");
+            assert!(
+                delta > naive + 3.0,
+                "{case}: aware must beat naive ({delta} vs {naive})"
+            );
         }
     }
 
@@ -175,6 +200,9 @@ mod tests {
         let r = run(Fidelity::Quick);
         let light = r.get_scalar("delta/naive/sibling_40%").unwrap();
         let heavy = r.get_scalar("delta/naive/sibling_80%").unwrap();
-        assert!(heavy < light + 0.5, "more contention, bigger miss: {heavy} vs {light}");
+        assert!(
+            heavy < light + 0.5,
+            "more contention, bigger miss: {heavy} vs {light}"
+        );
     }
 }

@@ -59,7 +59,9 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
         let err = 100.0 * ((measured - paper_cf) / paper_cf).abs();
         worst_err = worst_err.max(err);
         let short: String = machine.name.chars().take(30).collect();
-        text.push_str(&format!("  {short:<30}  {paper_cf:.5}    {measured:.5}    {err:5.2}\n"));
+        text.push_str(&format!(
+            "  {short:<30}  {paper_cf:.5}    {measured:.5}    {err:5.2}\n"
+        ));
         report.scalar(format!("cf_min/{short}"), measured);
     }
     report.scalar("worst_error_pct", worst_err);
@@ -88,6 +90,9 @@ mod tests {
             .find(|(n, _)| n.contains("E5-2620"))
             .map(|&(_, v)| v)
             .expect("E5-2620 row present");
-        assert!(e5 < 0.85, "the E5-2620's cf_min {e5} is the paper's outlier");
+        assert!(
+            e5 < 0.85,
+            "the E5-2620's cf_min {e5} is the paper's outlier"
+        );
     }
 }

@@ -43,7 +43,10 @@ fn run_one(platform: &PlatformSpec, governor: GovernorChoice, job_secs: f64) -> 
     );
     host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(Idle));
     // Light Dom0 management noise.
-    host.add_vm(VmConfig::dom0(), Box::new(ConstantDemand::new(0.005 * fmax)));
+    host.add_vm(
+        VmConfig::dom0(),
+        Box::new(ConstantDemand::new(0.005 * fmax)),
+    );
     host.run_until_vm_finished(v20, SimTime::from_secs_f64(job_secs * 200.0))
         .expect("pi-app finishes")
         .as_secs_f64()
@@ -70,8 +73,10 @@ pub fn run(fidelity: Fidelity) -> ExperimentReport {
         });
     }
 
-    let mut report =
-        ExperimentReport::new("table2", "Table 2: Execution Times on Different Virtualization Platforms");
+    let mut report = ExperimentReport::new(
+        "table2",
+        "Table 2: Execution Times on Different Virtualization Platforms",
+    );
     let mut text = String::from(
         "Table 2: pi-app in V20 (V70 lazy), HP Elite 8300 archetypes\n\n  \
          platform     T_performance(s)  T_ondemand(s)  degradation%   (paper deg%)\n",
@@ -108,9 +113,11 @@ mod tests {
     #[test]
     fn fix_credit_platforms_degrade() {
         let r = quick();
-        for (name, lo, hi) in
-            [("Hyper-V", 40.0, 62.0), ("VMware", 18.0, 36.0), ("Xen/credit", 30.0, 50.0)]
-        {
+        for (name, lo, hi) in [
+            ("Hyper-V", 40.0, 62.0),
+            ("VMware", 18.0, 36.0),
+            ("Xen/credit", 30.0, 50.0),
+        ] {
             let deg = r.get_scalar(&format!("deg/{name}")).unwrap();
             assert!(
                 (lo..hi).contains(&deg),

@@ -30,7 +30,12 @@ fn measure_load_at(pstate: PStateIdx, demand_fraction: f64, run: SimDuration) ->
     host.add_vm(
         // Uncapped VM: we want the raw load the demand imposes.
         VmConfig::new("probe", Credit::ZERO),
-        Box::new(WebApp::new(profile, demand_fraction * fmax, fmax, ArrivalModel::Fluid)),
+        Box::new(WebApp::new(
+            profile,
+            demand_fraction * fmax,
+            fmax,
+            ArrivalModel::Fluid,
+        )),
     );
     host.run_for(run);
     100.0 * host.stats().global_busy_fraction()
@@ -77,8 +82,10 @@ pub fn freq_load(fidelity: Fidelity) -> ExperimentReport {
         }
     }
 
-    let mut report =
-        ExperimentReport::new("validation-freq-load", "Validation of Equation 1 (freq/load)");
+    let mut report = ExperimentReport::new(
+        "validation-freq-load",
+        "Validation of Equation 1 (freq/load)",
+    );
     let mut worst_spread: f64 = 0.0;
     for (idx, est) in cal.estimates() {
         text.push_str(&format!(
@@ -89,10 +96,16 @@ pub fn freq_load(fidelity: Fidelity) -> ExperimentReport {
             est.samples
         ));
         worst_spread = worst_spread.max(est.stddev / est.mean);
-        report.scalar(format!("cf_{}", table.state(idx).frequency.as_mhz()), est.mean);
+        report.scalar(
+            format!("cf_{}", table.state(idx).frequency.as_mhz()),
+            est.mean,
+        );
     }
     report.scalar("worst_relative_spread", worst_spread);
-    text.push_str(&format!("\n  worst relative spread: {:.3}%\n", worst_spread * 100.0));
+    text.push_str(&format!(
+        "\n  worst relative spread: {:.3}%\n",
+        worst_spread * 100.0
+    ));
     report.text = text;
     report
 }
@@ -111,8 +124,10 @@ pub fn freq_time(fidelity: Fidelity) -> ExperimentReport {
         "Section 5.2 / Equation 2: execution time vs frequency (pi-app, 100% credit)\n\n  \
          freq      T(s)    T_max/T   ratio·cf\n",
     );
-    let mut report =
-        ExperimentReport::new("validation-freq-time", "Validation of Equation 2 (freq/time)");
+    let mut report = ExperimentReport::new(
+        "validation-freq-time",
+        "Validation of Equation 2 (freq/time)",
+    );
     let mut worst_err: f64 = 0.0;
     for idx in table.indices() {
         let t_i = measure_time_at(idx, Credit::percent(100.0), job_secs);
@@ -128,7 +143,10 @@ pub fn freq_time(fidelity: Fidelity) -> ExperimentReport {
         ));
     }
     report.scalar("worst_relative_error", worst_err);
-    text.push_str(&format!("\n  worst relative error: {:.3}%\n", worst_err * 100.0));
+    text.push_str(&format!(
+        "\n  worst relative error: {:.3}%\n",
+        worst_err * 100.0
+    ));
     report.text = text;
     report
 }
@@ -161,7 +179,10 @@ pub fn credit_time(fidelity: Fidelity) -> ExperimentReport {
         text.push_str(&format!("  {c}  {t:8.1}  {lhs:8.4}   {rhs:8.4}\n"));
     }
     report.scalar("worst_relative_error", worst_err);
-    text.push_str(&format!("\n  worst relative error: {:.3}%\n", worst_err * 100.0));
+    text.push_str(&format!(
+        "\n  worst relative error: {:.3}%\n",
+        worst_err * 100.0
+    ));
     report.text = text;
     report
 }

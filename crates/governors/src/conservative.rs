@@ -19,7 +19,10 @@ pub struct Conservative {
 impl Default for Conservative {
     /// Linux defaults: up at 80%, down at 20%.
     fn default() -> Self {
-        Conservative { up_threshold: 80.0, down_threshold: 20.0 }
+        Conservative {
+            up_threshold: 80.0,
+            down_threshold: 20.0,
+        }
     }
 }
 
@@ -46,21 +49,32 @@ mod tests {
     use simkernel::SimTime;
 
     fn ctx(table: &cpumodel::PStateTable, current: PStateIdx, load: f64) -> GovContext<'_> {
-        GovContext { now: SimTime::ZERO, load_pct: load, current, table }
+        GovContext {
+            now: SimTime::ZERO,
+            load_pct: load,
+            current,
+            table,
+        }
     }
 
     #[test]
     fn steps_up_one_rung() {
         let t = machines::optiplex_755().pstate_table();
         let mut g = Conservative::default();
-        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(1), 90.0)), Some(PStateIdx(2)));
+        assert_eq!(
+            g.on_sample(&ctx(&t, PStateIdx(1), 90.0)),
+            Some(PStateIdx(2))
+        );
     }
 
     #[test]
     fn steps_down_one_rung() {
         let t = machines::optiplex_755().pstate_table();
         let mut g = Conservative::default();
-        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(3), 10.0)), Some(PStateIdx(2)));
+        assert_eq!(
+            g.on_sample(&ctx(&t, PStateIdx(3), 10.0)),
+            Some(PStateIdx(2))
+        );
     }
 
     #[test]
@@ -68,8 +82,16 @@ mod tests {
         let t = machines::optiplex_755().pstate_table();
         let mut g = Conservative::default();
         assert_eq!(g.on_sample(&ctx(&t, PStateIdx(2), 50.0)), None);
-        assert_eq!(g.on_sample(&ctx(&t, t.max_idx(), 99.0)), None, "already at top");
-        assert_eq!(g.on_sample(&ctx(&t, t.min_idx(), 1.0)), None, "already at bottom");
+        assert_eq!(
+            g.on_sample(&ctx(&t, t.max_idx(), 99.0)),
+            None,
+            "already at top"
+        );
+        assert_eq!(
+            g.on_sample(&ctx(&t, t.min_idx(), 1.0)),
+            None,
+            "already at bottom"
+        );
     }
 
     #[test]

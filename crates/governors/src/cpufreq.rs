@@ -49,7 +49,12 @@ impl CpuFreq {
     /// Wraps a governor.
     #[must_use]
     pub fn new(governor: Box<dyn Governor>) -> Self {
-        CpuFreq { governor, samples: 0, transitions_requested: 0, clamped: 0 }
+        CpuFreq {
+            governor,
+            samples: 0,
+            transitions_requested: 0,
+            clamped: 0,
+        }
     }
 
     /// The wrapped governor's name.
@@ -110,7 +115,8 @@ impl CpuFreq {
                 };
                 if target != cpu.pstate() {
                     self.transitions_requested += 1;
-                    cpu.set_pstate(target).expect("clamped p-state is on the ladder");
+                    cpu.set_pstate(target)
+                        .expect("clamped p-state is on the ladder");
                 }
                 target
             }

@@ -50,7 +50,10 @@ impl Default for Ondemand {
     /// Linux defaults: `up_threshold = 80`, down differential 10
     /// points below it.
     fn default() -> Self {
-        Ondemand { up_threshold: 80.0, down_threshold: 70.0 }
+        Ondemand {
+            up_threshold: 80.0,
+            down_threshold: 70.0,
+        }
     }
 }
 
@@ -70,7 +73,10 @@ impl Governor for Ondemand {
         // threshold: f_target = f_cur · load / up_threshold.
         let f_cur = ctx.table.state(ctx.current).frequency.as_mhz() as f64;
         let target_mhz = f_cur * ctx.load_pct / self.up_threshold;
-        Some(ctx.table.lowest_at_least(Frequency::mhz(target_mhz.ceil() as u32)))
+        Some(
+            ctx.table
+                .lowest_at_least(Frequency::mhz(target_mhz.ceil() as u32)),
+        )
     }
 
     /// Fast sampling: one fifth of the host's base governor period
@@ -89,7 +95,12 @@ mod tests {
     use simkernel::SimTime;
 
     fn ctx(table: &cpumodel::PStateTable, current: PStateIdx, load: f64) -> GovContext<'_> {
-        GovContext { now: SimTime::ZERO, load_pct: load, current, table }
+        GovContext {
+            now: SimTime::ZERO,
+            load_pct: load,
+            current,
+            table,
+        }
     }
 
     #[test]
@@ -97,7 +108,10 @@ mod tests {
         let t = machines::optiplex_755().pstate_table();
         let mut g = Ondemand::default();
         assert_eq!(g.on_sample(&ctx(&t, t.min_idx(), 81.0)), Some(t.max_idx()));
-        assert_eq!(g.on_sample(&ctx(&t, PStateIdx(2), 100.0)), Some(t.max_idx()));
+        assert_eq!(
+            g.on_sample(&ctx(&t, PStateIdx(2), 100.0)),
+            Some(t.max_idx())
+        );
     }
 
     #[test]
@@ -136,6 +150,9 @@ mod tests {
                 }
             }
         }
-        assert!(changes >= 18, "ondemand thrashes: {changes} changes in 20 samples");
+        assert!(
+            changes >= 18,
+            "ondemand thrashes: {changes} changes in 20 samples"
+        );
     }
 }

@@ -84,7 +84,12 @@ mod tests {
     use simkernel::SimTime;
 
     fn ctx(table: &cpumodel::PStateTable, load: f64) -> GovContext<'_> {
-        GovContext { now: SimTime::ZERO, load_pct: load, current: table.max_idx(), table }
+        GovContext {
+            now: SimTime::ZERO,
+            load_pct: load,
+            current: table.max_idx(),
+            table,
+        }
     }
 
     #[test]

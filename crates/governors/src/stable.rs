@@ -67,7 +67,10 @@ impl StableOndemand {
     /// Panics if `headroom_pct` is negative or not finite.
     #[must_use]
     pub fn with_headroom(mut self, headroom_pct: f64) -> Self {
-        assert!(headroom_pct.is_finite() && headroom_pct >= 0.0, "invalid headroom");
+        assert!(
+            headroom_pct.is_finite() && headroom_pct >= 0.0,
+            "invalid headroom"
+        );
         self.headroom_pct = headroom_pct;
         self
     }
@@ -164,7 +167,12 @@ mod tests {
     use simkernel::SimTime;
 
     fn ctx(table: &cpumodel::PStateTable, current: PStateIdx, load: f64) -> GovContext<'_> {
-        GovContext { now: SimTime::ZERO, load_pct: load, current, table }
+        GovContext {
+            now: SimTime::ZERO,
+            load_pct: load,
+            current,
+            table,
+        }
     }
 
     #[test]
@@ -215,8 +223,9 @@ mod tests {
         let t = machines::optiplex_755().pstate_table();
         let mut stock = Ondemand::default();
         let mut stable = StableOndemand::new();
-        let loads: Vec<f64> =
-            (0..60).map(|i| if i % 3 == 0 { 85.0 } else { 15.0 }).collect();
+        let loads: Vec<f64> = (0..60)
+            .map(|i| if i % 3 == 0 { 85.0 } else { 15.0 })
+            .collect();
 
         let run = |g: &mut dyn Governor| {
             let mut current = t.max_idx();
@@ -247,7 +256,9 @@ mod tests {
     #[test]
     fn disabled_hysteresis_reacts_first_sample() {
         let t = machines::optiplex_755().pstate_table();
-        let mut g = StableOndemand::new().with_confirmations(1).with_sampling_multiplier(1);
+        let mut g = StableOndemand::new()
+            .with_confirmations(1)
+            .with_sampling_multiplier(1);
         // 3 low samples warm the smoother; first decision may come
         // immediately since confirmations = 1.
         let d = g.on_sample(&ctx(&t, t.max_idx(), 10.0));

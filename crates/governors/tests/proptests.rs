@@ -3,7 +3,9 @@
 //! each policy's defining invariant must hold sample by sample.
 
 use cpumodel::{machines, PStateIdx, PStateTable};
-use governors::{Conservative, CpuFreq, Governor, Ondemand, Performance, Powersave, StableOndemand, Userspace};
+use governors::{
+    Conservative, CpuFreq, Governor, Ondemand, Performance, Powersave, StableOndemand, Userspace,
+};
 use proptest::prelude::*;
 use simkernel::SimTime;
 
@@ -139,7 +141,7 @@ fn stock_ondemand_oscillates_more_than_stable_on_a_noisy_plateau() {
         }
         cf.transitions_requested()
     };
-    let stock = transitions(Box::new(Ondemand::default()));
+    let stock = transitions(Box::<Ondemand>::default());
     let stable = transitions(Box::new(StableOndemand::new()));
     assert!(
         stable < stock,

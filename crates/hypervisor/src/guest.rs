@@ -49,7 +49,10 @@ impl GuestOs {
 
     /// Adds a process; returns its index.
     pub fn spawn(&mut self, source: Box<dyn WorkSource>) -> usize {
-        self.processes.push(Process { source, backlog_mcycles: 0.0 });
+        self.processes.push(Process {
+            source,
+            backlog_mcycles: 0.0,
+        });
         self.processes.len() - 1
     }
 
@@ -141,7 +144,13 @@ impl WorkSource for GuestOs {
         self.processes
             .iter()
             .map(|p| p.source.backlog_cap_mcycles())
-            .fold(0.0, |acc, c| if c.is_infinite() { f64::INFINITY } else { acc + c })
+            .fold(0.0, |acc, c| {
+                if c.is_infinite() {
+                    f64::INFINITY
+                } else {
+                    acc + c
+                }
+            })
     }
 
     fn is_finished(&self) -> bool {
@@ -155,7 +164,9 @@ impl WorkSource for GuestOs {
 
 impl std::fmt::Debug for GuestOs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GuestOs").field("processes", &self.processes.len()).finish()
+        f.debug_struct("GuestOs")
+            .field("processes", &self.processes.len())
+            .finish()
     }
 }
 

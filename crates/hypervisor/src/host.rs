@@ -386,11 +386,13 @@ impl Host {
             }
         }
         if self.now >= self.next_sample {
-            let caps: Vec<Option<f64>> =
-                (0..self.vms.len()).map(|i| self.sched.effective_cap(VmId(i))).collect();
+            let caps: Vec<Option<f64>> = (0..self.vms.len())
+                .map(|i| self.sched.effective_cap(VmId(i)))
+                .collect();
             let backlogs: Vec<f64> = self.vms.iter().map(|v| v.backlog_mcycles).collect();
             self.stats.set_elapsed(self.now);
-            self.stats.take_snapshot(self.now, &self.cpu, &caps, &backlogs);
+            self.stats
+                .take_snapshot(self.now, &self.cpu, &caps, &backlogs);
             self.next_sample += self.sample_period;
         }
     }
@@ -437,7 +439,11 @@ impl Host {
             Some(vm) => {
                 let capacity = self.cpu.work_capacity(slice);
                 let done = self.vms[vm.0].execute(capacity, slice_end);
-                let busy_frac = if capacity > 0.0 { (done / capacity).min(1.0) } else { 0.0 };
+                let busy_frac = if capacity > 0.0 {
+                    (done / capacity).min(1.0)
+                } else {
+                    0.0
+                };
                 let busy_secs = slice.as_secs_f64() * busy_frac;
                 let busy = SimDuration::from_secs_f64(busy_secs);
                 self.sched.charge(vm, busy);
@@ -489,7 +495,10 @@ mod tests {
     #[test]
     fn idle_host_consumes_no_cpu() {
         let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
-        host.add_vm(VmConfig::new("idle", Credit::percent(50.0)), Box::new(crate::work::Idle));
+        host.add_vm(
+            VmConfig::new("idle", Credit::percent(50.0)),
+            Box::new(crate::work::Idle),
+        );
         host.run_for(SimDuration::from_secs(10));
         assert_eq!(host.stats().global_busy_fraction(), 0.0);
         assert_eq!(host.now(), SimTime::from_secs(10));
@@ -514,7 +523,10 @@ mod tests {
         let mut host = HostConfig::optiplex_defaults(SchedulerKind::Sedf { extra: true }).build();
         let d = demand(&host, 1.0);
         host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
-        host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(crate::work::Idle));
+        host.add_vm(
+            VmConfig::new("v70", Credit::percent(70.0)),
+            Box::new(crate::work::Idle),
+        );
         host.run_for(SimDuration::from_secs(30));
         let b0 = host.stats().vm_busy_fraction(VmId(0));
         assert!(b0 > 0.9, "work conserving: v20 got {b0}");
@@ -547,7 +559,10 @@ mod tests {
         let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
         let d = demand(&host, 1.0); // thrashing V20
         host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
-        host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(crate::work::Idle));
+        host.add_vm(
+            VmConfig::new("v70", Credit::percent(70.0)),
+            Box::new(crate::work::Idle),
+        );
         host.run_for(SimDuration::from_secs(60));
         // Host underloaded → PAS parks the frequency at the bottom...
         assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx());
@@ -562,8 +577,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "PAS manages DVFS itself")]
     fn pas_plus_governor_rejected() {
-        let _ = HostConfig::optiplex_defaults(SchedulerKind::Pas)
-            .with_governor(Box::new(Performance));
+        let _ =
+            HostConfig::optiplex_defaults(SchedulerKind::Pas).with_governor(Box::new(Performance));
     }
 
     #[test]

@@ -104,7 +104,9 @@ impl MultiHost {
             vm_total_abs: Vec::new(),
             dvfs,
             planner,
-            domain_smooth: (0..topo.n_domains()).map(|_| MovingAverage::paper_default()).collect(),
+            domain_smooth: (0..topo.n_domains())
+                .map(|_| MovingAverage::paper_default())
+                .collect(),
             now: SimTime::ZERO,
             quantum: SimDuration::from_millis(1),
             acct_period,
@@ -248,7 +250,11 @@ impl MultiHost {
             let capacity = cpu.work_capacity(allowed);
             let ratio_cf = cpu.ratio() * cpu.cf();
             let done = self.vms[vm.0].execute(capacity, slice_end);
-            let busy_frac_of_allowed = if capacity > 0.0 { (done / capacity).min(1.0) } else { 0.0 };
+            let busy_frac_of_allowed = if capacity > 0.0 {
+                (done / capacity).min(1.0)
+            } else {
+                0.0
+            };
             let busy_secs = allowed.as_secs_f64() * busy_frac_of_allowed;
             let abs_secs = busy_secs * ratio_cf;
             self.cores[core_idx]
@@ -287,7 +293,9 @@ impl MultiHost {
                     let table = self.planner.table();
                     target = cpumodel::PStateIdx((current.0 + 1).min(table.max_idx().0));
                 }
-                self.pkg.set_domain_pstate(domain, target).expect("valid p-state");
+                self.pkg
+                    .set_domain_pstate(domain, target)
+                    .expect("valid p-state");
                 for c in &cores {
                     let st = &mut self.cores[c.0];
                     let vm_ids = st.vms.clone();
@@ -361,7 +369,7 @@ mod tests {
         let mut host = MultiHost::new(&machine, topo, dvfs);
         let fmax = host.fmax_mcps();
         for (i, &d) in demands.iter().enumerate() {
-            let credit = Credit::percent((d * 100.0).min(95.0).max(5.0));
+            let credit = Credit::percent((d * 100.0).clamp(5.0, 95.0));
             host.add_vm(
                 VmConfig::new(format!("vm{i}"), credit),
                 Box::new(ConstantDemand::new(fmax)), // thrash: cap decides
@@ -373,7 +381,11 @@ mod tests {
 
     #[test]
     fn per_core_caps_enforced() {
-        let mut host = build(DvfsGranularity::Global, MultiDvfs::MaxFrequency, &[0.2, 0.7, 0.4, 0.1]);
+        let mut host = build(
+            DvfsGranularity::Global,
+            MultiDvfs::MaxFrequency,
+            &[0.2, 0.7, 0.4, 0.1],
+        );
         host.run_for(SimDuration::from_secs(30));
         for (i, want) in [0.2, 0.7, 0.4, 0.1].iter().enumerate() {
             let abs = host.vm_absolute_fraction(VmId(i));
@@ -383,7 +395,11 @@ mod tests {
 
     #[test]
     fn per_core_pas_scales_independently() {
-        let mut host = build(DvfsGranularity::PerCore, MultiDvfs::Pas, &[0.2, 0.7, 0.4, 0.1]);
+        let mut host = build(
+            DvfsGranularity::PerCore,
+            MultiDvfs::Pas,
+            &[0.2, 0.7, 0.4, 0.1],
+        );
         host.run_for(SimDuration::from_secs(60));
         // The 70% core must run fast; the 10% core parks at the floor.
         assert!(host.core_pstate(CoreId(1)) > host.core_pstate(CoreId(3)));
@@ -396,7 +412,11 @@ mod tests {
 
     #[test]
     fn per_socket_domain_couples_cores() {
-        let mut host = build(DvfsGranularity::PerSocket, MultiDvfs::Pas, &[0.2, 0.7, 0.1, 0.1]);
+        let mut host = build(
+            DvfsGranularity::PerSocket,
+            MultiDvfs::Pas,
+            &[0.2, 0.7, 0.1, 0.1],
+        );
         host.run_for(SimDuration::from_secs(60));
         // Socket 0 (cores 0,1) is driven by the 70% VM.
         assert_eq!(host.core_pstate(CoreId(0)), host.core_pstate(CoreId(1)));
@@ -415,7 +435,10 @@ mod tests {
         let global = energy(DvfsGranularity::Global);
         let socket = energy(DvfsGranularity::PerSocket);
         let core = energy(DvfsGranularity::PerCore);
-        assert!(socket <= global * 1.01, "socket {socket} vs global {global}");
+        assert!(
+            socket <= global * 1.01,
+            "socket {socket} vs global {global}"
+        );
         assert!(core <= socket * 1.01, "core {core} vs socket {socket}");
         assert!(core < global, "strict saving on heterogeneous load");
     }
@@ -432,7 +455,11 @@ mod tests {
 
     #[test]
     fn snapshots_record_frequencies() {
-        let mut host = build(DvfsGranularity::PerCore, MultiDvfs::Pas, &[0.2, 0.7, 0.4, 0.1]);
+        let mut host = build(
+            DvfsGranularity::PerCore,
+            MultiDvfs::Pas,
+            &[0.2, 0.7, 0.4, 0.1],
+        );
         host.run_for(SimDuration::from_secs(30));
         assert!(!host.snapshots().is_empty());
         assert_eq!(host.snapshots()[0].core_freq_mhz.len(), 4);

@@ -104,7 +104,11 @@ pub fn xen_credit() -> PlatformSpec {
 /// Xen with the paper's PAS scheduler (0% degradation).
 #[must_use]
 pub fn xen_pas() -> PlatformSpec {
-    PlatformSpec { name: "Xen/PAS", scheduler: SchedulerKind::Pas, dvfs_floor_mhz: None }
+    PlatformSpec {
+        name: "Xen/PAS",
+        scheduler: SchedulerKind::Pas,
+        dvfs_floor_mhz: None,
+    }
 }
 
 /// Xen with SEDF and extra time (variable credit).
@@ -140,7 +144,15 @@ pub fn vbox() -> PlatformSpec {
 /// All Table 2 platforms in the paper's column order.
 #[must_use]
 pub fn all_table2() -> Vec<PlatformSpec> {
-    vec![hyperv(), vmware(), xen_credit(), xen_pas(), xen_sedf(), kvm(), vbox()]
+    vec![
+        hyperv(),
+        vmware(),
+        xen_credit(),
+        xen_pas(),
+        xen_sedf(),
+        kvm(),
+        vbox(),
+    ]
 }
 
 /// Wraps a governor so it never descends below a platform's
@@ -235,7 +247,12 @@ mod tests {
         assert_eq!(xen_credit().scheduler, SchedulerKind::Credit);
         assert_eq!(xen_pas().scheduler, SchedulerKind::Pas);
         for p in [xen_sedf(), kvm(), vbox()] {
-            assert_eq!(p.scheduler, SchedulerKind::Sedf { extra: true }, "{}", p.name);
+            assert_eq!(
+                p.scheduler,
+                SchedulerKind::Sedf { extra: true },
+                "{}",
+                p.name
+            );
         }
     }
 }

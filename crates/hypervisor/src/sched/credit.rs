@@ -80,7 +80,12 @@ impl CreditScheduler {
     #[must_use]
     pub fn with_period(period: SimDuration) -> Self {
         assert!(!period.is_zero(), "accounting period must be non-zero");
-        CreditScheduler { period, vms: HashMap::new(), order: Vec::new(), rr_cursor: 0 }
+        CreditScheduler {
+            period,
+            vms: HashMap::new(),
+            order: Vec::new(),
+            rr_cursor: 0,
+        }
     }
 
     /// Overrides a VM's cap at run time — the knob PAS turns.
@@ -165,8 +170,11 @@ impl Scheduler for CreditScheduler {
     fn pick_next(&mut self, _now: SimTime, runnable: &[VmId]) -> Option<VmId> {
         // Dom0 first, then UNDER before OVER; round-robin within a
         // class via a rotating cursor for deterministic fairness.
-        let candidates: Vec<VmId> =
-            runnable.iter().copied().filter(|&id| self.eligible(id)).collect();
+        let candidates: Vec<VmId> = runnable
+            .iter()
+            .copied()
+            .filter(|&id| self.eligible(id))
+            .collect();
         if candidates.is_empty() {
             return None;
         }
@@ -183,9 +191,15 @@ impl Scheduler for CreditScheduler {
                 1 // OVER
             }
         };
-        let best_class = candidates.iter().map(|&id| class_of(id)).min().expect("non-empty");
-        let in_class: Vec<VmId> =
-            candidates.into_iter().filter(|&id| class_of(id) == best_class).collect();
+        let best_class = candidates
+            .iter()
+            .map(|&id| class_of(id))
+            .min()
+            .expect("non-empty");
+        let in_class: Vec<VmId> = candidates
+            .into_iter()
+            .filter(|&id| class_of(id) == best_class)
+            .collect();
         // Rotate through the class so equal-priority VMs interleave.
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
         let pick = in_class[self.rr_cursor % in_class.len()];
@@ -240,8 +254,14 @@ mod tests {
     #[test]
     fn cap_limits_slice() {
         let s = setup();
-        assert_eq!(s.max_slice(VmId(0), SimTime::ZERO), SimDuration::from_millis(6));
-        assert_eq!(s.max_slice(VmId(1), SimTime::ZERO), SimDuration::from_millis(21));
+        assert_eq!(
+            s.max_slice(VmId(0), SimTime::ZERO),
+            SimDuration::from_millis(6)
+        );
+        assert_eq!(
+            s.max_slice(VmId(1), SimTime::ZERO),
+            SimDuration::from_millis(21)
+        );
     }
 
     #[test]
@@ -251,7 +271,10 @@ mod tests {
         let picked = s.pick_next(SimTime::ZERO, &[VmId(0)]);
         assert_eq!(picked, None, "v20 used its 6 ms");
         // v70 still eligible.
-        assert_eq!(s.pick_next(SimTime::ZERO, &[VmId(0), VmId(1)]), Some(VmId(1)));
+        assert_eq!(
+            s.pick_next(SimTime::ZERO, &[VmId(0), VmId(1)]),
+            Some(VmId(1))
+        );
     }
 
     #[test]
@@ -259,9 +282,17 @@ mod tests {
         let mut s = setup();
         s.charge(VmId(0), SimDuration::from_millis(6));
         let mut cpu = ctx_cpu();
-        let mut ctx = SchedCtx { now: SimTime::from_millis(30), cpu: &mut cpu, measured_load_pct: 20.0, measured_absolute_pct: 20.0 };
+        let mut ctx = SchedCtx {
+            now: SimTime::from_millis(30),
+            cpu: &mut cpu,
+            measured_load_pct: 20.0,
+            measured_absolute_pct: 20.0,
+        };
         s.on_accounting(&mut ctx);
-        assert_eq!(s.max_slice(VmId(0), SimTime::ZERO), SimDuration::from_millis(6));
+        assert_eq!(
+            s.max_slice(VmId(0), SimTime::ZERO),
+            SimDuration::from_millis(6)
+        );
         assert!(s.pick_next(SimTime::ZERO, &[VmId(0)]).is_some());
     }
 
@@ -287,9 +318,14 @@ mod tests {
     fn under_beats_over() {
         let mut s = setup();
         let mut cpu = ctx_cpu();
-        let mut ctx = SchedCtx { now: SimTime::ZERO, cpu: &mut cpu, measured_load_pct: 0.0, measured_absolute_pct: 0.0 };
+        let mut ctx = SchedCtx {
+            now: SimTime::ZERO,
+            cpu: &mut cpu,
+            measured_load_pct: 0.0,
+            measured_absolute_pct: 0.0,
+        };
         s.on_accounting(&mut ctx); // gives both positive credit
-        // Burn v70 into OVER.
+                                   // Burn v70 into OVER.
         s.charge(VmId(1), SimDuration::from_millis(25));
         // Reset usage so caps don't interfere, keep credit burned.
         for vm in s.vms.values_mut() {

@@ -95,8 +95,9 @@ impl Scheduler for Credit2Scheduler {
         if runnable.is_empty() {
             return None;
         }
-        if let Some(&dom0) =
-            runnable.iter().find(|&&id| self.vms[&id].priority == Priority::Dom0)
+        if let Some(&dom0) = runnable
+            .iter()
+            .find(|&&id| self.vms[&id].priority == Priority::Dom0)
         {
             return Some(dom0);
         }
@@ -192,7 +193,10 @@ mod tests {
         let mut s = Credit2Scheduler::new();
         s.on_vm_added(VmId(0), &VmConfig::new("v", Credit::percent(90.0)));
         s.on_vm_added(VmId(1), &VmConfig::dom0());
-        assert_eq!(s.pick_next(SimTime::ZERO, &[VmId(0), VmId(1)]), Some(VmId(1)));
+        assert_eq!(
+            s.pick_next(SimTime::ZERO, &[VmId(0), VmId(1)]),
+            Some(VmId(1))
+        );
     }
 
     #[test]

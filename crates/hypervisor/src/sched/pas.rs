@@ -127,7 +127,9 @@ impl Scheduler for PasScheduler {
             };
             self.inner.set_cap(*id, cap);
         }
-        ctx.cpu.set_pstate(target).expect("planner uses the cpu's own ladder");
+        ctx.cpu
+            .set_pstate(target)
+            .expect("planner uses the cpu's own ladder");
         self.last_plan_pstate = Some(target);
     }
 
@@ -192,7 +194,10 @@ mod tests {
         // Paper Figure 9: V20 is granted ~33% at 1600 MHz.
         assert!((cap * 100.0 - 33.0).abs() < 1.5, "cap {}%", cap * 100.0);
         let cap70 = pas.effective_cap(VmId(1)).unwrap();
-        assert!(cap70 > 0.70, "V70's limit also raised (meaningless while lazy)");
+        assert!(
+            cap70 > 0.70,
+            "V70's limit also raised (meaningless while lazy)"
+        );
     }
 
     #[test]

@@ -105,9 +105,9 @@ impl Scheduler for SedfScheduler {
     }
 
     fn on_vm_added(&mut self, id: VmId, cfg: &VmConfig) {
-        let params = cfg
-            .sedf
-            .unwrap_or_else(|| SedfParams::from_credit(cfg.credit, self.period, self.extra_default));
+        let params = cfg.sedf.unwrap_or_else(|| {
+            SedfParams::from_credit(cfg.credit, self.period, self.extra_default)
+        });
         self.vms.insert(
             id,
             VmSedf {
@@ -131,8 +131,7 @@ impl Scheduler for SedfScheduler {
         // Dom0 runs first if it has guaranteed time (matching its
         // highest-priority configuration in the paper).
         if let Some(&dom0) = runnable.iter().find(|&&id| {
-            self.vms[&id].priority == Priority::Dom0
-                && !self.vms[&id].remaining.is_zero()
+            self.vms[&id].priority == Priority::Dom0 && !self.vms[&id].remaining.is_zero()
         }) {
             self.last_mode.insert(dom0, PickMode::Guaranteed);
             return Some(dom0);
@@ -186,9 +185,7 @@ impl Scheduler for SedfScheduler {
         if entry.params.extra {
             None // work conserving: no hard ceiling
         } else {
-            Some(
-                entry.params.slice.as_secs_f64() / entry.params.period.as_secs_f64(),
-            )
+            Some(entry.params.slice.as_secs_f64() / entry.params.period.as_secs_f64())
         }
     }
 }
@@ -233,7 +230,10 @@ mod tests {
             }),
         );
         // fast's deadline (50 ms) precedes slow's (200 ms).
-        assert_eq!(s.pick_next(SimTime::ZERO, &[VmId(0), VmId(1)]), Some(VmId(1)));
+        assert_eq!(
+            s.pick_next(SimTime::ZERO, &[VmId(0), VmId(1)]),
+            Some(VmId(1))
+        );
     }
 
     #[test]
@@ -268,7 +268,7 @@ mod tests {
         let mut s = setup(true);
         s.pick_next(SimTime::ZERO, &[VmId(0)]);
         s.charge(VmId(0), SimDuration::from_millis(20)); // guarantee gone
-        // Next period: guarantee refreshed.
+                                                         // Next period: guarantee refreshed.
         let p = s.pick_next(SimTime::from_millis(100), &[VmId(0)]);
         assert_eq!(p, Some(VmId(0)));
         assert_eq!(

@@ -215,7 +215,10 @@ impl SmtHost {
                 self.accounting_tick();
                 self.next_acct += self.acct_period;
             }
-            let step = self.quantum.min(end - self.now).min(self.next_acct - self.now);
+            let step = self
+                .quantum
+                .min(end - self.now)
+                .min(self.next_acct - self.now);
             self.advance(step);
         }
     }
@@ -229,8 +232,12 @@ impl SmtHost {
         // quantum is known before any work is executed.
         let mut picks: Vec<Option<(VmId, SimDuration)>> = Vec::with_capacity(self.threads.len());
         for t in &mut self.threads {
-            let runnable: Vec<VmId> =
-                t.vms.iter().copied().filter(|id| self.vms[id.0].is_runnable()).collect();
+            let runnable: Vec<VmId> = t
+                .vms
+                .iter()
+                .copied()
+                .filter(|id| self.vms[id.0].is_runnable())
+                .collect();
             let pick = t.sched.pick_next(self.now, &runnable);
             picks.push(pick.map(|vm| (vm, t.sched.max_slice(vm, self.now).min(dt))));
         }
@@ -244,7 +251,11 @@ impl SmtHost {
             let Some((vm, allowed)) = pick else { continue };
             let capacity = mcps * factor * allowed.as_secs_f64();
             let done = self.vms[vm.0].execute(capacity, slice_end);
-            let busy_frac = if capacity > 0.0 { (done / capacity).min(1.0) } else { 0.0 };
+            let busy_frac = if capacity > 0.0 {
+                (done / capacity).min(1.0)
+            } else {
+                0.0
+            };
             let busy_secs = allowed.as_secs_f64() * busy_frac;
             let t = &mut self.threads[idx];
             t.sched.charge(vm, SimDuration::from_secs_f64(busy_secs));
@@ -256,7 +267,8 @@ impl SmtHost {
             self.vm_mcycles[vm.0] += done;
             core_busy_secs = core_busy_secs.max(busy_secs);
         }
-        self.cpu.account(core_busy_secs / dt.as_secs_f64().max(1e-12), dt);
+        self.cpu
+            .account(core_busy_secs / dt.as_secs_f64().max(1e-12), dt);
         self.now = slice_end;
     }
 
@@ -311,7 +323,9 @@ impl SmtHost {
                     self.threads[t_idx].sched.set_cap(vm, cap);
                 }
             }
-            self.cpu.set_pstate(target).expect("planner uses the cpu's own ladder");
+            self.cpu
+                .set_pstate(target)
+                .expect("planner uses the cpu's own ladder");
         }
         for t in &mut self.threads {
             let mut ctx = SchedCtx {
@@ -347,7 +361,11 @@ mod tests {
     use cpumodel::machines;
 
     fn host(awareness: SmtAwareness) -> SmtHost {
-        SmtHost::new(&machines::optiplex_755(), SmtSpec::intel_typical(), awareness)
+        SmtHost::new(
+            &machines::optiplex_755(),
+            SmtSpec::intel_typical(),
+            awareness,
+        )
     }
 
     fn add_thrasher(h: &mut SmtHost, name: &str, pct: f64, thread: usize) -> VmId {
@@ -432,7 +450,10 @@ mod tests {
                 assert!(c <= 1.0 + 1e-9, "cap {c} exceeds wall clock");
             }
             let abs = h.vm_absolute_fraction(vm);
-            assert!(abs <= 0.65, "cannot exceed the contended thread limit, got {abs}");
+            assert!(
+                abs <= 0.65,
+                "cannot exceed the contended thread limit, got {abs}"
+            );
             assert!(abs > 0.50, "should still get most of the thread, got {abs}");
         }
     }
@@ -444,14 +465,24 @@ mod tests {
         let b = add_thrasher(&mut h, "b", 100.0, 1);
         h.run_for(SimDuration::from_secs(60));
         let total = h.vm_absolute_fraction(a) + h.vm_absolute_fraction(b);
-        assert!(total <= 1.25 + 0.01, "aggregate {total} exceeds the 1.25x envelope");
-        assert!(total > 1.10, "both siblings busy should beat one thread, got {total}");
+        assert!(
+            total <= 1.25 + 0.01,
+            "aggregate {total} exceeds the 1.25x envelope"
+        );
+        assert!(
+            total > 1.10,
+            "both siblings busy should beat one thread, got {total}"
+        );
     }
 
     #[test]
     fn idle_host_descends_to_floor_frequency() {
         let mut h = host(SmtAwareness::Aware);
-        h.add_vm(VmConfig::new("idle", Credit::percent(50.0)), Box::new(Idle), ThreadId(0));
+        h.add_vm(
+            VmConfig::new("idle", Credit::percent(50.0)),
+            Box::new(Idle),
+            ThreadId(0),
+        );
         h.run_for(SimDuration::from_secs(10));
         assert_eq!(h.cpu().pstate(), h.cpu().pstates().min_idx());
     }
@@ -469,6 +500,10 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn pinning_to_missing_thread_panics() {
         let mut h = host(SmtAwareness::Naive);
-        h.add_vm(VmConfig::new("x", Credit::percent(10.0)), Box::new(Idle), ThreadId(2));
+        h.add_vm(
+            VmConfig::new("x", Credit::percent(10.0)),
+            Box::new(Idle),
+            ThreadId(2),
+        );
     }
 }

@@ -304,7 +304,12 @@ mod tests {
         st.on_slice(Some((VmId(1), 2.0, 1.2)));
         st.set_elapsed(SimTime::from_secs(10));
         let cpu = machines::optiplex_755().build_cpu();
-        st.take_snapshot(SimTime::from_secs(10), &cpu, &[Some(0.2), None], &[5.0, 0.0]);
+        st.take_snapshot(
+            SimTime::from_secs(10),
+            &cpu,
+            &[Some(0.2), None],
+            &[5.0, 0.0],
+        );
         let snap = &st.snapshots()[0];
         assert!((snap.vms[0].global_load_pct - 10.0).abs() < 1e-9);
         assert!((snap.vms[1].global_load_pct - 20.0).abs() < 1e-9);

@@ -52,7 +52,11 @@ impl SedfParams {
     #[must_use]
     pub fn from_credit(credit: Credit, period: SimDuration, extra: bool) -> Self {
         assert!(!period.is_zero(), "SEDF period must be non-zero");
-        SedfParams { slice: period.mul_f64(credit.as_fraction()), period, extra }
+        SedfParams {
+            slice: period.mul_f64(credit.as_fraction()),
+            period,
+            extra,
+        }
     }
 }
 
@@ -153,7 +157,13 @@ impl Vm {
     /// Creates a VM with an empty backlog.
     #[must_use]
     pub fn new(id: VmId, config: VmConfig, work: Box<dyn WorkSource>) -> Self {
-        Vm { id, config, work, backlog_mcycles: 0.0, total_done_mcycles: 0.0 }
+        Vm {
+            id,
+            config,
+            work,
+            backlog_mcycles: 0.0,
+            total_done_mcycles: 0.0,
+        }
     }
 
     /// `true` if the VM has enough pending work to be scheduled (see
@@ -266,7 +276,10 @@ mod tests {
         assert!((done - 40.0).abs() < 1e-9);
         assert!((vm.backlog_mcycles - 60.0).abs() < 1e-9);
         let done2 = vm.execute(1000.0, SimTime::ZERO);
-        assert!((done2 - 60.0).abs() < 1e-9, "cannot execute more than backlog");
+        assert!(
+            (done2 - 60.0).abs() < 1e-9,
+            "cannot execute more than backlog"
+        );
         assert!(!vm.is_runnable());
         assert!((vm.total_done_mcycles - 100.0).abs() < 1e-9);
     }

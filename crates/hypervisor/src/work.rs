@@ -106,7 +106,10 @@ impl ConstantDemand {
     /// Panics if the rate is negative or not finite.
     #[must_use]
     pub fn new(rate_mcps: f64) -> Self {
-        assert!(rate_mcps.is_finite() && rate_mcps >= 0.0, "invalid rate {rate_mcps}");
+        assert!(
+            rate_mcps.is_finite() && rate_mcps >= 0.0,
+            "invalid rate {rate_mcps}"
+        );
         ConstantDemand { rate_mcps }
     }
 
@@ -150,7 +153,12 @@ impl FixedWork {
             total_mcycles.is_finite() && total_mcycles > 0.0,
             "invalid job size {total_mcycles}"
         );
-        FixedWork { total_mcycles, released: false, remaining: total_mcycles, finished_at: None }
+        FixedWork {
+            total_mcycles,
+            released: false,
+            remaining: total_mcycles,
+            finished_at: None,
+        }
     }
 
     /// Total size of the job.

@@ -87,7 +87,8 @@ impl Samples {
             return None;
         }
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
         let n = self.values.len();
@@ -97,7 +98,12 @@ impl Samples {
 
     /// Renders a compact textual summary (`n / mean / p50 / p95 / max`).
     pub fn summary(&mut self) -> String {
-        match (self.mean(), self.percentile(50.0), self.percentile(95.0), self.max()) {
+        match (
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.max(),
+        ) {
             (Some(mean), Some(p50), Some(p95), Some(max)) => format!(
                 "n={} mean={mean:.3} p50={p50:.3} p95={p95:.3} max={max:.3}",
                 self.len()

@@ -22,14 +22,20 @@ impl TimeSeries {
     /// An empty series.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), points: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Builds a series from points, sorting them by time.
     #[must_use]
     pub fn from_points(name: impl Into<String>, mut points: Vec<(f64, f64)>) -> Self {
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-        TimeSeries { name: name.into(), points }
+        TimeSeries {
+            name: name.into(),
+            points,
+        }
     }
 
     /// The series name.
@@ -134,13 +140,19 @@ impl TimeSeries {
     /// transitions in governor stability comparisons).
     #[must_use]
     pub fn transition_count(&self) -> usize {
-        self.points.windows(2).filter(|w| (w[0].1 - w[1].1).abs() > 1e-12).count()
+        self.points
+            .windows(2)
+            .filter(|w| (w[0].1 - w[1].1).abs() > 1e-12)
+            .count()
     }
 
     /// A renamed copy.
     #[must_use]
     pub fn renamed(&self, name: impl Into<String>) -> TimeSeries {
-        TimeSeries { name: name.into(), points: self.points.clone() }
+        TimeSeries {
+            name: name.into(),
+            points: self.points.clone(),
+        }
     }
 }
 

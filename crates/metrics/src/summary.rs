@@ -23,7 +23,10 @@ pub fn degradation_pct(t_performance: f64, t_ondemand: f64) -> f64 {
         t_performance.is_finite() && t_performance > 0.0,
         "invalid performance time {t_performance}"
     );
-    assert!(t_ondemand.is_finite() && t_ondemand > 0.0, "invalid ondemand time {t_ondemand}");
+    assert!(
+        t_ondemand.is_finite() && t_ondemand > 0.0,
+        "invalid ondemand time {t_ondemand}"
+    );
     (100.0 * (1.0 - t_performance / t_ondemand)).max(0.0)
 }
 
@@ -52,7 +55,10 @@ pub fn within_pct(got: f64, want: f64, tol_pct: f64) -> bool {
 /// the standard reduction of a three-phase figure.
 #[must_use]
 pub fn phase_means(series: &TimeSeries, phases: &[(f64, f64)]) -> Vec<Option<f64>> {
-    phases.iter().map(|&(a, b)| series.mean_between(a, b)).collect()
+    phases
+        .iter()
+        .map(|&(a, b)| series.mean_between(a, b))
+        .collect()
 }
 
 /// Sample standard deviation of a series' values (0 for < 2 points).
@@ -63,7 +69,11 @@ pub fn stddev(series: &TimeSeries) -> f64 {
         return 0.0;
     }
     let mean = series.mean();
-    let var = series.points().iter().map(|&(_, v)| (v - mean).powi(2)).sum::<f64>()
+    let var = series
+        .points()
+        .iter()
+        .map(|&(_, v)| (v - mean).powi(2))
+        .sum::<f64>()
         / (n - 1) as f64;
     var.sqrt()
 }
@@ -106,7 +116,11 @@ mod tests {
 
     #[test]
     fn degradation_clamps_at_zero() {
-        assert_eq!(degradation_pct(100.0, 90.0), 0.0, "speedups are not degradation");
+        assert_eq!(
+            degradation_pct(100.0, 90.0),
+            0.0,
+            "speedups are not degradation"
+        );
     }
 
     #[test]
@@ -121,7 +135,20 @@ mod tests {
     fn phase_means_reduce_figures() {
         let s = TimeSeries::from_points(
             "load",
-            (0..30).map(|i| (i as f64, if i < 10 { 0.0 } else if i < 20 { 35.0 } else { 20.0 })).collect(),
+            (0..30)
+                .map(|i| {
+                    (
+                        i as f64,
+                        if i < 10 {
+                            0.0
+                        } else if i < 20 {
+                            35.0
+                        } else {
+                            20.0
+                        },
+                    )
+                })
+                .collect(),
         );
         let means = phase_means(&s, &[(0.0, 10.0), (10.0, 20.0), (20.0, 30.0)]);
         assert_eq!(means, vec![Some(0.0), Some(35.0), Some(20.0)]);

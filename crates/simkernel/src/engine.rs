@@ -224,7 +224,9 @@ mod tests {
         let mut engine = Engine::new();
         let mut fired = Vec::new();
         for ms in [5u64, 10, 15, 20] {
-            engine.schedule(SimTime::from_millis(ms), move |w: &mut Vec<u64>, _| w.push(ms));
+            engine.schedule(SimTime::from_millis(ms), move |w: &mut Vec<u64>, _| {
+                w.push(ms)
+            });
         }
         engine.run_until(&mut fired, SimTime::from_millis(10));
         assert_eq!(fired, vec![5, 10], "events at the deadline fire");
@@ -239,7 +241,9 @@ mod tests {
         let mut engine: Engine<()> = Engine::new();
         engine.schedule(SimTime::from_millis(10), |_, _| {});
         engine.run(&mut ());
-        let err = engine.try_schedule(SimTime::from_millis(5), |_, _| {}).unwrap_err();
+        let err = engine
+            .try_schedule(SimTime::from_millis(5), |_, _| {})
+            .unwrap_err();
         assert_eq!(
             err,
             EngineError::ScheduleInPast {
@@ -254,10 +258,13 @@ mod tests {
     fn stop_halts_run() {
         let mut engine = Engine::new();
         let mut log: Vec<u32> = Vec::new();
-        engine.schedule(SimTime::from_millis(1), |w: &mut Vec<u32>, eng: &mut Engine<_>| {
-            w.push(1);
-            eng.stop();
-        });
+        engine.schedule(
+            SimTime::from_millis(1),
+            |w: &mut Vec<u32>, eng: &mut Engine<_>| {
+                w.push(1);
+                eng.stop();
+            },
+        );
         engine.schedule(SimTime::from_millis(2), |w: &mut Vec<u32>, _| w.push(2));
         engine.run(&mut log);
         assert_eq!(log, vec![1]);

@@ -98,7 +98,12 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let id = EventId(seq);
-        self.heap.push(Entry { at, seq, id, payload });
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
         self.live += 1;
         id
     }
@@ -126,7 +131,11 @@ impl<E> EventQueue<E> {
                 continue;
             }
             self.live = self.live.saturating_sub(1);
-            return Some(QueuedEvent { at: entry.at, id: entry.id, payload: entry.payload });
+            return Some(QueuedEvent {
+                at: entry.at,
+                id: entry.id,
+                payload: entry.payload,
+            });
         }
         None
     }
@@ -229,7 +238,9 @@ mod tests {
     #[test]
     fn len_tracks_cancellations() {
         let mut q = EventQueue::new();
-        let ids: Vec<_> = (0..10).map(|i| q.push(SimTime::from_millis(i), i)).collect();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.push(SimTime::from_millis(i), i))
+            .collect();
         for id in &ids[..4] {
             q.cancel(*id);
         }

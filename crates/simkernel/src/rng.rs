@@ -29,7 +29,10 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     #[must_use]
     pub fn seed_from(seed: u64) -> Self {
-        SimRng { inner: StdRng::seed_from_u64(seed), seed }
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+            seed,
+        }
     }
 
     /// The seed this generator was created with.
@@ -117,7 +120,9 @@ mod tests {
     fn different_seed_different_stream() {
         let mut a = SimRng::seed_from(1);
         let mut b = SimRng::seed_from(2);
-        let same = (0..32).filter(|_| a.uniform_f64() == b.uniform_f64()).count();
+        let same = (0..32)
+            .filter(|_| a.uniform_f64() == b.uniform_f64())
+            .count();
         assert!(same < 4, "streams should diverge");
     }
 
@@ -137,7 +142,11 @@ mod tests {
         let rate = 4.0;
         let n = 20_000;
         let mean: f64 = (0..n).map(|_| rng.exponential(rate)).sum::<f64>() / n as f64;
-        assert!((mean - 1.0 / rate).abs() < 0.02, "mean {mean} far from {}", 1.0 / rate);
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.02,
+            "mean {mean} far from {}",
+            1.0 / rate
+        );
     }
 
     #[test]

@@ -278,13 +278,23 @@ impl Rem<SimDuration> for SimDuration {
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:03}s", self.0 / 1_000_000, (self.0 % 1_000_000) / 1_000)
+        write!(
+            f,
+            "{}.{:03}s",
+            self.0 / 1_000_000,
+            (self.0 % 1_000_000) / 1_000
+        )
     }
 }
 
 impl fmt::Display for SimDuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:03}s", self.0 / 1_000_000, (self.0 % 1_000_000) / 1_000)
+        write!(
+            f,
+            "{}.{:03}s",
+            self.0 / 1_000_000,
+            (self.0 % 1_000_000) / 1_000
+        )
     }
 }
 
@@ -334,7 +344,10 @@ mod tests {
     #[test]
     fn align_down() {
         let t = SimTime::from_micros(35_500);
-        assert_eq!(t.align_down(SimDuration::from_millis(10)), SimTime::from_millis(30));
+        assert_eq!(
+            t.align_down(SimDuration::from_millis(10)),
+            SimTime::from_millis(30)
+        );
         let exact = SimTime::from_millis(30);
         assert_eq!(exact.align_down(SimDuration::from_millis(10)), exact);
     }

@@ -63,8 +63,14 @@ impl PiApp {
     /// Panics if either argument is not strictly positive and finite.
     #[must_use]
     pub fn sized_for_seconds(seconds: f64, fmax_mcps: f64) -> Self {
-        assert!(seconds.is_finite() && seconds > 0.0, "invalid duration {seconds}");
-        assert!(fmax_mcps.is_finite() && fmax_mcps > 0.0, "invalid capacity {fmax_mcps}");
+        assert!(
+            seconds.is_finite() && seconds > 0.0,
+            "invalid duration {seconds}"
+        );
+        assert!(
+            fmax_mcps.is_finite() && fmax_mcps > 0.0,
+            "invalid capacity {fmax_mcps}"
+        );
         PiApp::new(seconds * fmax_mcps)
     }
 
@@ -156,8 +162,14 @@ mod tests {
     #[test]
     fn start_delay_holds_release() {
         let mut pi = PiApp::new(1000.0).with_start_delay(SimDuration::from_secs(5));
-        assert_eq!(pi.generate(SimTime::from_secs(1), SimDuration::from_secs(1)), 0.0);
-        assert_eq!(pi.generate(SimTime::from_secs(5), SimDuration::from_secs(1)), 1000.0);
+        assert_eq!(
+            pi.generate(SimTime::from_secs(1), SimDuration::from_secs(1)),
+            0.0
+        );
+        assert_eq!(
+            pi.generate(SimTime::from_secs(5), SimDuration::from_secs(1)),
+            1000.0
+        );
         assert_eq!(pi.started_at(), Some(SimTime::from_secs(5)));
     }
 

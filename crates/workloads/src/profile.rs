@@ -92,7 +92,10 @@ impl Profile {
     /// Appends a phase (builder style).
     #[must_use]
     pub fn then(mut self, duration: SimDuration, intensity: Intensity) -> Self {
-        self.phases.push(Phase { duration, intensity });
+        self.phases.push(Phase {
+            duration,
+            intensity,
+        });
         self
     }
 
@@ -100,7 +103,9 @@ impl Profile {
     /// active for `active` at `intensity`, then idle forever.
     #[must_use]
     pub fn three_phase(lead_in: SimDuration, active: SimDuration, intensity: Intensity) -> Self {
-        Profile::new().then(lead_in, Intensity::Idle).then(active, intensity)
+        Profile::new()
+            .then(lead_in, Intensity::Idle)
+            .then(active, intensity)
     }
 
     /// A profile that is active at `intensity` from time zero onward
@@ -127,7 +132,9 @@ impl Profile {
     /// Total configured length (after which the profile is idle).
     #[must_use]
     pub fn total_duration(&self) -> SimDuration {
-        self.phases.iter().fold(SimDuration::ZERO, |acc, p| acc + p.duration)
+        self.phases
+            .iter()
+            .fold(SimDuration::ZERO, |acc, p| acc + p.duration)
     }
 
     /// `true` once `now` is past every phase.
@@ -179,7 +186,10 @@ mod tests {
             .then(SimDuration::from_secs(5), Intensity::Exact)
             .then(SimDuration::from_secs(5), Intensity::Fraction(0.3));
         assert_eq!(p.phases().len(), 2);
-        assert_eq!(p.intensity_at(SimTime::from_secs(7)), Intensity::Fraction(0.3));
+        assert_eq!(
+            p.intensity_at(SimTime::from_secs(7)),
+            Intensity::Fraction(0.3)
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl TraceDemand {
     /// Panics if `rate_mcps` is negative or not finite.
     #[must_use]
     pub fn segment(mut self, duration: SimDuration, rate_mcps: f64) -> Self {
-        assert!(rate_mcps.is_finite() && rate_mcps >= 0.0, "invalid rate {rate_mcps}");
+        assert!(
+            rate_mcps.is_finite() && rate_mcps >= 0.0,
+            "invalid rate {rate_mcps}"
+        );
         self.segments.push((duration, rate_mcps));
         self
     }
@@ -73,7 +76,9 @@ impl TraceDemand {
     /// Total trace length.
     #[must_use]
     pub fn total_duration(&self) -> SimDuration {
-        self.segments.iter().fold(SimDuration::ZERO, |acc, &(d, _)| acc + d)
+        self.segments
+            .iter()
+            .fold(SimDuration::ZERO, |acc, &(d, _)| acc + d)
     }
 }
 
@@ -122,7 +127,10 @@ mod tests {
     #[test]
     fn empty_trace_is_silent() {
         let mut t = TraceDemand::new();
-        assert_eq!(t.generate(SimTime::from_secs(1), SimDuration::from_secs(1)), 0.0);
+        assert_eq!(
+            t.generate(SimTime::from_secs(1), SimDuration::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

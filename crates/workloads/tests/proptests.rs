@@ -13,11 +13,7 @@ const HOST_CAP: f64 = 2667.0;
 /// Strategy: a profile of 1..5 phases with arbitrary intensities and
 /// 1..30-second durations.
 fn profiles() -> impl Strategy<Value = Profile> {
-    proptest::collection::vec(
-        (1u64..30, 0usize..4, 0.0f64..2.0),
-        1..5,
-    )
-    .prop_map(|phases| {
+    proptest::collection::vec((1u64..30, 0usize..4, 0.0f64..2.0), 1..5).prop_map(|phases| {
         let mut p = Profile::new();
         for (secs, kind, frac) in phases {
             let intensity = match kind {
@@ -63,7 +59,7 @@ proptest! {
         while now < SimTime::ZERO + horizon {
             let dt = SimDuration::from_micros(slices[i % slices.len()])
                 .min((SimTime::ZERO + horizon) - now);
-            now = now + dt;
+            now += dt;
             let _ = app.generate(now, dt);
             i += 1;
         }
@@ -85,7 +81,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         for _ in 0..200 {
             let dt = SimDuration::from_millis(100);
-            now = now + dt;
+            now += dt;
             backlog += app.generate(now, dt);
             // The host serves a random share of the backlog…
             let served = backlog * rng.uniform_f64();
@@ -120,7 +116,7 @@ proptest! {
         let mut backlog = 0.0;
         for _ in 0..200 {
             let dt = SimDuration::from_millis(100);
-            now = now + dt;
+            now += dt;
             backlog += app.generate(now, dt);
             // Serve at ~80% of the demand rate so queues form.
             let served = (0.8 * VM_CAP * dt.as_secs_f64()).min(backlog);
@@ -148,7 +144,7 @@ proptest! {
         // First ask the app for demand, then report completion of the
         // demanded work at `rate` mc/s until it finishes.
         for _ in 0..10_000 {
-            now = now + dt;
+            now += dt;
             let _ = app.generate(now, dt);
             let step = rate * dt.as_secs_f64();
             let grant = step.min(remaining_prev);

@@ -22,7 +22,10 @@ fn run(label: &str, scheduler: SchedulerKind, with_governor: bool) {
     }
     let mut host = cfg.build();
     let thrash = host.fmax_mcps(); // more demand than V20 can ever get
-    host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
+    host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(Idle));
     host.run_for(SimDuration::from_secs(120));
 

@@ -28,7 +28,11 @@ use pas_repro::simkernel::SimDuration;
 /// absolute capacity (percent of a non-contended thread at fmax) per
 /// half.
 fn run(awareness: SmtAwareness) -> (f64, f64) {
-    let mut host = SmtHost::new(&machines::optiplex_755(), SmtSpec::intel_typical(), awareness);
+    let mut host = SmtHost::new(
+        &machines::optiplex_755(),
+        SmtSpec::intel_typical(),
+        awareness,
+    );
     let thrash = host.fmax_mcps();
     let a = host.add_vm(
         VmConfig::new("tenant-a", Credit::percent(40.0)),
@@ -37,13 +41,21 @@ fn run(awareness: SmtAwareness) -> (f64, f64) {
     );
 
     // First half: sibling idle.
-    host.add_vm(VmConfig::new("tenant-b", Credit::percent(60.0)), Box::new(Idle), ThreadId(1));
+    host.add_vm(
+        VmConfig::new("tenant-b", Credit::percent(60.0)),
+        Box::new(Idle),
+        ThreadId(1),
+    );
     host.run_for(SimDuration::from_secs(120));
     let half1 = 100.0 * host.vm_absolute_fraction(a);
 
     // Second half: rebuild with a thrashing sibling (steady states are
     // what matter; a fresh host keeps the two halves independent).
-    let mut host2 = SmtHost::new(&machines::optiplex_755(), SmtSpec::intel_typical(), awareness);
+    let mut host2 = SmtHost::new(
+        &machines::optiplex_755(),
+        SmtSpec::intel_typical(),
+        awareness,
+    );
     let a2 = host2.add_vm(
         VmConfig::new("tenant-a", Credit::percent(40.0)),
         Box::new(ConstantDemand::new(thrash)),
@@ -64,7 +76,10 @@ fn main() {
         "Tenant A books 40% of a hardware thread (Optiplex 755 ladder,\n\
          2-way SMT, 1.25x aggregate speedup). Delivered absolute capacity:\n"
     );
-    println!("  {:<18} {:>14} {:>18}", "PAS variant", "sibling idle", "sibling thrashing");
+    println!(
+        "  {:<18} {:>14} {:>18}",
+        "PAS variant", "sibling idle", "sibling thrashing"
+    );
     for (label, awareness) in [
         ("naive (paper)", SmtAwareness::Naive),
         ("SMT-aware", SmtAwareness::Aware),

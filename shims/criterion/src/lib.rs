@@ -1,0 +1,265 @@
+//! Vendored API-subset shim of `criterion`.
+//!
+//! The build environment has no network access, so this implements
+//! just enough of criterion's surface for the workspace's four bench
+//! targets: [`Criterion`], [`Bencher::iter`] /
+//! [`Bencher::iter_with_setup`], benchmark groups, [`black_box`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — mean wall-clock over
+//! `sample_size` timed batches after a short warm-up — and results
+//! print as one line per benchmark. No statistical analysis, HTML
+//! reports, or saved baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, forwarding to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark runs.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Reads the benchmark-name filter from the command line (the
+    /// first non-flag argument, as `cargo bench -- <filter>` passes
+    /// it).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_named(id, f);
+        self
+    }
+
+    fn run_named<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.matches(id) {
+            return;
+        }
+        let mut bencher = Bencher {
+            batch: Duration::ZERO,
+            iters_done: 0,
+        };
+        // Warm-up pass (also sizes nothing: the shim times whole
+        // closure invocations).
+        f(&mut bencher);
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            bencher.batch = Duration::ZERO;
+            bencher.iters_done = 0;
+            f(&mut bencher);
+            total += bencher.batch;
+            iters += bencher.iters_done;
+        }
+        let per_iter = if iters > 0 {
+            total / iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!("bench: {id:<40} {per_iter:>12.2?}/iter  ({iters} iters)");
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the closing summary (a no-op in the shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    /// Group-local override; the parent's setting is untouched (as in
+    /// upstream criterion, where the override dies with the group).
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample size for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        match self.sample_size {
+            Some(n) => {
+                let saved = self.parent.sample_size;
+                self.parent.sample_size = n;
+                self.parent.run_named(&full, f);
+                self.parent.sample_size = saved;
+            }
+            None => self.parent.run_named(&full, f),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times the body closures handed to it.
+#[derive(Debug)]
+pub struct Bencher {
+    batch: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.batch += start.elapsed();
+        self.iters_done += 1;
+    }
+
+    /// Times `routine` on a fresh `setup()` input, excluding setup
+    /// time from the measurement.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.batch += start.elapsed();
+        self.iters_done += 1;
+    }
+}
+
+/// Declares a group function that runs each target against one
+/// [`Criterion`] configured from the command line.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 1 warm-up + 3 samples, one iter each.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: Some("yes".into()),
+        };
+        let mut ran = false;
+        c.bench_function("no/match", |b| b.iter(|| ran = true));
+        assert!(!ran);
+        c.bench_function("yes/match", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default().sample_size(1);
+        let mut g = c.benchmark_group("grp");
+        let mut n = 0;
+        g.bench_function("one", |b| b.iter(|| n += 1));
+        g.finish();
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak_to_parent() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2);
+        let mut in_group = 0u64;
+        g.bench_function("one", |b| b.iter(|| in_group += 1));
+        g.finish();
+        assert_eq!(in_group, 3, "1 warm-up + 2 group-local samples");
+        let mut after = 0u64;
+        c.bench_function("outside", |b| b.iter(|| after += 1));
+        assert_eq!(after, 6, "1 warm-up + the parent's 5 samples");
+    }
+}

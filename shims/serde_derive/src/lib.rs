@@ -1,0 +1,421 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! `syn`/`quote` are unavailable in this no-network build environment,
+//! so the item is parsed directly from the `proc_macro` token stream.
+//! Supported shapes — the ones this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (arity 1 serializes transparently, like upstream
+//!   serde's newtype handling),
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics are not supported; deriving on a generic item is a
+//! compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Option<Shape>, // None = unit variant
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Skips one attribute (`#[...]`) if the iterator is positioned on one.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The bracketed attribute body.
+                tokens.next();
+            }
+            _ => return,
+        }
+    }
+}
+
+fn skip_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        // pub(crate), pub(super), ...
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+/// Parses the fields of a `{ ... }` body into their names, skipping
+/// types (angle-bracket aware so `Vec<(f64, f64)>` fields work).
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => panic!("expected field name, found {other}"),
+            None => break,
+        };
+        fields.push(name);
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle depth 0.
+        let mut angle = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a `( ... )` body (angle-bracket aware).
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle = 0i32;
+    let mut saw_any = false;
+    let mut last_was_comma = false;
+    for tok in group {
+        saw_any = true;
+        last_was_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                arity += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if saw_any && !last_was_comma {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            Some(other) => panic!("expected variant name, found {other}"),
+            None => break,
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = parse_tuple_arity(g.stream());
+                tokens.next();
+                Some(Shape::Tuple(arity))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                Some(Shape::Named(fields))
+            }
+            _ => None,
+        };
+        variants.push(Variant { name, shape });
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => panic!("expected `,` between variants, found {other}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("the serde shim's derive does not support generic items (deriving on `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                shape: Shape::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item::Struct {
+                name,
+                shape: Shape::Tuple(parse_tuple_arity(g.stream())),
+            },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}` items"),
+    }
+}
+
+/// Derives `serde::Serialize` (shim data model: lowering to `Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        None => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Some(Shape::Tuple(n)) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        Some(Shape::Named(fields)) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (shim data model: rebuilding from `Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 ::serde::field(__m, \"{f}\")?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __m = __v.as_map().ok_or_else(|| \
+                         ::serde::DeError::expected(\"map for struct {name}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                        .collect();
+                    format!(
+                        "let __s = __v.as_seq().ok_or_else(|| \
+                         ::serde::DeError::expected(\"sequence for struct {name}\"))?;\n\
+                         if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"{n} elements for struct {name}\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.shape.is_none())
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        None => None,
+                        Some(Shape::Tuple(1)) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        )),
+                        Some(Shape::Tuple(n)) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__s[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __s = __payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"sequence for variant {vname}\"))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"{n} elements for variant {vname}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n}},",
+                                inits.join(", ")
+                            ))
+                        }
+                        Some(Shape::Named(fields)) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::field(__fm, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __fm = __payload.as_map().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"map for variant {vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{ {} }})\n}},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match __v {{\n\
+                         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                             let (__tag, __payload) = &__m[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError(\
+                                 ::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }}\n\
+                         }},\n\
+                         _ => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"externally tagged {name}\")),\n\
+                     }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    code.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}

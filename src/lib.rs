@@ -14,7 +14,21 @@
 //! | [`workloads`] | pi-app, web-app (httperf-like), three-phase profiles |
 //! | [`metrics`] | time series, summaries, CSV/JSON export, ASCII charts |
 //! | [`enforcer`] | simulator + cgroup-v2 enforcement backends |
-//! | [`experiments`] | one module per paper table/figure + extensions |
+//! | [`experiments`] | one module per paper table/figure + extensions; the `repro` binary |
+//! | `pas-bench` | criterion bench targets: figures/tables at quick fidelity + hot-path micros (not re-exported; run via `cargo bench`) |
+//!
+//! Third-party crates (`serde`, `serde_json`, `rand`, `proptest`,
+//! `criterion`) are vendored as API-subset shims under `shims/` so the
+//! workspace builds without network access; see each shim's crate docs
+//! for the (intentional) differences from upstream.
+//!
+//! # Verifying the workspace
+//!
+//! The tier-1 check builds and tests every crate:
+//!
+//! ```text
+//! cargo build --release && cargo test -q
+//! ```
 //!
 //! # Quickstart
 //!

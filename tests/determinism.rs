@@ -52,3 +52,82 @@ fn fluid_runs_are_seed_independent() {
     let b = run(2);
     assert!((a - b).abs() < 1.0, "saturated runs agree: {a} vs {b}");
 }
+
+/// The façade quickstart scenario (src/lib.rs) extended with one
+/// seeded bursty workload, exported through the metrics crate.
+fn quickstart_exports(seed: u64) -> (String, String) {
+    use pas_repro::hypervisor::work::ConstantDemand;
+    use pas_repro::hypervisor::{HostConfig, VmConfig};
+    use pas_repro::metrics::{export, TimeSeries};
+    use pas_repro::pas_core::Credit;
+    use pas_repro::simkernel::{SimDuration, SimRng};
+    use pas_repro::workloads::{ArrivalModel, Profile, WebApp};
+
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+    let fmax = host.fmax_mcps();
+    host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(ConstantDemand::new(fmax)),
+    );
+    // The quickstart's lazy V70, made bursty so the simkernel seed
+    // actually flows into the trace.
+    host.add_vm(
+        VmConfig::new("v70", Credit::percent(70.0)),
+        Box::new(WebApp::new(
+            Profile::active_for(SimDuration::from_secs(60), Intensity::Fraction(0.5)),
+            0.70 * fmax,
+            fmax,
+            ArrivalModel::Poisson {
+                request_mcycles: 50.0,
+                rng: SimRng::seed_from(seed),
+            },
+        )),
+    );
+    host.run_for(SimDuration::from_secs(60));
+
+    let snaps = host.stats().snapshots();
+    assert!(!snaps.is_empty(), "the run must produce snapshots");
+    let v20 = TimeSeries::from_points(
+        "v20_absolute_pct",
+        snaps
+            .iter()
+            .map(|s| (s.t_secs, s.vms[0].absolute_load_pct))
+            .collect(),
+    );
+    let v70 = TimeSeries::from_points(
+        "v70_absolute_pct",
+        snaps
+            .iter()
+            .map(|s| (s.t_secs, s.vms[1].absolute_load_pct))
+            .collect(),
+    );
+    let freq = TimeSeries::from_points(
+        "frequency_mhz",
+        snaps
+            .iter()
+            .map(|s| (s.t_secs, f64::from(s.freq_mhz)))
+            .collect(),
+    );
+    let csv = export::to_csv(&[&v20, &v70, &freq]);
+    let json = export::to_json(&vec![v20, v70, freq]).expect("finite values");
+    (csv, json)
+}
+
+/// Regression for the workspace bootstrap: two runs of the quickstart
+/// scenario with the same simkernel seed must produce byte-identical
+/// CSV and JSON metric exports.
+#[test]
+fn quickstart_metrics_exports_are_byte_identical() {
+    let (csv_a, json_a) = quickstart_exports(0xC0FFEE);
+    let (csv_b, json_b) = quickstart_exports(0xC0FFEE);
+    assert_eq!(
+        csv_a.as_bytes(),
+        csv_b.as_bytes(),
+        "CSV export must be reproducible"
+    );
+    assert_eq!(
+        json_a.as_bytes(),
+        json_b.as_bytes(),
+        "JSON export must be reproducible"
+    );
+}

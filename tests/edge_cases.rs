@@ -1,7 +1,7 @@
 //! Degenerate-configuration and failure-injection tests across the
 //! stack: the system must stay well-defined at the edges.
 
-use pas_repro::cpumodel::{CfModel, Frequency, MachineSpec, PowerModel, PStateTable};
+use pas_repro::cpumodel::{CfModel, Frequency, MachineSpec, PStateTable, PowerModel};
 use pas_repro::hypervisor::work::{ConstantDemand, Idle};
 use pas_repro::hypervisor::{HostConfig, SchedulerKind, VmConfig, VmId};
 use pas_repro::pas_core::{Credit, FreqPlanner};
@@ -24,7 +24,10 @@ fn pas_on_single_pstate_machine_is_plain_credit() {
         .with_machine(single_pstate_machine())
         .build();
     let thrash = host.fmax_mcps();
-    host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
+    host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.run_for(SimDuration::from_secs(60));
     // Nothing to compensate: the cap stays at the booked 20%.
     let cap = host.effective_cap_pct(VmId(0)).unwrap();
@@ -35,14 +38,16 @@ fn pas_on_single_pstate_machine_is_plain_credit() {
 
 #[test]
 fn planner_on_single_state_ladder_always_returns_it() {
-    let table =
-        PStateTable::from_frequencies([Frequency::mhz(2000)], &CfModel::Ideal).unwrap();
+    let table = PStateTable::from_frequencies([Frequency::mhz(2000)], &CfModel::Ideal).unwrap();
     let planner = FreqPlanner::new(table.clone());
     for load in [0.0, 50.0, 150.0] {
         assert_eq!(planner.compute_new_freq(load), table.max_idx());
     }
     let plan = planner.plan(&[Credit::percent(30.0)], 40.0);
-    assert!((plan.credits[0].as_percent() - 30.0).abs() < 1e-9, "identity compensation");
+    assert!(
+        (plan.credits[0].as_percent() - 30.0).abs() < 1e-9,
+        "identity compensation"
+    );
 }
 
 #[test]
@@ -50,7 +55,10 @@ fn host_with_no_vms_runs_idle() {
     let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
     host.run_for(SimDuration::from_secs(30));
     assert_eq!(host.stats().global_busy_fraction(), 0.0);
-    assert!(host.cpu().energy().joules() > 0.0, "static power still burns");
+    assert!(
+        host.cpu().energy().joules() > 0.0,
+        "static power still burns"
+    );
 }
 
 #[test]
@@ -64,7 +72,10 @@ fn pas_host_with_no_vms_descends_to_floor() {
 fn hundred_percent_credit_vm_owns_the_machine() {
     let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
     let thrash = host.fmax_mcps();
-    host.add_vm(VmConfig::new("all", Credit::percent(100.0)), Box::new(ConstantDemand::new(thrash)));
+    host.add_vm(
+        VmConfig::new("all", Credit::percent(100.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.run_for(SimDuration::from_secs(10));
     let busy = host.stats().vm_busy_fraction(VmId(0));
     assert!(busy > 0.995, "busy {busy}");
@@ -74,7 +85,10 @@ fn hundred_percent_credit_vm_owns_the_machine() {
 fn tiny_credit_vm_still_progresses() {
     let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
     let thrash = host.fmax_mcps();
-    host.add_vm(VmConfig::new("tiny", Credit::percent(1.0)), Box::new(ConstantDemand::new(thrash)));
+    host.add_vm(
+        VmConfig::new("tiny", Credit::percent(1.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.run_for(SimDuration::from_secs(30));
     let busy = host.stats().vm_busy_fraction(VmId(0));
     assert!((busy - 0.01).abs() < 0.003, "1% cap honoured: {busy}");
@@ -106,7 +120,10 @@ fn idle_vm_consumes_nothing_under_every_scheduler() {
         SchedulerKind::Pas,
     ] {
         let mut host = HostConfig::optiplex_defaults(kind).build();
-        host.add_vm(VmConfig::new("sleeper", Credit::percent(50.0)), Box::new(Idle));
+        host.add_vm(
+            VmConfig::new("sleeper", Credit::percent(50.0)),
+            Box::new(Idle),
+        );
         host.run_for(SimDuration::from_secs(10));
         assert_eq!(
             host.stats().vm_busy_fraction(VmId(0)),
@@ -135,7 +152,10 @@ fn extreme_cf_penalty_still_compensates_correctly() {
     );
     host.run_for(SimDuration::from_secs(120));
     let abs = host.stats().vm_absolute_fraction(VmId(0));
-    assert!((abs - 0.10).abs() < 0.01, "delivered {abs} despite cf = 0.45 at the floor");
+    assert!(
+        (abs - 0.10).abs() < 0.01,
+        "delivered {abs} despite cf = 0.45 at the floor"
+    );
 }
 
 #[test]

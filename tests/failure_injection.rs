@@ -38,7 +38,11 @@ impl Governor for Flapper {
 
     fn on_sample(&mut self, ctx: &GovContext<'_>) -> Option<PStateIdx> {
         self.up = !self.up;
-        Some(if self.up { ctx.table.max_idx() } else { ctx.table.min_idx() })
+        Some(if self.up {
+            ctx.table.max_idx()
+        } else {
+            ctx.table.min_idx()
+        })
     }
 }
 
@@ -48,7 +52,10 @@ fn rogue_governor_cannot_crash_the_host() {
         .with_governor(Box::new(Rogue))
         .build();
     let demand = 0.5 * host.fmax_mcps();
-    let v = host.add_vm(VmConfig::new("v", Credit::percent(50.0)), Box::new(ConstantDemand::new(demand)));
+    let v = host.add_vm(
+        VmConfig::new("v", Credit::percent(50.0)),
+        Box::new(ConstantDemand::new(demand)),
+    );
     host.run_for(SimDuration::from_secs(30));
     // The rogue decision is clamped to fmax; the VM still gets its cap.
     assert_eq!(host.cpu().pstate(), host.cpu().pstates().max_idx());
@@ -62,7 +69,10 @@ fn flapping_governor_degrades_but_does_not_break_accounting() {
         .with_governor(Box::new(Flapper { up: false }))
         .build();
     let demand = 0.3 * host.fmax_mcps();
-    let v = host.add_vm(VmConfig::new("v", Credit::percent(30.0)), Box::new(ConstantDemand::new(demand)));
+    let v = host.add_vm(
+        VmConfig::new("v", Credit::percent(30.0)),
+        Box::new(ConstantDemand::new(demand)),
+    );
     host.run_for(SimDuration::from_secs(60));
     // Wall-clock cap enforcement is frequency-independent.
     let busy = host.stats().vm_busy_fraction(v);
@@ -79,8 +89,14 @@ fn flapping_governor_degrades_but_does_not_break_accounting() {
 fn retiring_a_vm_mid_run_lets_pas_lower_the_frequency() {
     let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
     let thrash = host.fmax_mcps();
-    let v20 = host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
-    let v70 = host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(ConstantDemand::new(thrash)));
+    let v20 = host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
+    let v70 = host.add_vm(
+        VmConfig::new("v70", Credit::percent(70.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.run_for(SimDuration::from_secs(30));
     assert_eq!(
         host.cpu().pstate(),
@@ -104,16 +120,25 @@ fn retiring_a_vm_mid_run_lets_pas_lower_the_frequency() {
 fn vm_added_mid_run_is_scheduled_and_compensated() {
     let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
     let thrash = host.fmax_mcps();
-    let v20 = host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
+    let v20 = host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.run_for(SimDuration::from_secs(30));
 
-    let late = host.add_vm(VmConfig::new("late", Credit::percent(40.0)), Box::new(ConstantDemand::new(thrash)));
+    let late = host.add_vm(
+        VmConfig::new("late", Credit::percent(40.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.run_for(SimDuration::from_secs(30));
 
     // The late VM runs and receives its booking over its own lifetime
     // (half the total run → ~20% of the whole-run average).
     let late_abs = host.stats().vm_absolute_fraction(late);
-    assert!((late_abs - 0.20).abs() < 0.03, "late VM whole-run absolute {late_abs}");
+    assert!(
+        (late_abs - 0.20).abs() < 0.03,
+        "late VM whole-run absolute {late_abs}"
+    );
     // And the incumbent keeps its booking throughout.
     let abs = host.stats().vm_absolute_fraction(v20);
     assert!((abs - 0.20).abs() < 0.02, "v20 absolute {abs}");
@@ -144,7 +169,10 @@ fn shim_survives_a_broken_setspeed_file() {
     let setspeed = backend.layout().setspeed();
     fake.break_file(&setspeed);
     let err = backend.set_pstate(PStateIdx(0));
-    assert!(err.is_err(), "write to a broken file must surface as an error");
+    assert!(
+        err.is_err(),
+        "write to a broken file must surface as an error"
+    );
 
     // Quota writes use a different file and must still work.
     backend
@@ -178,8 +206,14 @@ fn zero_credit_vm_under_pas_behaves_like_xens_null_cap() {
     // 0 / ratio = 0.
     let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
     let demand = 0.10 * host.fmax_mcps();
-    let free = host.add_vm(VmConfig::new("free", Credit::percent(0.0)), Box::new(ConstantDemand::new(demand)));
+    let free = host.add_vm(
+        VmConfig::new("free", Credit::percent(0.0)),
+        Box::new(ConstantDemand::new(demand)),
+    );
     host.run_for(SimDuration::from_secs(30));
     let abs = host.stats().vm_absolute_fraction(free);
-    assert!((abs - 0.10).abs() < 0.02, "uncapped VM runs its demand: {abs}");
+    assert!(
+        (abs - 0.10).abs() < 0.02,
+        "uncapped VM runs its demand: {abs}"
+    );
 }

@@ -17,7 +17,10 @@ fn overloaded_v20(scheduler: SchedulerKind, governed: bool) -> pas_repro::hyperv
     }
     let mut host = cfg.build();
     let thrash = host.fmax_mcps();
-    host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), Box::new(ConstantDemand::new(thrash)));
+    host.add_vm(
+        VmConfig::new("v20", Credit::percent(20.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     host.add_vm(VmConfig::new("v70", Credit::percent(70.0)), Box::new(Idle));
     host
 }
@@ -28,7 +31,11 @@ fn scenario1_fix_credit_plus_dvfs_starves_v20() {
     // the capped V20 loses real capacity.
     let mut host = overloaded_v20(SchedulerKind::Credit, true);
     host.run_for(SimDuration::from_secs(300));
-    assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx(), "host underloaded");
+    assert_eq!(
+        host.cpu().pstate(),
+        host.cpu().pstates().min_idx(),
+        "host underloaded"
+    );
     let abs = 100.0 * host.stats().vm_absolute_fraction(VmId(0));
     assert!(
         abs < 13.0,
@@ -42,9 +49,16 @@ fn scenario2_variable_credit_prevents_scaling() {
     // all idle slices, so the frequency can never drop.
     let mut host = overloaded_v20(SchedulerKind::Sedf { extra: true }, true);
     host.run_for(SimDuration::from_secs(300));
-    assert_eq!(host.cpu().pstate(), host.cpu().pstates().max_idx(), "frequency pinned");
+    assert_eq!(
+        host.cpu().pstate(),
+        host.cpu().pstates().max_idx(),
+        "frequency pinned"
+    );
     let busy = host.stats().vm_busy_fraction(VmId(0));
-    assert!(busy > 0.85, "V20 consumed {busy} of the host, far beyond its 20% credit");
+    assert!(
+        busy > 0.85,
+        "V20 consumed {busy} of the host, far beyond its 20% credit"
+    );
 }
 
 #[test]
@@ -55,10 +69,16 @@ fn pas_resolves_both_scenarios() {
     assert_eq!(host.cpu().pstate(), host.cpu().pstates().min_idx());
     // SLA side: booked absolute capacity delivered.
     let abs = 100.0 * host.stats().vm_absolute_fraction(VmId(0));
-    assert!((abs - 20.0).abs() < 1.5, "V20 absolute capacity {abs}% (booked 20%)");
+    assert!(
+        (abs - 20.0).abs() < 1.5,
+        "V20 absolute capacity {abs}% (booked 20%)"
+    );
     // And V20 is *not* allowed beyond its compensated credit.
     let busy = host.stats().vm_busy_fraction(VmId(0));
-    assert!(busy < 0.36, "V20 wall-time share {busy} stays near the 33% compensated cap");
+    assert!(
+        busy < 0.36,
+        "V20 wall-time share {busy} stays near the 33% compensated cap"
+    );
 }
 
 #[test]
@@ -116,7 +136,10 @@ fn dom0_priority_survives_thrashing_guests() {
     // The management domain stays responsive whatever the guests do.
     let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
     let thrash = host.fmax_mcps();
-    host.add_vm(VmConfig::new("v90", Credit::percent(90.0)), Box::new(ConstantDemand::new(thrash)));
+    host.add_vm(
+        VmConfig::new("v90", Credit::percent(90.0)),
+        Box::new(ConstantDemand::new(thrash)),
+    );
     let dom0 = host.add_vm(
         VmConfig::dom0(),
         Box::new(ConstantDemand::new(0.05 * thrash)),

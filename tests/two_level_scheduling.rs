@@ -17,9 +17,14 @@ fn guest_processes_share_the_vm_credit() {
     let mut guest = GuestOs::new();
     guest.spawn(Box::new(FixedWork::new(4.0 * fmax)));
     guest.spawn(Box::new(FixedWork::new(4.0 * fmax)));
-    let vm = host.add_vm(VmConfig::new("guest", Credit::percent(40.0)), Box::new(guest));
+    let vm = host.add_vm(
+        VmConfig::new("guest", Credit::percent(40.0)),
+        Box::new(guest),
+    );
     // 8 s of work at fmax through a 40% cap → ~20 s.
-    let done = host.run_until_vm_finished(vm, SimTime::from_secs(100)).expect("finishes");
+    let done = host
+        .run_until_vm_finished(vm, SimTime::from_secs(100))
+        .expect("finishes");
     let t = done.as_secs_f64();
     assert!((t - 20.0).abs() < 1.0, "finished at {t}s (expected ~20)");
 }
@@ -35,7 +40,10 @@ fn guest_batch_job_is_transparent_to_pas() {
         let mut guest = GuestOs::new();
         guest.spawn(Box::new(PiApp::sized_for_seconds(4.0, fmax)));
         guest.spawn(Box::new(ConstantDemand::new(0.02 * fmax))); // background daemon
-        let vm = host.add_vm(VmConfig::new("guest", Credit::percent(25.0)), Box::new(guest));
+        let vm = host.add_vm(
+            VmConfig::new("guest", Credit::percent(25.0)),
+            Box::new(guest),
+        );
         // Run to a fixed horizon; measure completed work via stats.
         host.run_for(SimDuration::from_secs(60));
         let _ = vm;
@@ -46,7 +54,10 @@ fn guest_batch_job_is_transparent_to_pas() {
     let (abs_pas, pstate_pas) = run(SchedulerKind::Pas);
     // PAS ran at a *lower* frequency yet delivered the same absolute
     // capacity to the guest.
-    assert!(pstate_pas < pas_repro::cpumodel::PStateIdx(4), "PAS lowered frequency");
+    assert!(
+        pstate_pas < pas_repro::cpumodel::PStateIdx(4),
+        "PAS lowered frequency"
+    );
     assert!(
         (abs_pas - abs_credit).abs() < 0.02,
         "same delivered capacity: pas {abs_pas} vs credit {abs_credit}"
@@ -60,7 +71,10 @@ fn short_guest_process_finishes_while_long_one_continues() {
     let mut guest = GuestOs::new();
     let short = guest.spawn(Box::new(FixedWork::new(0.5 * fmax)));
     let long = guest.spawn(Box::new(FixedWork::new(50.0 * fmax)));
-    let vm = host.add_vm(VmConfig::new("guest", Credit::percent(50.0)), Box::new(guest));
+    let vm = host.add_vm(
+        VmConfig::new("guest", Credit::percent(50.0)),
+        Box::new(guest),
+    );
     host.run_for(SimDuration::from_secs(10));
     // Inspect the guest through the VM's work source.
     let work = &host.vm(vm).work;
@@ -69,5 +83,8 @@ fn short_guest_process_finishes_while_long_one_continues() {
     // 10 s at 50% = 5 s of fmax work: the 0.5 s job is long done, the
     // 50 s job is not.
     let abs = host.stats().vm_absolute_fraction(VmId(0));
-    assert!((abs - 0.5).abs() < 0.05, "VM consumed its half share: {abs}");
+    assert!(
+        (abs - 0.5).abs() < 0.05,
+        "VM consumed its half share: {abs}"
+    );
 }
