@@ -1,7 +1,7 @@
 //! The extension studies (X1 energy, X2 controller placement, X3
-//! multi-core DVFS, X4 consolidation, X5 churn, X6 hyper-threading)
-//! as bench targets, plus scheduler ablations over the three-phase
-//! scenario.
+//! multi-core DVFS, X4 consolidation, X5 churn, X6 hyper-threading,
+//! X9 cluster energy, X10 migration) as bench targets, plus scheduler
+//! ablations over the three-phase scenario.
 
 use criterion::{criterion_main, Criterion};
 use experiments::scenario::{build, ScenarioConfig};
@@ -24,6 +24,8 @@ fn bench_extensions(c: &mut Criterion) {
         "overbooking",
         "consolidation",
         "churn",
+        "cluster-energy",
+        "migration",
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {

@@ -10,7 +10,7 @@
 //! * `benches/micro.rs` — hot-path micro-benchmarks (event queue,
 //!   scheduler dispatch, planner).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use criterion::Criterion;
 

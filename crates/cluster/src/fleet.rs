@@ -1,0 +1,591 @@
+//! The fleet: many hosts, one controller, one bill.
+//!
+//! [`Fleet`] builds a set of [`hypervisor::host::Host`]s from a
+//! placement (see [`crate::placement`]), advances them in lock-step
+//! *control epochs* — concurrently, via [`crate::exec::for_each_mut`]
+//! — and between epochs runs the global controller: per-host load
+//! measurement, the migration trigger, and VM live migration through
+//! the hypervisor's [`extract`](hypervisor::host::Host::extract_vm) /
+//! [`admit`](hypervisor::host::Host::admit_vm) hooks.
+//!
+//! Everything is deterministic regardless of the worker-thread count:
+//! each host's simulation is independent and seeded, the controller
+//! runs serially between epochs, and every aggregation walks hosts in
+//! index order.
+
+use governors::{Governor, Ondemand, Performance, StableOndemand};
+use hypervisor::host::{Host, HostConfig, SchedulerKind};
+use hypervisor::vm::{VmConfig, VmId};
+use hypervisor::work::{ConstantDemand, WorkSource};
+use metrics::TimeSeries;
+use pas_core::Credit;
+use simkernel::{SimDuration, SimTime};
+
+use crate::exec;
+use crate::migration::{MigrationCostModel, MigrationRecord, MigrationTrigger};
+use crate::placement::{HostCapacity, Placement, PlacementPolicy, VmSpec};
+
+/// Which DVFS governor every fleet host runs (a plain enum rather than
+/// a boxed trait object so one config can build any number of hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetGovernor {
+    /// Always at maximum frequency (the no-savings QoS reference).
+    Performance,
+    /// Linux ondemand.
+    Ondemand,
+    /// The paper's stabilised ondemand.
+    StableOndemand,
+}
+
+impl FleetGovernor {
+    fn build(self) -> Box<dyn Governor> {
+        match self {
+            FleetGovernor::Performance => Box::new(Performance),
+            FleetGovernor::Ondemand => Box::new(Ondemand::default()),
+            FleetGovernor::StableOndemand => Box::new(StableOndemand::new()),
+        }
+    }
+}
+
+/// Fleet-wide configuration: host shape, scheduler, placement policy,
+/// migration behaviour and the control-epoch length.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// What each host offers to the placement controller.
+    pub capacity: HostCapacity,
+    /// The hypervisor scheduler every host runs.
+    pub scheduler: SchedulerKind,
+    /// The governor every host runs; must be `None` under
+    /// [`SchedulerKind::Pas`] (PAS manages DVFS itself).
+    pub governor: Option<FleetGovernor>,
+    /// How VMs are packed onto hosts at build time.
+    pub policy: PlacementPolicy,
+    /// Load-triggered migration; `None` disables migration.
+    pub trigger: Option<MigrationTrigger>,
+    /// What each migration costs.
+    pub cost: MigrationCostModel,
+    /// Control-epoch length: hosts simulate this long between
+    /// controller passes.
+    pub epoch: SimDuration,
+    /// Empty hosts provisioned beyond what the placement opens —
+    /// headroom the migration controller can shed load into (N+k
+    /// provisioning). They idle (and burn idle energy) until a VM
+    /// arrives.
+    pub spare_hosts: usize,
+}
+
+impl FleetConfig {
+    /// PAS on every host (no governor — PAS owns DVFS), first-fit
+    /// placement, migration off, 30 s control epochs on the paper's
+    /// Optiplex-shaped hosts.
+    #[must_use]
+    pub fn pas_defaults() -> Self {
+        FleetConfig {
+            capacity: HostCapacity::optiplex_defaults(),
+            scheduler: SchedulerKind::Pas,
+            governor: None,
+            policy: PlacementPolicy::FirstFit,
+            trigger: None,
+            cost: MigrationCostModel::gigabit_defaults(),
+            epoch: SimDuration::from_secs(30),
+            spare_hosts: 0,
+        }
+    }
+
+    /// Credit + the performance governor: the QoS reference fleet that
+    /// never saves energy.
+    #[must_use]
+    pub fn performance_defaults() -> Self {
+        FleetConfig {
+            scheduler: SchedulerKind::Credit,
+            governor: Some(FleetGovernor::Performance),
+            ..FleetConfig::pas_defaults()
+        }
+    }
+
+    /// Overrides the placement policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Enables load-triggered migration.
+    #[must_use]
+    pub fn with_trigger(mut self, trigger: MigrationTrigger) -> Self {
+        self.trigger = Some(trigger);
+        self
+    }
+
+    /// Provisions `n` empty spare hosts for the migration controller.
+    #[must_use]
+    pub fn with_spares(mut self, n: usize) -> Self {
+        self.spare_hosts = n;
+        self
+    }
+
+    /// Overrides the control-epoch length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch` is zero.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: SimDuration) -> Self {
+        assert!(!epoch.is_zero(), "control epoch must be non-zero");
+        self.epoch = epoch;
+        self
+    }
+
+    fn build_host(&self) -> Host {
+        let mut cfg = HostConfig::optiplex_defaults(self.scheduler);
+        if let Some(gov) = self.governor {
+            cfg = cfg.with_governor(gov.build());
+        }
+        cfg.build()
+    }
+}
+
+/// A stepped fluid demand source: the spec's piecewise-constant demand
+/// fraction scaled to mega-cycles. Time is *fleet* time — each host's
+/// clock equals fleet time because hosts advance in lock-step — and
+/// migration preserves the schedule because the rate depends on
+/// absolute time, not on which host asks. Both generation here and the
+/// SLA entitlement in [`Fleet::totals`] delegate to
+/// [`VmSpec::integrated_demand`], so they can never disagree.
+struct SteppedDemand {
+    spec: VmSpec,
+    fmax_mcps: f64,
+}
+
+impl WorkSource for SteppedDemand {
+    fn label(&self) -> &str {
+        "stepped"
+    }
+
+    fn generate(&mut self, now: SimTime, dt: SimDuration) -> f64 {
+        let t1 = now.as_secs_f64();
+        let t0 = t1 - dt.as_secs_f64();
+        self.fmax_mcps * self.spec.integrated_demand(t0, t1, None)
+    }
+}
+
+/// The fleet's aggregate bill and service record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetTotals {
+    /// Total energy: hosts plus migration overhead, joules.
+    pub energy_j: f64,
+    /// Host CPU energy alone, joules.
+    pub host_energy_j: f64,
+    /// Migration transfer overhead alone, joules.
+    pub migration_energy_j: f64,
+    /// Number of completed migrations.
+    pub migration_count: usize,
+    /// Total stop-and-copy blackout, seconds.
+    pub downtime_s: f64,
+    /// Delivered / entitled absolute capacity across all VMs, where a
+    /// VM's entitlement is `min(booked credit, demand)` integrated
+    /// over the run. 1.0 means every SLA was met.
+    pub sla_ratio: f64,
+}
+
+/// A fleet of hosts under one global controller.
+pub struct Fleet {
+    cfg: FleetConfig,
+    specs: Vec<VmSpec>,
+    hosts: Vec<Host>,
+    placement: Placement,
+    /// Per spec: every `(host, vm id)` slot the VM has occupied, in
+    /// order; the last entry is its current home.
+    residency: Vec<Vec<(usize, VmId)>>,
+    /// Booked memory per host, GiB.
+    mem_used: Vec<f64>,
+    /// Booked credit per host (fraction of fmax capacity).
+    credit_booked: Vec<f64>,
+    /// Absolute (fmax-fraction) load per host over the last epoch —
+    /// the unit the specs' demand and credit fractions are in.
+    host_load: Vec<f64>,
+    elapsed: SimDuration,
+    migrations: Vec<MigrationRecord>,
+    load_series: TimeSeries,
+}
+
+impl Fleet {
+    /// Places `specs` with the configured policy and instantiates one
+    /// host per placement bin, each VM running its (possibly stepped)
+    /// demand under its booked credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty, or if any booking is outside
+    /// `[0.01, 0.95]` of one host — the range a single host's
+    /// scheduler can actually enforce. Rejecting such specs up front
+    /// keeps the SLA accounting ([`Fleet::totals`]) consistent with
+    /// what the hosts were configured to deliver.
+    #[must_use]
+    pub fn build(cfg: FleetConfig, specs: &[VmSpec]) -> Fleet {
+        assert!(!specs.is_empty(), "a fleet needs at least one VM");
+        for spec in specs {
+            assert!(
+                (0.01..=0.95).contains(&spec.credit_frac),
+                "booking for {:?} is {}, outside the enforceable [0.01, 0.95] of one host",
+                spec.name,
+                spec.credit_frac
+            );
+        }
+        let placement = cfg.policy.place(specs, cfg.capacity);
+        let mut hosts = Vec::with_capacity(placement.host_count());
+        let mut residency: Vec<Vec<(usize, VmId)>> = vec![Vec::new(); specs.len()];
+        let mut mem_used = Vec::new();
+        let mut credit_booked = Vec::new();
+        for (h, bin) in placement.hosts.iter().enumerate() {
+            let mut host = cfg.build_host();
+            let fmax = host.fmax_mcps();
+            for &i in bin {
+                let spec = &specs[i];
+                let credit = Credit::percent(spec.credit_frac * 100.0);
+                let work: Box<dyn WorkSource> = if spec.steps.is_empty() {
+                    Box::new(ConstantDemand::new(spec.cpu_frac * fmax))
+                } else {
+                    Box::new(SteppedDemand {
+                        spec: spec.clone(),
+                        fmax_mcps: fmax,
+                    })
+                };
+                let id = host.add_vm(VmConfig::new(spec.name.clone(), credit), work);
+                residency[i].push((h, id));
+            }
+            mem_used.push(placement.mem_used(specs, h));
+            credit_booked.push(bin.iter().map(|&i| specs[i].credit_frac).sum());
+            hosts.push(host);
+        }
+        for _ in 0..cfg.spare_hosts {
+            hosts.push(cfg.build_host());
+            mem_used.push(0.0);
+            credit_booked.push(0.0);
+        }
+        let n = hosts.len();
+        Fleet {
+            cfg,
+            specs: specs.to_vec(),
+            hosts,
+            placement,
+            residency,
+            mem_used,
+            credit_booked,
+            host_load: vec![0.0; n],
+            elapsed: SimDuration::from_secs(0),
+            migrations: Vec::new(),
+            load_series: TimeSeries::new("fleet_mean_load_pct"),
+        }
+    }
+
+    /// Number of hosts the placement opened.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The placement the fleet was built from.
+    #[must_use]
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Completed migrations, in decision order.
+    #[must_use]
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// Mean *absolute* host load per epoch, percent of fmax capacity
+    /// (one point per completed epoch). The absolute measure is what
+    /// the controller triggers on: a PAS host 100% busy at a reduced
+    /// frequency is not overloaded — it has fmax headroom.
+    #[must_use]
+    pub fn load_series(&self) -> &TimeSeries {
+        &self.load_series
+    }
+
+    /// Simulated fleet time so far.
+    #[must_use]
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Advances the whole fleet by `epochs` control epochs, simulating
+    /// hosts on up to `jobs` worker threads. The controller (load
+    /// measurement, migration) runs serially between epochs, so the
+    /// result is byte-identical for every `jobs` value.
+    pub fn run_epochs(&mut self, epochs: usize, jobs: usize) {
+        for _ in 0..epochs {
+            let epoch = self.cfg.epoch;
+            exec::for_each_mut(jobs, &mut self.hosts, |_, host| host.run_for(epoch));
+            self.elapsed += epoch;
+
+            // Absolute (fmax-normalised) load, the same unit as the
+            // specs' demand/credit fractions — wall-clock busy time
+            // would read a PAS host at low frequency as "overloaded"
+            // when it merely parked the frequency.
+            self.host_load = self
+                .hosts
+                .iter_mut()
+                .map(|h| h.take_external_load().1 / 100.0)
+                .collect();
+            let mean = self.host_load.iter().sum::<f64>() / self.host_load.len() as f64;
+            self.load_series
+                .push(self.elapsed.as_secs_f64(), mean * 100.0);
+
+            if let Some(trigger) = self.cfg.trigger {
+                self.rebalance(&trigger);
+            }
+        }
+    }
+
+    /// One controller pass: every overloaded host sheds its hottest
+    /// VM to the least-loaded admissible host. At most one migration
+    /// per source host per epoch (pre-copy takes most of an epoch
+    /// anyway).
+    fn rebalance(&mut self, trigger: &MigrationTrigger) {
+        let now_s = self.elapsed.as_secs_f64();
+        for src in 0..self.hosts.len() {
+            if !trigger.overloaded(self.host_load[src]) {
+                continue;
+            }
+            // The hottest VM currently resident on `src` (ties go to
+            // the lowest spec index — deterministic).
+            let candidate = (0..self.specs.len())
+                .filter(|&i| self.residency[i].last().is_some_and(|&(h, _)| h == src))
+                .max_by(|&a, &b| {
+                    let da = self.specs[a].demand_at(now_s);
+                    let db = self.specs[b].demand_at(now_s);
+                    da.partial_cmp(&db).expect("finite demand").then(b.cmp(&a))
+                });
+            let Some(vm_idx) = candidate else { continue };
+            let spec_mem = self.specs[vm_idx].mem_gib;
+            let spec_credit = self.specs[vm_idx].credit_frac;
+            let spec_demand = self.specs[vm_idx].demand_at(now_s);
+
+            // Least-loaded destination with room in both dimensions
+            // that stays under the target watermark.
+            let dst = (0..self.hosts.len())
+                .filter(|&d| d != src)
+                .filter(|&d| {
+                    self.mem_used[d] + spec_mem <= self.cfg.capacity.mem_gib + 1e-12
+                        && self.credit_booked[d] + spec_credit <= self.cfg.capacity.cpu_frac + 1e-12
+                        // Admission is judged on the *booked* credit,
+                        // not today's demand: the destination must
+                        // stay under the watermark even when the VM
+                        // later uses its whole booking.
+                        && trigger.admissible(self.host_load[d], spec_credit)
+                })
+                .min_by(|&a, &b| {
+                    self.host_load[a]
+                        .partial_cmp(&self.host_load[b])
+                        .expect("finite load")
+                        .then(a.cmp(&b))
+                });
+            let Some(dst) = dst else { continue };
+
+            let &(_, src_id) = self.residency[vm_idx].last().expect("resident");
+            let moved = self.hosts[src].extract_vm(src_id);
+            let new_id = self.hosts[dst].admit_vm(moved);
+            self.residency[vm_idx].push((dst, new_id));
+            self.mem_used[src] -= spec_mem;
+            self.mem_used[dst] += spec_mem;
+            self.credit_booked[src] -= spec_credit;
+            self.credit_booked[dst] += spec_credit;
+            // Keep the in-epoch load estimates honest so a second
+            // overloaded host doesn't pile onto the same destination.
+            self.host_load[src] = (self.host_load[src] - spec_demand).max(0.0);
+            self.host_load[dst] += spec_demand;
+
+            self.migrations.push(MigrationRecord {
+                at_s: now_s,
+                vm: self.specs[vm_idx].name.clone(),
+                from: src,
+                to: dst,
+                mem_gib: spec_mem,
+                copy_time_s: self.cfg.cost.copy_time_s(spec_mem),
+                downtime_s: self.cfg.cost.downtime_s,
+                energy_j: self.cfg.cost.energy_j(spec_mem),
+            });
+        }
+    }
+
+    /// The fleet-wide bill and service record so far.
+    #[must_use]
+    pub fn totals(&self) -> FleetTotals {
+        let host_energy_j: f64 = self.hosts.iter().map(|h| h.cpu().energy().joules()).sum();
+        // `+ 0.0` normalises the empty sum (std's additive identity is
+        // -0.0, which would print and serialise as "-0").
+        let migration_energy_j: f64 = self.migrations.iter().map(|m| m.energy_j).sum::<f64>() + 0.0;
+        let downtime_s: f64 = self.migrations.iter().map(|m| m.downtime_s).sum::<f64>() + 0.0;
+
+        let total_s = self.elapsed.as_secs_f64();
+        let mut delivered = 0.0;
+        let mut entitled = 0.0;
+        for (i, spec) in self.specs.iter().enumerate() {
+            // Each residency segment's absolute fraction is taken over
+            // the host's whole elapsed time, and the retired source
+            // slot does no further work after extraction — so
+            // fraction × elapsed sums to the VM's true busy integral.
+            for &(h, id) in &self.residency[i] {
+                delivered += self.hosts[h].stats().vm_absolute_fraction(id) * total_s;
+            }
+            // Entitlement: min(booked credit, demand) integrated over
+            // the run, in fmax-seconds.
+            entitled += spec.integrated_demand(0.0, total_s, Some(spec.credit_frac));
+        }
+        FleetTotals {
+            energy_j: host_energy_j + migration_energy_j,
+            host_energy_j,
+            migration_energy_j,
+            migration_count: self.migrations.len(),
+            downtime_s,
+            sla_ratio: if entitled > 0.0 {
+                delivered / entitled
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
+impl std::fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fleet")
+            .field("hosts", &self.hosts.len())
+            .field("vms", &self.specs.len())
+            .field("elapsed", &self.elapsed)
+            .field("migrations", &self.migrations.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lazy_fleet(n: usize) -> Vec<VmSpec> {
+        (0..n)
+            .map(|i| VmSpec::new(format!("vm{i}"), 4.0, 0.04 + 0.005 * (i % 4) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn build_places_every_vm() {
+        let specs = lazy_fleet(12);
+        let fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+        assert_eq!(fleet.host_count(), 3);
+        let placed: usize = fleet.placement().hosts.iter().map(Vec::len).sum();
+        assert_eq!(placed, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the enforceable")]
+    fn unenforceable_booking_is_rejected_at_build() {
+        let specs = vec![VmSpec::new("whole-host", 4.0, 1.0)];
+        let _ = Fleet::build(FleetConfig::pas_defaults(), &specs);
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_are_identical() {
+        let specs = lazy_fleet(12);
+        let run = |jobs: usize| {
+            let mut fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+            fleet.run_epochs(3, jobs);
+            fleet.totals()
+        };
+        let serial = run(1);
+        for jobs in [2, 4, 8] {
+            let parallel = run(jobs);
+            assert_eq!(
+                serial.energy_j.to_bits(),
+                parallel.energy_j.to_bits(),
+                "jobs={jobs}"
+            );
+            assert_eq!(
+                serial.sla_ratio.to_bits(),
+                parallel.sla_ratio.to_bits(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn pas_fleet_spends_less_than_performance_fleet() {
+        let specs = lazy_fleet(12);
+        let mut pas = Fleet::build(FleetConfig::pas_defaults(), &specs);
+        let mut perf = Fleet::build(FleetConfig::performance_defaults(), &specs);
+        pas.run_epochs(4, 2);
+        perf.run_epochs(4, 2);
+        let (e_pas, e_perf) = (pas.totals().energy_j, perf.totals().energy_j);
+        assert!(
+            e_pas < 0.95 * e_perf,
+            "PAS saves fleet-wide: {e_pas} vs {e_perf}"
+        );
+        assert!(pas.totals().sla_ratio > 0.9, "and still delivers");
+    }
+
+    #[test]
+    fn surge_triggers_migration_and_restores_sla() {
+        // Equal 5-GiB footprints put the first three VMs on host 0
+        // (16 GiB) and the fourth alone on host 1. Bookings exceed
+        // steady demand (normal hosting headroom), so when the surger
+        // jumps to its full booking, host 0 saturates — overload —
+        // while host 1 idles.
+        let specs = vec![
+            VmSpec::new("surger", 5.0, 0.25)
+                .with_credit_frac(0.60)
+                .with_steps(vec![(30.0, 0.60)]),
+            VmSpec::new("steady-a", 5.0, 0.25).with_credit_frac(0.35),
+            VmSpec::new("steady-b", 5.0, 0.25).with_credit_frac(0.35),
+            VmSpec::new("quiet", 5.0, 0.05).with_credit_frac(0.20),
+        ];
+
+        let base = FleetConfig::performance_defaults();
+        let run = |trigger: Option<MigrationTrigger>| {
+            let mut cfg = base.clone();
+            cfg.trigger = trigger;
+            let mut fleet = Fleet::build(cfg, &specs);
+            fleet.run_epochs(8, 2); // 240 s
+            (fleet.totals(), fleet.migrations().len())
+        };
+
+        let (without, m0) = run(None);
+        let (with, m1) = run(Some(MigrationTrigger::default()));
+        assert_eq!(m0, 0);
+        assert!(m1 >= 1, "the surge must trip the trigger");
+        assert!(
+            with.sla_ratio > without.sla_ratio + 0.02,
+            "migration restores entitlements: {} vs {}",
+            with.sla_ratio,
+            without.sla_ratio
+        );
+        assert!(with.migration_energy_j > 0.0);
+        assert!(with.downtime_s > 0.0);
+    }
+
+    #[test]
+    fn pas_fleet_with_trigger_does_not_phantom_migrate() {
+        // PAS parks the frequency and runs hosts near 100% *busy*
+        // while they have ample fmax headroom. The trigger judges
+        // absolute (fmax-normalised) load, so a lazy PAS fleet must
+        // never migrate — wall-clock busy time would churn here.
+        let specs = lazy_fleet(12);
+        let cfg = FleetConfig::pas_defaults().with_trigger(MigrationTrigger::default());
+        let mut fleet = Fleet::build(cfg, &specs);
+        fleet.run_epochs(6, 2);
+        assert_eq!(fleet.migrations().len(), 0, "no phantom overload");
+        assert!(fleet.totals().sla_ratio > 0.9);
+    }
+
+    #[test]
+    fn load_series_has_one_point_per_epoch() {
+        let specs = lazy_fleet(8);
+        let mut fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+        fleet.run_epochs(5, 2);
+        assert_eq!(fleet.load_series().len(), 5);
+        assert_eq!(fleet.elapsed(), SimDuration::from_secs(150));
+    }
+}

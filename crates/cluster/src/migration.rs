@@ -1,0 +1,152 @@
+//! Load-triggered live migration: when to move a VM, and what the move
+//! costs.
+//!
+//! The trigger watches per-host busy fractions over a control epoch;
+//! the cost model is the standard pre-copy accounting — the copy runs
+//! at link speed while the VM keeps serving, then a short stop-and-copy
+//! blackout switches hosts. The fleet charges the copy's energy to the
+//! fleet-wide bill and books the blackout as violation time, so the
+//! migration experiment can weigh the SLA win against its price.
+
+/// When a host is overloaded enough to shed a VM.
+///
+/// # Example
+///
+/// ```
+/// use cluster::migration::MigrationTrigger;
+/// let trigger = MigrationTrigger::default();
+/// assert!(!trigger.overloaded(0.70));
+/// assert!(trigger.overloaded(0.95));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationTrigger {
+    /// Busy fraction (0–1) above which a host sheds load.
+    pub cpu_high_watermark: f64,
+    /// Busy fraction a *destination* host must stay under after
+    /// receiving the VM's booked credit, so a migration never creates
+    /// the overload it cures.
+    pub cpu_target_watermark: f64,
+}
+
+impl Default for MigrationTrigger {
+    /// Shed above 85% busy; only onto hosts that stay under 70%.
+    fn default() -> Self {
+        MigrationTrigger {
+            cpu_high_watermark: 0.85,
+            cpu_target_watermark: 0.70,
+        }
+    }
+}
+
+impl MigrationTrigger {
+    /// `true` if a host at `busy_frac` should shed a VM.
+    #[must_use]
+    pub fn overloaded(&self, busy_frac: f64) -> bool {
+        busy_frac > self.cpu_high_watermark
+    }
+
+    /// `true` if a destination at `busy_frac` can absorb `extra_frac`
+    /// more booked load without passing the target watermark.
+    #[must_use]
+    pub fn admissible(&self, busy_frac: f64, extra_frac: f64) -> bool {
+        busy_frac + extra_frac <= self.cpu_target_watermark
+    }
+}
+
+/// The pre-copy cost model.
+///
+/// # Example
+///
+/// ```
+/// use cluster::migration::MigrationCostModel;
+/// let m = MigrationCostModel::gigabit_defaults();
+/// // A 4-GiB VM over 1 GbE: ~32 s of copy, sub-second blackout.
+/// assert!((m.copy_time_s(4.0) - 32.0).abs() < 1e-9);
+/// assert!(m.downtime_s < 1.0);
+/// assert!(m.energy_j(4.0) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationCostModel {
+    /// Seconds to copy one GiB of guest memory over the migration
+    /// link.
+    pub secs_per_gib: f64,
+    /// Stop-and-copy blackout, seconds; booked as violation time.
+    pub downtime_s: f64,
+    /// Energy the copy costs (NIC + memory traffic on both ends),
+    /// joules per GiB.
+    pub energy_j_per_gib: f64,
+}
+
+impl MigrationCostModel {
+    /// Xen pre-copy over gigabit Ethernet: ~125 MiB/s of copy
+    /// bandwidth (8 s/GiB), a 300 ms blackout, ~20 J/GiB of transfer
+    /// energy.
+    #[must_use]
+    pub fn gigabit_defaults() -> Self {
+        MigrationCostModel {
+            secs_per_gib: 8.0,
+            downtime_s: 0.3,
+            energy_j_per_gib: 20.0,
+        }
+    }
+
+    /// Copy duration for a VM of `mem_gib`, seconds.
+    #[must_use]
+    pub fn copy_time_s(&self, mem_gib: f64) -> f64 {
+        self.secs_per_gib * mem_gib
+    }
+
+    /// Transfer energy for a VM of `mem_gib`, joules.
+    #[must_use]
+    pub fn energy_j(&self, mem_gib: f64) -> f64 {
+        self.energy_j_per_gib * mem_gib
+    }
+}
+
+/// One completed migration, for the fleet's audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MigrationRecord {
+    /// Fleet time when the migration was decided, seconds.
+    pub at_s: f64,
+    /// Name of the VM that moved.
+    pub vm: String,
+    /// Source host index.
+    pub from: usize,
+    /// Destination host index.
+    pub to: usize,
+    /// Guest memory copied, GiB.
+    pub mem_gib: f64,
+    /// Copy duration, seconds.
+    pub copy_time_s: f64,
+    /// Blackout, seconds (booked as violation time).
+    pub downtime_s: f64,
+    /// Transfer energy, joules (booked on the fleet bill).
+    pub energy_j: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_watermarks_are_ordered() {
+        let t = MigrationTrigger::default();
+        assert!(t.cpu_target_watermark < t.cpu_high_watermark);
+        assert!(t.overloaded(t.cpu_high_watermark + 0.01));
+        assert!(!t.overloaded(t.cpu_high_watermark));
+    }
+
+    #[test]
+    fn admissibility_accounts_for_the_incoming_credit() {
+        let t = MigrationTrigger::default();
+        assert!(t.admissible(0.4, 0.2));
+        assert!(!t.admissible(0.6, 0.2));
+    }
+
+    #[test]
+    fn costs_scale_with_memory() {
+        let m = MigrationCostModel::gigabit_defaults();
+        assert!(m.copy_time_s(8.0) > m.copy_time_s(4.0));
+        assert!((m.energy_j(2.0) - 2.0 * m.energy_j_per_gib).abs() < 1e-12);
+    }
+}

@@ -43,7 +43,7 @@
 //! assert!((plan.credits[0].as_percent() - 33.0).abs() < 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod admission;
 pub mod calibration;

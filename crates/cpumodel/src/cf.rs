@@ -92,8 +92,8 @@ impl CfModel {
 
     /// The `cf` factor at frequency ratio `r = F_i / F_max`.
     ///
-    /// For [`CfModel::Table`] the ratio is resolved against the table by
-    /// index via [`cf_at_index`](Self::cf_at_index) in [`PStateTable`];
+    /// For [`CfModel::Table`] the ratio is normally resolved against
+    /// the table by index via [`PStateTable::cf`](crate::PStateTable::cf);
     /// calling `cf_at_ratio` on a table interpolates linearly over the
     /// implied equally-spaced grid and is mainly useful for plotting.
     ///

@@ -36,7 +36,7 @@
 //! assert_eq!(mhz, vec![1600, 1867, 2133, 2400, 2667]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cf;
 mod cpu;

@@ -24,7 +24,7 @@
 //! budgets, a fail-safe that restores booked credits and the maximum
 //! frequency when the backend breaks, and automatic recovery.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cgroup;
 pub mod daemon;

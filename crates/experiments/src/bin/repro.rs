@@ -1,36 +1,63 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro list                      # available experiments
-//! repro all [--quick]             # run everything
-//! repro fig9 [--quick] [--out D]  # one experiment, optional artefacts
+//! repro list                          # available experiments
+//! repro all [--quick] [--jobs N]      # run everything
+//! repro fig9 [--quick] [--out D]      # one experiment, optional artefacts
 //! ```
 //!
 //! With `--out DIR`, each experiment writes `DIR/<id>.csv` (series)
-//! and `DIR/<id>.json` (scalars + notes).
+//! and `DIR/<id>.json` (scalars + notes). With `--jobs N`, independent
+//! experiments run on up to `N` worker threads, and the fleet-scale
+//! experiments additionally simulate their hosts concurrently — the
+//! printed output and the artefacts are byte-identical to a serial
+//! run (reports are emitted in request order, and every simulation is
+//! independently seeded; see `cluster::exec`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use experiments::{all_experiment_names, run_experiment, ExperimentReport, Fidelity};
+use experiments::{all_experiment_names, run_experiment_jobs, ExperimentReport, Fidelity};
 
+#[derive(Debug)]
 struct Args {
     names: Vec<String>,
     fidelity: Fidelity,
     out: Option<PathBuf>,
+    jobs: usize,
 }
 
-fn parse_args() -> Result<Args, String> {
+const USAGE: &str = "usage: repro <experiment>... [--quick] [--out DIR] [--jobs N]\n\
+                            repro all [--quick] [--out DIR] [--jobs N]\n\
+                            repro list\n";
+
+fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut names = Vec::new();
     let mut fidelity = Fidelity::Full;
     let mut out = None;
-    let mut argv = std::env::args().skip(1);
+    let mut jobs = 1;
+    let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--quick" | "-q" => fidelity = Fidelity::Quick,
             "--out" | "-o" => {
-                let dir = argv.next().ok_or("--out needs a directory")?;
+                let dir = argv
+                    .next()
+                    .ok_or("--out needs a directory, e.g. `--out artefacts/`")?;
+                if dir.starts_with('-') {
+                    return Err(format!("--out needs a directory, but got the flag {dir:?}"));
+                }
                 out = Some(PathBuf::from(dir));
+            }
+            "--jobs" | "-j" => {
+                let n = argv
+                    .next()
+                    .ok_or("--jobs needs a thread count, e.g. `--jobs 4`")?;
+                jobs = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or(format!("--jobs needs a positive integer, got {n:?}"))?;
             }
             "--help" | "-h" => {
                 names.push("help".to_owned());
@@ -48,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
         names,
         fidelity,
         out,
+        jobs,
     })
 }
 
@@ -77,7 +105,7 @@ fn emit(report: &ExperimentReport, out: Option<&PathBuf>) {
 }
 
 fn main() -> ExitCode {
-    let args = match parse_args() {
+    let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -89,11 +117,7 @@ fn main() -> ExitCode {
     for name in &args.names {
         match name.as_str() {
             "help" => {
-                println!(
-                    "usage: repro <experiment>... [--quick] [--out DIR]\n\
-                            repro all [--quick] [--out DIR]\n\
-                            repro list\n"
-                );
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             "list" => {
@@ -109,14 +133,100 @@ fn main() -> ExitCode {
         }
     }
 
+    // Validate every name up front so a typo late in the list does
+    // not discard completed work.
     for name in &to_run {
-        match run_experiment(name, args.fidelity) {
-            Some(report) => emit(&report, args.out.as_ref()),
-            None => {
-                eprintln!("unknown experiment {name:?}; `repro list` shows the names");
-                return ExitCode::FAILURE;
-            }
+        if !all_experiment_names().contains(&name.as_str()) {
+            eprintln!("unknown experiment {name:?}; `repro list` shows the names");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if args.jobs <= 1 {
+        // Serial: stream each report (and its artefacts) as it
+        // completes, so long full-fidelity runs show progress and an
+        // interrupted run keeps the work already done.
+        for name in &to_run {
+            let report = run_experiment_jobs(name, args.fidelity, 1).expect("name validated above");
+            emit(&report, args.out.as_ref());
+        }
+    } else {
+        // Parallel: run independent experiments concurrently, then
+        // emit in request order — stdout and artefacts are
+        // byte-identical to the serial path. The experiment-level
+        // workers and the per-experiment fleet workers share the
+        // --jobs budget (outer × inner ≈ N) instead of multiplying
+        // into N² threads.
+        let outer = args.jobs.min(to_run.len()).max(1);
+        let inner = (args.jobs / outer).max(1);
+        let reports = cluster::parallel_map(outer, to_run, |_, name| {
+            run_experiment_jobs(&name, args.fidelity, inner).expect("name validated above")
+        });
+        for report in &reports {
+            emit(report, args.out.as_ref());
         }
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_are_serial_full_fidelity() {
+        let a = parse(&["fig9"]).unwrap();
+        assert_eq!(a.names, vec!["fig9"]);
+        assert_eq!(a.fidelity, Fidelity::Full);
+        assert_eq!(a.jobs, 1);
+        assert!(a.out.is_none());
+    }
+
+    #[test]
+    fn quick_out_and_jobs_parse() {
+        let a = parse(&["all", "--quick", "--out", "d", "--jobs", "4"]).unwrap();
+        assert_eq!(a.fidelity, Fidelity::Quick);
+        assert_eq!(a.out, Some(PathBuf::from("d")));
+        assert_eq!(a.jobs, 4);
+    }
+
+    #[test]
+    fn trailing_out_without_value_is_rejected() {
+        let err = parse(&["fig9", "--out"]).unwrap_err();
+        assert!(err.contains("--out needs a directory"), "{err}");
+    }
+
+    #[test]
+    fn out_swallowing_a_flag_is_rejected() {
+        let err = parse(&["fig9", "--out", "--quick"]).unwrap_err();
+        assert!(err.contains("--out needs a directory"), "{err}");
+        assert!(err.contains("--quick"), "names the culprit: {err}");
+    }
+
+    #[test]
+    fn bad_jobs_values_are_rejected() {
+        assert!(parse(&["all", "--jobs"]).unwrap_err().contains("--jobs"));
+        assert!(parse(&["all", "--jobs", "0"])
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse(&["all", "--jobs", "many"])
+            .unwrap_err()
+            .contains("positive integer"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown flag"), "{err}");
+    }
+
+    #[test]
+    fn empty_invocation_asks_for_help() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.names, vec!["help"]);
+    }
 }

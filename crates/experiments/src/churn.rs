@@ -144,31 +144,31 @@ fn run_config(
     }
 }
 
-/// Runs the churn study.
+/// Runs the churn study serially (see [`run_with`]).
 #[must_use]
 pub fn run(fidelity: Fidelity) -> ExperimentReport {
+    run_with(fidelity, 1)
+}
+
+/// Runs the churn study, replaying the calendar against the three
+/// configurations on up to `jobs` worker threads. The calendar is
+/// generated once and each replay is independent and deterministic,
+/// so the report is byte-identical for every `jobs` value.
+#[must_use]
+pub fn run_with(fidelity: Fidelity, jobs: usize) -> ExperimentReport {
     let horizon_s = match fidelity {
         Fidelity::Full => 7200.0,
         Fidelity::Quick => 900.0,
     };
     let tenants = calendar(2013, horizon_s);
-    let rows = vec![
-        run_config(
-            "credit+performance",
-            SchedulerKind::Credit,
-            Some(false),
-            &tenants,
-            horizon_s,
-        ),
-        run_config(
-            "credit+ondemand",
-            SchedulerKind::Credit,
-            Some(true),
-            &tenants,
-            horizon_s,
-        ),
-        run_config("pas", SchedulerKind::Pas, None, &tenants, horizon_s),
+    let configs: Vec<(&str, SchedulerKind, Option<bool>)> = vec![
+        ("credit+performance", SchedulerKind::Credit, Some(false)),
+        ("credit+ondemand", SchedulerKind::Credit, Some(true)),
+        ("pas", SchedulerKind::Pas, None),
     ];
+    let rows = cluster::parallel_map(jobs, configs, |_, (label, scheduler, governed)| {
+        run_config(label, scheduler, governed, &tenants, horizon_s)
+    });
 
     let mut report = ExperimentReport::new(
         "churn",
@@ -230,6 +230,14 @@ mod tests {
             sla_od < sla_pas,
             "plain ondemand erodes SLAs: {sla_od} vs {sla_pas}"
         );
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        let a = run_with(Fidelity::Quick, 1);
+        let b = run_with(Fidelity::Quick, 3);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.scalars, b.scalars);
     }
 
     #[test]

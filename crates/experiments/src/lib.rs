@@ -15,20 +15,27 @@
 //! | [`smt`] | extension X6 — §7's hyper-threading perspective |
 //! | [`sensitivity`] | extension X7 — PAS design-knob sensitivity sweep |
 //! | [`overbooking`] | extension X8 — the enforceable floor of a booking set |
+//! | [`cluster_energy`] | extension X9 — §2.3 at fleet scale, under the `cluster` placement controller |
+//! | [`migration`] | extension X10 — load-triggered live migration across the fleet |
 //!
 //! Every experiment returns an [`report::ExperimentReport`] with
 //! paper-style text, machine-readable series and a JSON summary; the
 //! `repro` binary (this crate's `src/bin/repro.rs`) runs them by name.
 //! All experiments accept a [`Fidelity`] so the test-suite and benches
-//! can run scaled-down versions of the full paper-scale runs.
+//! can run scaled-down versions of the full paper-scale runs, and
+//! the fleet-scale ones additionally take a `jobs` worker-thread
+//! count ([`run_experiment_jobs`]) — output is byte-identical for
+//! every `jobs` value.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod churn;
+pub mod cluster_energy;
 pub mod consolidation;
 pub mod energy;
 pub mod fig1;
 pub mod figures;
+pub mod migration;
 pub mod multicore;
 pub mod overbooking;
 pub mod placement;
@@ -42,5 +49,5 @@ pub mod table2;
 pub mod validation;
 
 pub use report::ExperimentReport;
-pub use runner::{all_experiment_names, run_experiment};
+pub use runner::{all_experiment_names, run_experiment, run_experiment_jobs};
 pub use scenario::Fidelity;

@@ -1,0 +1,174 @@
+//! Extension X10 — load-triggered live migration: what fleet-level
+//! reconfiguration buys on top of per-host PAS.
+//!
+//! The related work on dynamic reconfiguration in component middleware
+//! motivates the scenario: tenants book headroom above their steady
+//! demand, and occasionally *use* it. A host where several tenants
+//! surge at once saturates — no per-host scheduler can conjure the
+//! missing cycles — so the fleet controller migrates the hottest VM to
+//! an underloaded host, paying a pre-copy cost (copy time, a blackout,
+//! transfer energy).
+//!
+//! The study runs the same surge calendar twice — migration disabled
+//! vs enabled — and compares delivered entitlements, downtime and the
+//! energy overhead. The claim: migration restores the SLA for a
+//! fraction of a percent of fleet energy.
+
+use cluster::fleet::{Fleet, FleetConfig};
+use cluster::migration::MigrationTrigger;
+use cluster::placement::VmSpec;
+
+use crate::report::ExperimentReport;
+use crate::scenario::Fidelity;
+
+/// The surge fleet: two trios whose surger jumps to its full booking
+/// mid-run (tripping the trigger), plus a quiet trio. Equal 5-GiB
+/// footprints make the first-fit placement land each trio on its own
+/// 16-GiB host; the fleet adds two empty spare hosts (N+k
+/// provisioning) for the controller to shed load into.
+#[must_use]
+pub fn surge_fleet() -> Vec<VmSpec> {
+    let mut specs = Vec::new();
+    for (g, surge_at_s) in [(0, 40.0), (1, 100.0)] {
+        specs.push(
+            VmSpec::new(format!("surger{g}"), 5.0, 0.20)
+                .with_credit_frac(0.60)
+                .with_steps(vec![(surge_at_s, 0.60)]),
+        );
+        for s in 0..2 {
+            specs.push(VmSpec::new(format!("steady{g}-{s}"), 5.0, 0.25).with_credit_frac(0.35));
+        }
+    }
+    for s in 0..3 {
+        specs.push(VmSpec::new(format!("quiet-{s}"), 5.0, 0.02).with_credit_frac(0.10));
+    }
+    specs
+}
+
+/// Runs the migration study serially (see [`run_with`]).
+#[must_use]
+pub fn run(fidelity: Fidelity) -> ExperimentReport {
+    run_with(fidelity, 1)
+}
+
+/// Runs the migration study, simulating each fleet's hosts on up to
+/// `jobs` worker threads. Output is byte-identical for every `jobs`
+/// value.
+#[must_use]
+pub fn run_with(fidelity: Fidelity, jobs: usize) -> ExperimentReport {
+    let epochs = match fidelity {
+        Fidelity::Full => 40, // 1200 s: long steady tail after the surges
+        Fidelity::Quick => 8, // 240 s
+    };
+    let specs = surge_fleet();
+
+    let variants: Vec<Option<MigrationTrigger>> = vec![None, Some(MigrationTrigger::default())];
+    let results = cluster::parallel_map(jobs, variants, |_, trigger| {
+        let mut cfg = FleetConfig::performance_defaults().with_spares(2);
+        cfg.trigger = trigger;
+        let mut fleet = Fleet::build(cfg, &specs);
+        fleet.run_epochs(epochs, jobs);
+        let label = if trigger.is_some() {
+            "migration"
+        } else {
+            "no-migration"
+        };
+        let series = fleet.load_series().renamed(format!("{label}_load_pct"));
+        let moves: Vec<String> = fleet
+            .migrations()
+            .iter()
+            .map(|m| {
+                format!(
+                    "t={:.0}s {} host{}→host{} ({} GiB, {:.0} s copy, {:.1} s blackout)",
+                    m.at_s, m.vm, m.from, m.to, m.mem_gib, m.copy_time_s, m.downtime_s
+                )
+            })
+            .collect();
+        (label, fleet.totals(), series, moves)
+    });
+
+    let mut report = ExperimentReport::new(
+        "migration",
+        "Extension X10: load-triggered live migration — SLA restored for a sliver of energy",
+    );
+    let mut text = format!(
+        "Migration study: {} VMs on 3 hosts + 2 spares, two booked-headroom surges\n\n  \
+         variant        energy(J)   overhead(J)   migrations   downtime(s)   sla\n",
+        specs.len()
+    );
+    for (label, totals, series, _) in &results {
+        text.push_str(&format!(
+            "  {label:<13} {:9.0}   {:11.0}   {:10}   {:11.1}   {:.3}\n",
+            totals.energy_j,
+            totals.migration_energy_j,
+            totals.migration_count,
+            totals.downtime_s,
+            totals.sla_ratio
+        ));
+        report.scalar(format!("energy_j/{label}"), totals.energy_j);
+        report.scalar(format!("sla_ratio/{label}"), totals.sla_ratio);
+        report.scalar(format!("migrations/{label}"), totals.migration_count as f64);
+        report.scalar(format!("downtime_s/{label}"), totals.downtime_s);
+        report.series.push(series.clone());
+    }
+    let with = &results[1].1;
+    let overhead_pct = 100.0 * with.migration_energy_j / with.energy_j;
+    report.scalar("migration_overhead_pct", overhead_pct);
+
+    text.push_str("\n  Moves:\n");
+    for m in &results[1].3 {
+        text.push_str(&format!("    {m}\n"));
+    }
+    text.push_str(&format!(
+        "\n  The controller sheds each surging VM to a quiet host: entitlements\n  \
+         recover while the pre-copy overhead stays at {overhead_pct:.2}% of fleet energy.\n",
+    ));
+    report.text = text;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surges_trip_the_trigger() {
+        let r = run(Fidelity::Quick);
+        assert_eq!(r.get_scalar("migrations/no-migration"), Some(0.0));
+        let moves = r.get_scalar("migrations/migration").unwrap();
+        assert!(moves >= 2.0, "both surges migrate: {moves}");
+    }
+
+    #[test]
+    fn migration_restores_entitlements() {
+        let r = run(Fidelity::Quick);
+        let without = r.get_scalar("sla_ratio/no-migration").unwrap();
+        let with = r.get_scalar("sla_ratio/migration").unwrap();
+        assert!(
+            with > without + 0.02,
+            "migration helps: {with} vs {without}"
+        );
+        assert!(with > 0.95, "SLAs essentially met with migration: {with}");
+    }
+
+    #[test]
+    fn overhead_stays_marginal() {
+        let r = run(Fidelity::Quick);
+        let overhead = r.get_scalar("migration_overhead_pct").unwrap();
+        assert!(
+            overhead > 0.0 && overhead < 2.0,
+            "pre-copy cost is a sliver: {overhead}%"
+        );
+        let down = r.get_scalar("downtime_s/migration").unwrap();
+        assert!(down > 0.0);
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        let a = run_with(Fidelity::Quick, 1);
+        let b = run_with(Fidelity::Quick, 4);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.scalars, b.scalars);
+        assert_eq!(a.to_csv(), b.to_csv());
+    }
+}

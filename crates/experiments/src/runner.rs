@@ -3,8 +3,8 @@
 use crate::report::ExperimentReport;
 use crate::scenario::Fidelity;
 use crate::{
-    churn, consolidation, energy, fig1, figures, multicore, overbooking, placement, sensitivity,
-    smt, table1, table2, validation,
+    churn, cluster_energy, consolidation, energy, fig1, figures, migration, multicore, overbooking,
+    placement, sensitivity, smt, table1, table2, validation,
 };
 
 /// All experiment names, in DESIGN.md index order.
@@ -34,14 +34,34 @@ pub fn all_experiment_names() -> Vec<&'static str> {
         "overbooking",
         "consolidation",
         "churn",
+        "cluster-energy",
+        "migration",
     ]
 }
 
-/// Runs one experiment by name.
+/// Runs one experiment by name, serially.
 ///
 /// Returns `None` for an unknown name (the caller prints the list).
 #[must_use]
 pub fn run_experiment(name: &str, fidelity: Fidelity) -> Option<ExperimentReport> {
+    run_experiment_jobs(name, fidelity, 1)
+}
+
+/// Runs one experiment by name, letting fleet-scale experiments
+/// (consolidation, churn, cluster-energy, migration) simulate their
+/// independent hosts on up to `jobs` worker threads.
+///
+/// Reports are byte-identical for every `jobs` value: per-host RNG
+/// seeds are fixed at build time and report assembly walks hosts in
+/// index order (see `cluster::exec`).
+///
+/// Returns `None` for an unknown name (the caller prints the list).
+#[must_use]
+pub fn run_experiment_jobs(
+    name: &str,
+    fidelity: Fidelity,
+    jobs: usize,
+) -> Option<ExperimentReport> {
     let report = match name {
         "validation-freq-load" => validation::freq_load(fidelity),
         "validation-freq-time" => validation::freq_time(fidelity),
@@ -64,8 +84,10 @@ pub fn run_experiment(name: &str, fidelity: Fidelity) -> Option<ExperimentReport
         "smt" => smt::run(fidelity),
         "sensitivity" => sensitivity::run(fidelity),
         "overbooking" => overbooking::run(fidelity),
-        "consolidation" => consolidation::run(fidelity),
-        "churn" => churn::run(fidelity),
+        "consolidation" => consolidation::run_with(fidelity, jobs),
+        "churn" => churn::run_with(fidelity, jobs),
+        "cluster-energy" => cluster_energy::run_with(fidelity, jobs),
+        "migration" => migration::run_with(fidelity, jobs),
         _ => return None,
     };
     Some(report)
@@ -82,6 +104,6 @@ mod tests {
         // from each module's own tests).
         assert!(run_experiment("multicore", Fidelity::Quick).is_some());
         assert!(run_experiment("nonsense", Fidelity::Quick).is_none());
-        assert_eq!(all_experiment_names().len(), 23);
+        assert_eq!(all_experiment_names().len(), 25);
     }
 }

@@ -1,0 +1,122 @@
+//! End-to-end tests of the `repro` binary: flag handling and the
+//! acceptance criterion that `--jobs 1` and `--jobs 4` produce
+//! byte-identical stdout and artefacts for the full quick pipeline.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+/// Reads every artefact in `dir` into a name → bytes map.
+fn artefacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("artefact dir exists") {
+        let entry = entry.expect("readable entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        out.insert(name, std::fs::read(entry.path()).expect("readable file"));
+    }
+    out
+}
+
+#[test]
+fn list_names_every_experiment_including_the_cluster_ones() {
+    let out = repro(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let names: Vec<&str> = stdout.lines().collect();
+    assert_eq!(names.len(), 25);
+    for expected in [
+        "fig9",
+        "consolidation",
+        "churn",
+        "cluster-energy",
+        "migration",
+    ] {
+        assert!(names.contains(&expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn valueless_out_flag_fails_with_a_clear_error() {
+    let out = repro(&["fig9", "--out"]);
+    assert!(!out.status.success(), "trailing --out must be rejected");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--out needs a directory"),
+        "clear error, got: {stderr}"
+    );
+}
+
+#[test]
+fn out_swallowing_a_flag_fails_before_any_work() {
+    let out = repro(&["fig9", "--out", "--quick"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("--quick"), "names the culprit: {stderr}");
+}
+
+#[test]
+fn unknown_experiment_fails_up_front() {
+    let out = repro(&["fig9", "nonsense", "--quick"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("nonsense"), "{stderr}");
+}
+
+/// The acceptance criterion: the full quick pipeline with `--jobs 1`
+/// and `--jobs 4` produces byte-identical stdout and byte-identical
+/// CSV/JSON artefacts.
+#[test]
+fn repro_all_quick_is_byte_identical_across_job_counts() {
+    let base = std::env::temp_dir().join(format!("repro-cli-test-{}", std::process::id()));
+    let dir1 = base.join("jobs1");
+    let dir4 = base.join("jobs4");
+    let _ = std::fs::remove_dir_all(&base);
+
+    let out1 = repro(&[
+        "all",
+        "--quick",
+        "--out",
+        dir1.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]);
+    assert!(out1.status.success(), "jobs=1 run succeeds");
+    let out4 = repro(&[
+        "all",
+        "--quick",
+        "--out",
+        dir4.to_str().unwrap(),
+        "--jobs",
+        "4",
+    ]);
+    assert!(out4.status.success(), "jobs=4 run succeeds");
+
+    assert_eq!(out1.stdout, out4.stdout, "stdout must not depend on --jobs");
+
+    let a1 = artefacts(&dir1);
+    let a4 = artefacts(&dir4);
+    assert_eq!(
+        a1.keys().collect::<Vec<_>>(),
+        a4.keys().collect::<Vec<_>>(),
+        "same artefact set"
+    );
+    assert!(
+        a1.keys().any(|k| k == "cluster-energy.json"),
+        "cluster experiments write artefacts"
+    );
+    for (name, bytes) in &a1 {
+        assert_eq!(
+            bytes, &a4[name],
+            "{name} must be byte-identical across job counts"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -19,7 +19,7 @@
 //! it is deliberately unaware of VMs and credits, which is exactly the
 //! incompatibility the paper demonstrates.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod conservative;
 mod cpufreq;
@@ -39,7 +39,10 @@ use cpumodel::PStateIdx;
 ///
 /// Governors are sampled periodically by [`CpuFreq`]; they return the
 /// P-state to switch to, or `None` to keep the current one.
-pub trait Governor {
+///
+/// Governors are `Send` so a whole host (and a fleet of hosts — see
+/// the `cluster` crate) can be simulated on a worker thread.
+pub trait Governor: Send {
     /// A short identifier (`"ondemand"`, `"performance"`, …).
     fn name(&self) -> &'static str;
 

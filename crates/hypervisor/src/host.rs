@@ -190,6 +190,28 @@ impl std::fmt::Debug for HostConfig {
     }
 }
 
+/// A VM in flight between two hosts: everything
+/// [`Host::extract_vm`] hands over and [`Host::admit_vm`] restores.
+pub struct MigratedVm {
+    /// The VM's static configuration (name, credit, weight, …).
+    pub config: VmConfig,
+    /// The live workload, moved out of the source host.
+    pub work: Box<dyn WorkSource>,
+    /// Demand that was queued but not yet executed at extraction time,
+    /// in mega-cycles; re-admission restores it so no work is lost.
+    pub backlog_mcycles: f64,
+}
+
+impl std::fmt::Debug for MigratedVm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MigratedVm")
+            .field("name", &self.config.name)
+            .field("credit", &self.config.credit)
+            .field("backlog_mcycles", &self.backlog_mcycles)
+            .finish()
+    }
+}
+
 /// One simulated virtualized host.
 pub struct Host {
     now: SimTime,
@@ -311,6 +333,40 @@ impl Host {
         let vm = &mut self.vms[id.0];
         vm.work = Box::new(crate::work::Idle);
         vm.backlog_mcycles = 0.0;
+    }
+
+    /// Extracts a VM for live migration: the workload and any queued
+    /// backlog move out with the configuration, and the local slot is
+    /// retired (replaced by [`crate::work::Idle`], never runnable
+    /// again) so existing [`VmId`]s stay valid. Feed the returned
+    /// [`MigratedVm`] to [`Host::admit_vm`] on the destination host.
+    ///
+    /// Statistics accumulated so far stay on the source host — exactly
+    /// like a real migration, where the destination starts with fresh
+    /// counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn extract_vm(&mut self, id: VmId) -> MigratedVm {
+        let vm = &mut self.vms[id.0];
+        let work = std::mem::replace(&mut vm.work, Box::new(crate::work::Idle));
+        let backlog_mcycles = std::mem::replace(&mut vm.backlog_mcycles, 0.0);
+        MigratedVm {
+            config: vm.config.clone(),
+            work,
+            backlog_mcycles,
+        }
+    }
+
+    /// Re-admits a migrated VM (the counterpart of
+    /// [`Host::extract_vm`]): registers it with the scheduler and
+    /// restores the in-flight backlog it carried over. Returns the
+    /// VM's id *on this host*.
+    pub fn admit_vm(&mut self, migrated: MigratedVm) -> VmId {
+        let id = self.add_vm(migrated.config, migrated.work);
+        self.vms[id.0].backlog_mcycles = migrated.backlog_mcycles;
+        id
     }
 
     /// The QoS summary a VM's workload tracks, if any.
@@ -591,6 +647,36 @@ mod tests {
         host.run_for(SimDuration::from_secs(30));
         let n = host.stats().snapshots().len();
         assert!((5..=7).contains(&n), "snapshots {n}");
+    }
+
+    #[test]
+    fn extract_then_admit_preserves_backlog_and_retires_source() {
+        let mut src = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        let total = 5.0 * src.fmax_mcps();
+        let id = src.add_vm(
+            VmConfig::new("mover", Credit::percent(50.0)),
+            Box::new(crate::work::test_batch(total)),
+        );
+        src.run_for(SimDuration::from_secs(2));
+        let moved = src.extract_vm(id);
+        assert!(moved.backlog_mcycles >= 0.0);
+        assert_eq!(moved.config.name, "mover");
+
+        // The source slot is inert: more simulated time does no work.
+        let done_before = src.vm(id).total_done_mcycles;
+        src.run_for(SimDuration::from_secs(2));
+        assert_eq!(src.vm(id).total_done_mcycles, done_before);
+
+        // The destination finishes the batch exactly.
+        let mut dst = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        let new_id = dst.admit_vm(moved);
+        let done = dst.run_until_vm_finished(new_id, SimTime::from_secs(100));
+        assert!(done.is_some(), "migrated batch completes on destination");
+        let total_done = src.vm(id).total_done_mcycles + dst.vm(new_id).total_done_mcycles;
+        assert!(
+            (total_done - total).abs() < 1e-6,
+            "no work lost in migration: {total_done} vs {total}"
+        );
     }
 
     #[test]

@@ -48,7 +48,7 @@
 //! assert!((load - 0.20).abs() < 0.02, "cap enforced: {load}");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod guest;
 pub mod host;

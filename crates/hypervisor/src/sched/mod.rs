@@ -62,7 +62,10 @@ pub struct SchedCtx<'a> {
 ///    consumed;
 /// 4. at every accounting boundary,
 ///    [`on_accounting`](Scheduler::on_accounting).
-pub trait Scheduler {
+///
+/// Schedulers are `Send` so a whole host can be simulated on a worker
+/// thread (the `cluster` crate runs fleets of hosts concurrently).
+pub trait Scheduler: Send {
     /// Scheduler name ("credit", "sedf", "pas").
     fn name(&self) -> &'static str;
 

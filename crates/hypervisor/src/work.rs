@@ -28,7 +28,11 @@ pub struct QosSummary {
 /// whenever the VM executed work. The `workloads` crate provides the
 /// paper's pi-app and web-app implementations; [`ConstantDemand`] here
 /// is the trivial building block used in unit tests and doctests.
-pub trait WorkSource {
+///
+/// Sources are `Send` so a whole host (including the workloads inside
+/// its VMs) can be simulated on a worker thread; all implementations
+/// are plain data plus a seeded [`simkernel::SimRng`].
+pub trait WorkSource: Send {
     /// A short label for traces ("pi-app", "web-app", …).
     fn label(&self) -> &str;
 

@@ -12,7 +12,7 @@
 //! * [`histogram`] — order statistics for tail-sensitive metrics
 //!   (response times).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ascii;
 pub mod export;

@@ -37,7 +37,7 @@
 //! assert_eq!(engine.now(), SimTime::from_millis(40));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod engine;
 mod event;

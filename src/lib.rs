@@ -14,6 +14,7 @@
 //! | [`workloads`] | pi-app, web-app (httperf-like), three-phase profiles |
 //! | [`metrics`] | time series, summaries, CSV/JSON export, ASCII charts |
 //! | [`enforcer`] | simulator + cgroup-v2 enforcement backends |
+//! | [`cluster`] | the fleet layer: placement, live migration, concurrent multi-host simulation |
 //! | [`experiments`] | one module per paper table/figure + extensions; the `repro` binary |
 //! | `pas-bench` | criterion bench targets: figures/tables at quick fidelity + hot-path micros (not re-exported; run via `cargo bench`) |
 //!
@@ -53,8 +54,9 @@
 //! assert!((abs - 0.20).abs() < 0.02);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
+pub use cluster;
 pub use cpumodel;
 pub use enforcer;
 pub use experiments;

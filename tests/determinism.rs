@@ -113,6 +113,36 @@ fn quickstart_exports(seed: u64) -> (String, String) {
     (csv, json)
 }
 
+/// Parallel execution must not change results: every fleet-scale
+/// experiment (the ones that simulate hosts on worker threads) must
+/// produce byte-identical CSV and JSON artefacts with 1 and 4 jobs.
+/// The `repro` binary's `--jobs` flag goes through exactly this path
+/// (`run_experiment_jobs`); the full CLI pipeline is additionally
+/// covered end-to-end in `crates/experiments/tests/cli.rs`.
+#[test]
+fn fleet_experiments_are_byte_identical_across_job_counts() {
+    use pas_repro::experiments::run_experiment_jobs;
+    use pas_repro::metrics::export;
+
+    for name in ["consolidation", "churn", "cluster-energy", "migration"] {
+        let a = run_experiment_jobs(name, Fidelity::Quick, 1).expect("known experiment");
+        let b = run_experiment_jobs(name, Fidelity::Quick, 4).expect("known experiment");
+        assert_eq!(
+            a.to_csv().as_bytes(),
+            b.to_csv().as_bytes(),
+            "{name}: CSV artefact must not depend on --jobs"
+        );
+        let ja = export::to_json(&a).expect("finite values");
+        let jb = export::to_json(&b).expect("finite values");
+        assert_eq!(
+            ja.as_bytes(),
+            jb.as_bytes(),
+            "{name}: JSON artefact must not depend on --jobs"
+        );
+        assert_eq!(a.text, b.text, "{name}: printed report must match");
+    }
+}
+
 /// Regression for the workspace bootstrap: two runs of the quickstart
 /// scenario with the same simkernel seed must produce byte-identical
 /// CSV and JSON metric exports.
