@@ -1,0 +1,184 @@
+//! Declarative campaigns: scenarios as *data*, not code.
+//!
+//! Every experiment in `crates/experiments` is a hand-written module,
+//! so exploring a new point of the paper's design space (machine ×
+//! scheduler × governor × credit mix × fleet size …) meant writing and
+//! recompiling Rust. This crate is the layer between the fleet and the
+//! experiment registry that removes that step:
+//!
+//! * [`spec`] — a serde-backed [`CampaignSpec`] parsed from JSON that
+//!   can describe everything the scenario builder and
+//!   [`cluster::fleet::Fleet::build`] can build in code: machine
+//!   preset, scheduler, governor, per-VM credit and workload (pi-app /
+//!   web-app / trace / fluid), fleet size, placement policy, migration
+//!   watermarks, duration. Malformed specs produce actionable errors
+//!   (never panics), and unknown fields are rejected.
+//! * [`sweep`] — the expander: axes (`"credit_pct:v20": [20, 40, 70]`,
+//!   `"scheduler": ["credit", "pas"]`) become the cross-product of
+//!   concrete design points, capped by `max_runs` with an explicit
+//!   count report — over-cap expansion is an error, never silent
+//!   truncation.
+//! * [`mod@run`] — each design point runs under R seeds, fanned out over
+//!   [`cluster::exec::parallel_map`]; every run is an independent,
+//!   internally single-threaded, seeded simulation, so results are
+//!   byte-identical for every `--jobs` value.
+//! * [`report`] — [`metrics::stats`] reduces the replicas to mean /
+//!   stddev / 95% CI (Student-t) and interpolated p50/p95/p99 per
+//!   scalar, ranked by energy with SLA violation alongside, rendered
+//!   as text plus CSV/JSON artefacts.
+//!
+//! The `repro` binary exposes all of this as
+//! `repro campaign <spec.json> [--quick] [--jobs N] [--out DIR]`;
+//! example specs live under `examples/campaigns/`.
+//!
+//! # Example
+//!
+//! ```
+//! let json = r#"{
+//!     "name": "doc",
+//!     "scenario": {
+//!         "kind": "host",
+//!         "scheduler": "credit",
+//!         "duration_s": 300,
+//!         "vms": [ { "name": "v20", "credit_pct": 20,
+//!                    "workload": { "kind": "fluid", "load_pct": 100 } } ]
+//!     },
+//!     "sweep": [ { "param": "scheduler", "values": ["credit", "pas"] } ],
+//!     "seeds": { "base": 1, "replicates": 2 }
+//! }"#;
+//! let spec = campaign::CampaignSpec::from_json(json).unwrap();
+//! let report = campaign::run(&spec, true, 2).unwrap();
+//! assert_eq!(report.point_count, 2);
+//! assert_eq!(report.total_runs, 4);
+//! // PAS never spends more than Credit-at-fmax on this load.
+//! let credit = report.points[0].mean("energy_j").unwrap();
+//! let pas = report.points[1].mean("energy_j").unwrap();
+//! assert!(pas <= credit);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod report;
+pub mod run;
+pub mod spec;
+pub mod sweep;
+
+pub use report::{CampaignReport, PointReport};
+pub use run::RunRecord;
+pub use spec::{CampaignError, CampaignSpec, ScenarioSpec};
+pub use sweep::{expand, DesignPoint, Expansion};
+
+/// Runs a whole campaign: expand, replicate, simulate (on up to
+/// `jobs` worker threads), reduce.
+///
+/// Output is byte-identical for every `jobs` value: runs are
+/// independent seeded simulations, [`cluster::exec::parallel_map`]
+/// returns results in input order, and reduction walks points and
+/// metrics in expansion order.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] if the spec fails validation or sweep
+/// expansion (see [`sweep::expand`]).
+pub fn run(spec: &CampaignSpec, quick: bool, jobs: usize) -> Result<CampaignReport, CampaignError> {
+    let expansion = sweep::expand(spec)?;
+    let replicates = expansion.replicates;
+
+    // One flat work list: point-major, seed-minor, so grouping back is
+    // a fixed-stride chunking.
+    let plans: Vec<(usize, u64)> = (0..expansion.points.len())
+        .flat_map(|p| (0..replicates).map(move |r| (p, spec.seeds.base + r as u64)))
+        .collect();
+    let results = cluster::exec::parallel_map(jobs.max(1), plans, |_, (p, seed)| {
+        run::run_point(&expansion.points[p], seed, quick)
+    });
+
+    let grouped: Vec<Vec<RunRecord>> = results
+        .chunks(replicates)
+        .map(<[RunRecord]>::to_vec)
+        .collect();
+    let labels = expansion
+        .points
+        .iter()
+        .map(|p| (p.label.clone(), p.settings.clone()))
+        .collect();
+    Ok(report::reduce(
+        &spec.name,
+        quick,
+        spec.max_runs,
+        labels,
+        grouped,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SWEPT: &str = r#"{
+        "name": "jobs-check",
+        "scenario": {
+            "kind": "host",
+            "scheduler": "credit",
+            "governor": "stable-ondemand",
+            "duration_s": 300,
+            "vms": [
+                { "name": "v20", "credit_pct": 20,
+                  "workload": { "kind": "web-app", "intensity_pct": 100,
+                                "bursty": true } },
+                { "name": "v70", "credit_pct": 70,
+                  "workload": { "kind": "web-app", "intensity_pct": 40,
+                                "start_s": 100, "bursty": true } }
+            ]
+        },
+        "sweep": [
+            { "param": "scheduler", "values": ["credit", "pas"] },
+            { "param": "credit_pct:v20", "values": [10, 20] }
+        ],
+        "seeds": { "base": 7, "replicates": 3 }
+    }"#;
+
+    #[test]
+    fn campaign_is_byte_identical_across_job_counts() {
+        let spec = CampaignSpec::from_json(SWEPT).unwrap();
+        let serial = run(&spec, true, 1).unwrap();
+        let parallel = run(&spec, true, 4).unwrap();
+        assert_eq!(serial.text(), parallel.text());
+        assert_eq!(serial.summary_csv(), parallel.summary_csv());
+        assert_eq!(serial.runs_csv(), parallel.runs_csv());
+        let ja = serde_json::to_string_pretty(&serial).unwrap();
+        let jb = serde_json::to_string_pretty(&parallel).unwrap();
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn replication_produces_dispersion_statistics() {
+        let spec = CampaignSpec::from_json(SWEPT).unwrap();
+        let report = run(&spec, true, 4).unwrap();
+        assert_eq!(report.point_count, 4);
+        assert_eq!(report.total_runs, 12);
+        let energy = report.points[0]
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "energy_j")
+            .map(|(_, s)| *s)
+            .expect("energy tracked");
+        assert_eq!(energy.n, 3);
+        assert!(energy.stddev > 0.0, "bursty seeds must disperse");
+        assert!(energy.ci95_half > 0.0);
+        assert!(energy.min <= energy.p50 && energy.p50 <= energy.max);
+    }
+
+    #[test]
+    fn spec_errors_propagate_through_run() {
+        let spec = CampaignSpec {
+            seeds: spec::SeedSpec {
+                base: 1,
+                replicates: 0,
+            },
+            ..CampaignSpec::from_json(SWEPT).unwrap()
+        };
+        let err = run(&spec, true, 1).unwrap_err();
+        assert!(err.0.contains("replicates"), "{err}");
+    }
+}

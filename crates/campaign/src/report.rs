@@ -1,0 +1,336 @@
+//! The campaign report: per-point replication statistics, a ranking,
+//! and the CSV/JSON artefacts.
+//!
+//! Reduction walks design points and metrics in deterministic order
+//! (expansion order; each point's metric order is its first replica's
+//! scalar order), so the rendered text and artefacts are byte-stable
+//! across `--jobs` values and across runs.
+
+use std::fmt::Write as _;
+
+use metrics::export::{csv_field, exact_num as fmt};
+use metrics::stats::{self, Summary};
+use serde::Serialize;
+
+use crate::run::RunRecord;
+
+/// One design point, reduced.
+#[derive(Debug, Clone, Serialize)]
+pub struct PointReport {
+    /// The point's human-readable label (axis settings, or `base`).
+    pub label: String,
+    /// `(param, value)` axis settings in axis order.
+    pub settings: Vec<(String, String)>,
+    /// Replication statistics per metric, in metric order.
+    pub metrics: Vec<(String, Summary)>,
+    /// The raw replicas this point was reduced from.
+    pub runs: Vec<RunRecord>,
+}
+
+impl PointReport {
+    /// The mean of a metric, if the point tracked it.
+    #[must_use]
+    pub fn mean(&self, metric: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == metric)
+            .map(|(_, s)| s.mean)
+    }
+}
+
+/// A finished campaign: every design point reduced, plus the ranking.
+#[derive(Debug, Clone, Serialize)]
+pub struct CampaignReport {
+    /// Campaign name (from the spec).
+    pub name: String,
+    /// Whether this was a `--quick` run.
+    pub quick: bool,
+    /// Seeds per design point.
+    pub replicates: usize,
+    /// Design-point count.
+    pub point_count: usize,
+    /// `point_count × replicates`.
+    pub total_runs: usize,
+    /// The spec's expansion cap (reported so the count is auditable).
+    pub max_runs: usize,
+    /// Design points in expansion order.
+    pub points: Vec<PointReport>,
+    /// Point indices ranked by mean `energy_j`, ascending (ties keep
+    /// expansion order).
+    pub ranking: Vec<usize>,
+}
+
+/// Reduces grouped replicas into a [`CampaignReport`].
+///
+/// `grouped[p]` holds design point `p`'s replicas in seed order.
+#[must_use]
+pub fn reduce(
+    name: &str,
+    quick: bool,
+    max_runs: usize,
+    labels: Vec<(String, Vec<(String, String)>)>,
+    grouped: Vec<Vec<RunRecord>>,
+) -> CampaignReport {
+    let replicates = grouped.first().map_or(0, Vec::len);
+    let mut points = Vec::with_capacity(grouped.len());
+    for ((label, settings), runs) in labels.into_iter().zip(grouped) {
+        // Metric order = first replica's scalar order; every replica
+        // of a point runs the same scenario, so the sets agree — and
+        // must: keying off the first replica would otherwise silently
+        // drop a metric another replica emitted.
+        let mut metrics = Vec::new();
+        if let Some(first) = runs.first() {
+            for run in &runs[1..] {
+                assert!(
+                    run.scalars.len() == first.scalars.len()
+                        && run
+                            .scalars
+                            .iter()
+                            .zip(&first.scalars)
+                            .all(|((a, _), (b, _))| a == b),
+                    "point {label}: replica seed {} emitted a different metric set \
+                     than seed {}",
+                    run.seed,
+                    first.seed
+                );
+            }
+            for (metric, _) in &first.scalars {
+                let values: Vec<f64> = runs
+                    .iter()
+                    .filter_map(|r| r.scalars.iter().find(|(n, _)| n == metric).map(|&(_, v)| v))
+                    .collect();
+                if let Some(summary) = stats::summarize(&values) {
+                    metrics.push((metric.clone(), summary));
+                }
+            }
+        }
+        points.push(PointReport {
+            label,
+            settings,
+            metrics,
+            runs,
+        });
+    }
+
+    let mut ranking: Vec<usize> = (0..points.len()).collect();
+    ranking.sort_by(|&a, &b| {
+        let ea = points[a].mean("energy_j").unwrap_or(f64::INFINITY);
+        let eb = points[b].mean("energy_j").unwrap_or(f64::INFINITY);
+        ea.partial_cmp(&eb)
+            .expect("finite energy means")
+            .then(a.cmp(&b))
+    });
+
+    CampaignReport {
+        name: name.to_owned(),
+        quick,
+        replicates,
+        point_count: points.len(),
+        total_runs: points.iter().map(|p| p.runs.len()).sum(),
+        max_runs,
+        points,
+        ranking,
+    }
+}
+
+impl CampaignReport {
+    /// The stdout rendering: the run accounting, the energy/SLA
+    /// ranking, and a full per-point statistics block.
+    #[must_use]
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "campaign {}: {} design points x {} seeds = {} runs (cap {}){}",
+            self.name,
+            self.point_count,
+            self.replicates,
+            self.total_runs,
+            self.max_runs,
+            if self.quick { " [quick]" } else { "" }
+        );
+        let _ = writeln!(
+            out,
+            "ranked by mean energy_j (ascending), SLA violation alongside:"
+        );
+        let width = self
+            .points
+            .iter()
+            .map(|p| p.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(5);
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:<width$}  {:>16}  {:>10}  {:>14}",
+            "rank", "point", "energy_j", "±95% CI", "sla_viol_pct"
+        );
+        for (rank, &p) in self.ranking.iter().enumerate() {
+            let point = &self.points[p];
+            let energy = point.metrics.iter().find(|(n, _)| n == "energy_j");
+            let sla = point.mean("sla_violation_pct");
+            let (e_mean, e_ci) =
+                energy.map_or((f64::NAN, f64::NAN), |(_, s)| (s.mean, s.ci95_half));
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:<width$}  {:>16.3}  {:>10.3}  {:>14.3}",
+                rank + 1,
+                point.label,
+                e_mean,
+                e_ci,
+                sla.unwrap_or(f64::NAN),
+            );
+        }
+        let _ = writeln!(out, "per-point statistics:");
+        for point in &self.points {
+            let _ = writeln!(out, "  point {}", point.label);
+            for (metric, s) in &point.metrics {
+                let _ = writeln!(
+                    out,
+                    "    {metric}: n={} mean={:.4} stddev={:.4} ci95={:.4} \
+                     p50={:.4} p95={:.4} p99={:.4} min={:.4} max={:.4}",
+                    s.n, s.mean, s.stddev, s.ci95_half, s.p50, s.p95, s.p99, s.min, s.max
+                );
+            }
+        }
+        out
+    }
+
+    /// The summary artefact: one CSV row per design point × metric.
+    #[must_use]
+    pub fn summary_csv(&self) -> String {
+        let mut out =
+            String::from("point,label,metric,n,mean,stddev,ci95_half,p50,p95,p99,min,max\n");
+        for (p, point) in self.points.iter().enumerate() {
+            for (metric, s) in &point.metrics {
+                let _ = writeln!(
+                    out,
+                    "{p},{},{},{},{},{},{},{},{},{},{},{}",
+                    csv_field(&point.label),
+                    csv_field(metric),
+                    s.n,
+                    fmt(s.mean),
+                    fmt(s.stddev),
+                    fmt(s.ci95_half),
+                    fmt(s.p50),
+                    fmt(s.p95),
+                    fmt(s.p99),
+                    fmt(s.min),
+                    fmt(s.max)
+                );
+            }
+        }
+        out
+    }
+
+    /// The raw-replica artefact: one CSV row per run × metric.
+    #[must_use]
+    pub fn runs_csv(&self) -> String {
+        let mut out = String::from("point,label,seed,metric,value\n");
+        for (p, point) in self.points.iter().enumerate() {
+            for run in &point.runs {
+                for (metric, value) in &run.scalars {
+                    let _ = writeln!(
+                        out,
+                        "{p},{},{},{},{}",
+                        csv_field(&point.label),
+                        run.seed,
+                        csv_field(metric),
+                        fmt(*value)
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seed: u64, energy: f64, sla: f64) -> RunRecord {
+        RunRecord {
+            seed,
+            scalars: vec![
+                ("energy_j".to_owned(), energy),
+                ("sla_violation_pct".to_owned(), sla),
+            ],
+        }
+    }
+
+    fn two_point_report() -> CampaignReport {
+        reduce(
+            "t",
+            false,
+            512,
+            vec![
+                ("a".to_owned(), vec![("x".to_owned(), "1".to_owned())]),
+                ("b".to_owned(), vec![("x".to_owned(), "2".to_owned())]),
+            ],
+            vec![
+                vec![record(1, 200.0, 0.0), record(2, 220.0, 0.5)],
+                vec![record(1, 100.0, 1.0), record(2, 110.0, 1.5)],
+            ],
+        )
+    }
+
+    #[test]
+    fn ranking_is_by_mean_energy_ascending() {
+        let r = two_point_report();
+        assert_eq!(r.ranking, vec![1, 0], "point b is cheaper");
+        assert_eq!(r.point_count, 2);
+        assert_eq!(r.total_runs, 4);
+        assert_eq!(r.replicates, 2);
+    }
+
+    #[test]
+    fn text_contains_counts_ranking_and_stats() {
+        let r = two_point_report();
+        let text = r.text();
+        assert!(
+            text.contains("2 design points x 2 seeds = 4 runs (cap 512)"),
+            "{text}"
+        );
+        assert!(text.contains("ranked by mean energy_j"), "{text}");
+        assert!(text.contains("point a"), "{text}");
+        assert!(text.contains("mean=105.0000"), "{text}");
+    }
+
+    #[test]
+    fn csv_artefacts_have_headers_and_rows() {
+        let r = two_point_report();
+        let summary = r.summary_csv();
+        assert!(
+            summary.starts_with("point,label,metric,n,mean"),
+            "{summary}"
+        );
+        assert!(summary.contains("0,a,energy_j,2,210,"), "{summary}");
+        let runs = r.runs_csv();
+        assert!(
+            runs.starts_with("point,label,seed,metric,value\n"),
+            "{runs}"
+        );
+        assert!(runs.contains("1,b,2,energy_j,110"), "{runs}");
+    }
+
+    #[test]
+    fn labels_with_commas_are_quoted_in_csv() {
+        let r = reduce(
+            "t",
+            false,
+            512,
+            vec![("a=1, b=2".to_owned(), vec![])],
+            vec![vec![record(1, 1.0, 0.0)]],
+        );
+        assert!(r.summary_csv().contains("\"a=1, b=2\""));
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = two_point_report();
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        assert!(json.contains("\"ranking\""), "{json}");
+        assert!(json.contains("\"ci95_half\""), "{json}");
+    }
+}

@@ -1,0 +1,585 @@
+//! The sweep expander: axes → the cross-product of concrete design
+//! points, with guardrails.
+//!
+//! Each axis names one parameter and the values it takes; expansion
+//! substitutes every combination into a clone of the base scenario, in
+//! deterministic order (the first axis is the slowest-varying). The
+//! expanded run count (`points × replicates`) is checked against the
+//! spec's `max_runs` cap up front — expansion either succeeds whole or
+//! fails with the exact counts, never silently truncates.
+//!
+//! ## Sweepable parameters
+//!
+//! | parameter | value | applies to |
+//! |-----------|-------|-----------|
+//! | `scheduler` | scheduler name | host + fleet |
+//! | `governor` | governor name or `"none"` | host + fleet |
+//! | `duration_s` | seconds | host + fleet |
+//! | `machine` | machine preset name | host |
+//! | `credit_pct:<vm>` | percent | host |
+//! | `intensity_pct:<vm>` | percent (web-app / fluid workloads) | host |
+//! | `fleet_size` | VM count | fleet |
+//! | `placement` | `first-fit` / `best-fit` | fleet |
+//! | `migration` | `"off"` / `"on"` (default watermarks) | fleet |
+//! | `migration_high_pct` | percent (implies migration on) | fleet |
+//! | `migration_target_pct` | percent (implies migration on) | fleet |
+//! | `spare_hosts` | host count | fleet |
+
+use crate::spec::{
+    AxisValue, CampaignError, CampaignSpec, GovernorSpec, MachinePreset, MigrationSpec,
+    PlacementSpec, ScenarioSpec, SchedulerSpec, WorkloadSpec,
+};
+
+/// The supported sweep parameters (`<vm>` is a VM name from the
+/// scenario), for error messages.
+pub const PARAMS: [&str; 12] = [
+    "scheduler",
+    "governor",
+    "duration_s",
+    "machine",
+    "credit_pct:<vm>",
+    "intensity_pct:<vm>",
+    "fleet_size",
+    "placement",
+    "migration",
+    "migration_high_pct",
+    "migration_target_pct",
+    "spare_hosts",
+];
+
+/// One concrete design point of a campaign.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// Human-readable label (`"scheduler=pas, credit_pct:v20=40"`, or
+    /// `"base"` when there are no axes).
+    pub label: String,
+    /// The axis settings of this point, in axis order.
+    pub settings: Vec<(String, String)>,
+    /// The fully substituted, validated scenario.
+    pub scenario: ScenarioSpec,
+}
+
+/// A validated expansion: every design point plus the run accounting.
+#[derive(Debug, Clone)]
+pub struct Expansion {
+    /// Design points in deterministic sweep order.
+    pub points: Vec<DesignPoint>,
+    /// Seeds per point.
+    pub replicates: usize,
+    /// `points.len() × replicates`.
+    pub total_runs: usize,
+}
+
+/// Expands a campaign spec into its design points.
+///
+/// # Errors
+///
+/// Returns an actionable [`CampaignError`] for: zero replicates, an
+/// empty axis, a duplicated axis parameter, an unknown parameter, a
+/// value of the wrong type or range, a design point that fails
+/// scenario validation, or a cross-product over the `max_runs` cap.
+pub fn expand(spec: &CampaignSpec) -> Result<Expansion, CampaignError> {
+    if spec.seeds.replicates == 0 {
+        return Err(CampaignError::new(
+            "seeds.replicates must be at least 1 (R=0 would run nothing)",
+        ));
+    }
+    if spec.max_runs == 0 {
+        return Err(CampaignError::new("max_runs must be at least 1"));
+    }
+    let mut point_count: usize = 1;
+    for (i, axis) in spec.sweep.iter().enumerate() {
+        if axis.values.is_empty() {
+            return Err(CampaignError(format!(
+                "sweep axis `{}` has no values; an empty axis would erase the whole campaign",
+                axis.param
+            )));
+        }
+        if spec.sweep[..i].iter().any(|a| a.param == axis.param) {
+            return Err(CampaignError(format!(
+                "sweep axis `{}` appears twice",
+                axis.param
+            )));
+        }
+        point_count = point_count.saturating_mul(axis.values.len());
+    }
+    // A watermark axis re-enables migration (`get_or_insert`), which
+    // would silently contradict a point labeled `migration=off` from
+    // an on/off axis — reject the combination instead of lying.
+    let has = |p: &str| spec.sweep.iter().any(|a| a.param == p);
+    if has("migration") && (has("migration_high_pct") || has("migration_target_pct")) {
+        return Err(CampaignError::new(
+            "sweep axes `migration` and `migration_high_pct`/`migration_target_pct` cannot \
+             be combined (a watermark would re-enable migration on the `off` points); \
+             set the watermarks in the base scenario and sweep `migration`, or sweep \
+             only the watermarks",
+        ));
+    }
+    let total_runs = point_count.saturating_mul(spec.seeds.replicates);
+    if total_runs > spec.max_runs {
+        return Err(CampaignError(format!(
+            "campaign expands to {point_count} design points × {} seeds = {total_runs} runs, \
+             over the cap of {}; raise `max_runs` or trim the axes",
+            spec.seeds.replicates, spec.max_runs
+        )));
+    }
+
+    // Odometer over the axes: first axis slowest-varying.
+    let mut points = Vec::with_capacity(point_count);
+    let mut idx = vec![0usize; spec.sweep.len()];
+    loop {
+        let mut scenario = spec.scenario.clone();
+        let mut settings = Vec::with_capacity(spec.sweep.len());
+        for (a, axis) in spec.sweep.iter().enumerate() {
+            let value = &axis.values[idx[a]];
+            apply(&mut scenario, &axis.param, value)?;
+            settings.push((axis.param.clone(), value.render()));
+        }
+        scenario.validate()?;
+        let label = if settings.is_empty() {
+            "base".to_owned()
+        } else {
+            settings
+                .iter()
+                .map(|(p, v)| format!("{p}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        points.push(DesignPoint {
+            label,
+            settings,
+            scenario,
+        });
+
+        // Advance the odometer (last axis fastest).
+        let mut pos = idx.len();
+        loop {
+            if pos == 0 {
+                return Ok(Expansion {
+                    points,
+                    replicates: spec.seeds.replicates,
+                    total_runs,
+                });
+            }
+            pos -= 1;
+            idx[pos] += 1;
+            if idx[pos] < spec.sweep[pos].values.len() {
+                break;
+            }
+            idx[pos] = 0;
+        }
+    }
+}
+
+fn want_str(param: &str, value: &AxisValue) -> Result<String, CampaignError> {
+    match value {
+        AxisValue::Str(s) => Ok(s.clone()),
+        AxisValue::Num(n) => Err(CampaignError(format!(
+            "sweep axis `{param}` needs string values, got the number {n}"
+        ))),
+    }
+}
+
+fn want_num(param: &str, value: &AxisValue) -> Result<f64, CampaignError> {
+    match value {
+        AxisValue::Num(n) => Ok(*n),
+        AxisValue::Str(s) => Err(CampaignError(format!(
+            "sweep axis `{param}` needs numeric values, got the string `{s}`"
+        ))),
+    }
+}
+
+fn want_count(param: &str, value: &AxisValue) -> Result<usize, CampaignError> {
+    let n = want_num(param, value)?;
+    crate::spec::checked_count(n)
+        .map(|n| n as usize)
+        .ok_or_else(|| {
+            CampaignError(format!(
+                "sweep axis `{param}` needs non-negative integers, got {n}"
+            ))
+        })
+}
+
+/// Applies one `(param, value)` setting to a scenario.
+fn apply(scenario: &mut ScenarioSpec, param: &str, value: &AxisValue) -> Result<(), CampaignError> {
+    match param {
+        "scheduler" => {
+            let s = SchedulerSpec::parse(&want_str(param, value)?)?;
+            match scenario {
+                ScenarioSpec::Host(h) => h.scheduler = s,
+                ScenarioSpec::Fleet(f) => f.scheduler = s,
+            }
+            Ok(())
+        }
+        "governor" => {
+            let raw = want_str(param, value)?;
+            let g = if raw == "none" {
+                None
+            } else {
+                Some(GovernorSpec::parse(&raw)?)
+            };
+            match scenario {
+                ScenarioSpec::Host(h) => h.governor = g,
+                ScenarioSpec::Fleet(f) => f.governor = g,
+            }
+            Ok(())
+        }
+        "duration_s" => {
+            let d = want_num(param, value)?;
+            match scenario {
+                ScenarioSpec::Host(h) => h.duration_s = d,
+                ScenarioSpec::Fleet(f) => f.duration_s = d,
+            }
+            Ok(())
+        }
+        "machine" => match scenario {
+            ScenarioSpec::Host(h) => {
+                h.machine = MachinePreset::parse(&want_str(param, value)?)?;
+                Ok(())
+            }
+            ScenarioSpec::Fleet(_) => Err(CampaignError(
+                "sweep axis `machine` only applies to host scenarios \
+                 (fleet hosts are Optiplex-shaped)"
+                    .to_owned(),
+            )),
+        },
+        "fleet_size" => match scenario {
+            ScenarioSpec::Fleet(f) => {
+                f.size = want_count(param, value)?;
+                Ok(())
+            }
+            ScenarioSpec::Host(_) => Err(CampaignError(
+                "sweep axis `fleet_size` only applies to fleet scenarios".to_owned(),
+            )),
+        },
+        "placement" => match scenario {
+            ScenarioSpec::Fleet(f) => {
+                f.placement = PlacementSpec::parse(&want_str(param, value)?)?;
+                Ok(())
+            }
+            ScenarioSpec::Host(_) => Err(CampaignError(
+                "sweep axis `placement` only applies to fleet scenarios".to_owned(),
+            )),
+        },
+        "migration" => match scenario {
+            ScenarioSpec::Fleet(f) => {
+                match want_str(param, value)?.as_str() {
+                    "off" => f.migration = None,
+                    "on" => {
+                        f.migration.get_or_insert_with(MigrationSpec::default);
+                    }
+                    other => {
+                        return Err(CampaignError(format!(
+                            "sweep axis `migration` takes `on` or `off`, got `{other}`"
+                        )))
+                    }
+                }
+                Ok(())
+            }
+            ScenarioSpec::Host(_) => Err(CampaignError(
+                "sweep axis `migration` only applies to fleet scenarios".to_owned(),
+            )),
+        },
+        "migration_high_pct" | "migration_target_pct" => match scenario {
+            ScenarioSpec::Fleet(f) => {
+                let pct = want_num(param, value)?;
+                let mi = f.migration.get_or_insert_with(MigrationSpec::default);
+                if param == "migration_high_pct" {
+                    mi.high_pct = pct;
+                } else {
+                    mi.target_pct = pct;
+                }
+                Ok(())
+            }
+            ScenarioSpec::Host(_) => Err(CampaignError(format!(
+                "sweep axis `{param}` only applies to fleet scenarios"
+            ))),
+        },
+        "spare_hosts" => match scenario {
+            ScenarioSpec::Fleet(f) => {
+                f.spare_hosts = want_count(param, value)?;
+                Ok(())
+            }
+            ScenarioSpec::Host(_) => Err(CampaignError(
+                "sweep axis `spare_hosts` only applies to fleet scenarios".to_owned(),
+            )),
+        },
+        other => {
+            if let Some(vm_name) = other.strip_prefix("credit_pct:") {
+                return with_host_vm(scenario, param, vm_name, |vm| {
+                    vm.credit_pct = want_num(param, value)?;
+                    Ok(())
+                });
+            }
+            if let Some(vm_name) = other.strip_prefix("intensity_pct:") {
+                let pct = want_num(param, value)?;
+                return with_host_vm(scenario, param, vm_name, |vm| match &mut vm.workload {
+                    WorkloadSpec::WebApp { intensity_pct, .. } => {
+                        *intensity_pct = pct;
+                        Ok(())
+                    }
+                    WorkloadSpec::Fluid { load_pct } => {
+                        *load_pct = pct;
+                        Ok(())
+                    }
+                    _ => Err(CampaignError(format!(
+                        "sweep axis `{param}`: VM `{}` runs a workload without an \
+                         intensity (only web-app and fluid can be swept)",
+                        vm.name
+                    ))),
+                });
+            }
+            Err(CampaignError(format!(
+                "unknown sweep parameter `{other}`; supported: {}",
+                PARAMS.join(", ")
+            )))
+        }
+    }
+}
+
+fn with_host_vm(
+    scenario: &mut ScenarioSpec,
+    param: &str,
+    vm_name: &str,
+    f: impl FnOnce(&mut crate::spec::VmSpec) -> Result<(), CampaignError>,
+) -> Result<(), CampaignError> {
+    match scenario {
+        ScenarioSpec::Host(h) => match h.vms.iter_mut().find(|v| v.name == vm_name) {
+            Some(vm) => f(vm),
+            None => Err(CampaignError(format!(
+                "sweep axis `{param}`: no VM named `{vm_name}`; the scenario has: {}",
+                h.vms
+                    .iter()
+                    .map(|v| v.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))),
+        },
+        ScenarioSpec::Fleet(_) => Err(CampaignError(format!(
+            "sweep axis `{param}` only applies to host scenarios"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{HostScenario, SeedSpec, SweepAxis, VmSpec};
+
+    fn host_base() -> ScenarioSpec {
+        ScenarioSpec::Host(HostScenario {
+            machine: MachinePreset::Optiplex755,
+            scheduler: SchedulerSpec::Credit,
+            governor: None,
+            duration_s: 600.0,
+            vms: vec![VmSpec {
+                name: "v20".to_owned(),
+                credit_pct: 20.0,
+                workload: WorkloadSpec::Fluid { load_pct: 100.0 },
+            }],
+        })
+    }
+
+    fn fleet_base() -> ScenarioSpec {
+        ScenarioSpec::Fleet(crate::spec::FleetScenario {
+            scheduler: SchedulerSpec::Pas,
+            governor: None,
+            duration_s: 600.0,
+            size: 8,
+            mem_gib_choices: vec![4.0],
+            cpu_frac_min: 0.03,
+            cpu_frac_max: 0.1,
+            credit_factor: 1.0,
+            placement: crate::spec::PlacementSpec::FirstFit,
+            migration: None,
+            epoch_s: 30.0,
+            spare_hosts: 0,
+        })
+    }
+
+    fn campaign(sweep: Vec<SweepAxis>, replicates: usize, max_runs: usize) -> CampaignSpec {
+        CampaignSpec {
+            name: "t".to_owned(),
+            scenario: host_base(),
+            sweep,
+            seeds: SeedSpec {
+                base: 1,
+                replicates,
+            },
+            max_runs,
+        }
+    }
+
+    fn axis(param: &str, values: Vec<AxisValue>) -> SweepAxis {
+        SweepAxis {
+            param: param.to_owned(),
+            values,
+        }
+    }
+
+    #[test]
+    fn cross_product_order_is_first_axis_slowest() {
+        let spec = campaign(
+            vec![
+                axis(
+                    "scheduler",
+                    vec![
+                        AxisValue::Str("credit".into()),
+                        AxisValue::Str("pas".into()),
+                    ],
+                ),
+                axis(
+                    "credit_pct:v20",
+                    vec![AxisValue::Num(20.0), AxisValue::Num(40.0)],
+                ),
+            ],
+            2,
+            100,
+        );
+        let e = expand(&spec).unwrap();
+        assert_eq!(e.points.len(), 4);
+        assert_eq!(e.total_runs, 8);
+        let labels: Vec<&str> = e.points.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "scheduler=credit, credit_pct:v20=20",
+                "scheduler=credit, credit_pct:v20=40",
+                "scheduler=pas, credit_pct:v20=20",
+                "scheduler=pas, credit_pct:v20=40",
+            ]
+        );
+    }
+
+    #[test]
+    fn no_axes_yields_the_base_point() {
+        let e = expand(&campaign(vec![], 3, 100)).unwrap();
+        assert_eq!(e.points.len(), 1);
+        assert_eq!(e.points[0].label, "base");
+        assert_eq!(e.total_runs, 3);
+    }
+
+    #[test]
+    fn over_cap_expansion_reports_the_counts() {
+        let spec = campaign(
+            vec![axis(
+                "credit_pct:v20",
+                (1..=10).map(|i| AxisValue::Num(f64::from(i))).collect(),
+            )],
+            5,
+            49,
+        );
+        let err = expand(&spec).unwrap_err();
+        assert!(err.0.contains("10 design points"), "{err}");
+        assert!(err.0.contains("50 runs"), "{err}");
+        assert!(err.0.contains("cap of 49"), "{err}");
+    }
+
+    #[test]
+    fn empty_axis_is_rejected() {
+        let err = expand(&campaign(vec![axis("scheduler", vec![])], 1, 10)).unwrap_err();
+        assert!(err.0.contains("has no values"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_axis_is_rejected() {
+        let a = axis("duration_s", vec![AxisValue::Num(60.0)]);
+        let err = expand(&campaign(vec![a.clone(), a], 1, 10)).unwrap_err();
+        assert!(err.0.contains("appears twice"), "{err}");
+    }
+
+    #[test]
+    fn unknown_param_lists_the_vocabulary() {
+        let err = expand(&campaign(
+            vec![axis("frequency", vec![AxisValue::Num(1600.0)])],
+            1,
+            10,
+        ))
+        .unwrap_err();
+        assert!(
+            err.0.contains("unknown sweep parameter `frequency`"),
+            "{err}"
+        );
+        assert!(err.0.contains("credit_pct:<vm>"), "{err}");
+    }
+
+    #[test]
+    fn unknown_vm_in_param_lists_the_names() {
+        let err = expand(&campaign(
+            vec![axis("credit_pct:v99", vec![AxisValue::Num(10.0)])],
+            1,
+            10,
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("no VM named `v99`"), "{err}");
+        assert!(err.0.contains("v20"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatches_are_rejected() {
+        let err = expand(&campaign(
+            vec![axis("scheduler", vec![AxisValue::Num(3.0)])],
+            1,
+            10,
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("needs string values"), "{err}");
+        let err = expand(&campaign(
+            vec![axis("duration_s", vec![AxisValue::Str("long".into())])],
+            1,
+            10,
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("needs numeric values"), "{err}");
+    }
+
+    #[test]
+    fn migration_axis_cannot_be_combined_with_watermark_axes() {
+        // A watermark axis would re-enable migration on `off` points.
+        let mut spec = campaign(
+            vec![
+                axis(
+                    "migration",
+                    vec![AxisValue::Str("off".into()), AxisValue::Str("on".into())],
+                ),
+                axis("migration_high_pct", vec![AxisValue::Num(90.0)]),
+            ],
+            1,
+            10,
+        );
+        spec.scenario = fleet_base();
+        let err = expand(&spec).unwrap_err();
+        assert!(err.0.contains("cannot be combined"), "{err}");
+
+        // Either axis family alone stays fine.
+        let mut on_off = campaign(
+            vec![axis(
+                "migration",
+                vec![AxisValue::Str("off".into()), AxisValue::Str("on".into())],
+            )],
+            1,
+            10,
+        );
+        on_off.scenario = fleet_base();
+        let e = expand(&on_off).unwrap();
+        assert!(matches!(
+            &e.points[0].scenario,
+            ScenarioSpec::Fleet(f) if f.migration.is_none()
+        ));
+        assert!(matches!(
+            &e.points[1].scenario,
+            ScenarioSpec::Fleet(f) if f.migration.is_some()
+        ));
+    }
+
+    #[test]
+    fn swept_point_failing_validation_is_reported() {
+        let err = expand(&campaign(
+            vec![axis("credit_pct:v20", vec![AxisValue::Num(120.0)])],
+            1,
+            10,
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("credit_pct must be in (0, 95]"), "{err}");
+    }
+}

@@ -1,0 +1,252 @@
+//! Property tests on the campaign spec: arbitrary well-formed specs
+//! must round-trip `CampaignSpec → JSON → CampaignSpec` exactly, and
+//! malformed specs must come back as actionable errors, not panics.
+
+use campaign::spec::{
+    AxisValue, CampaignSpec, FleetScenario, GovernorSpec, HostScenario, MachinePreset,
+    MigrationSpec, PlacementSpec, ScenarioSpec, SchedulerSpec, SeedSpec, SweepAxis, VmSpec,
+    WorkloadSpec,
+};
+use proptest::prelude::*;
+
+fn machine() -> impl Strategy<Value = MachinePreset> {
+    (0usize..MachinePreset::NAMES.len())
+        .prop_map(|i| MachinePreset::parse(MachinePreset::NAMES[i]).unwrap())
+}
+
+fn scheduler() -> impl Strategy<Value = SchedulerSpec> {
+    (0usize..SchedulerSpec::NAMES.len())
+        .prop_map(|i| SchedulerSpec::parse(SchedulerSpec::NAMES[i]).unwrap())
+}
+
+fn governor() -> impl Strategy<Value = Option<GovernorSpec>> {
+    (0usize..=GovernorSpec::NAMES.len()).prop_map(|i| {
+        if i == GovernorSpec::NAMES.len() {
+            None
+        } else {
+            Some(GovernorSpec::parse(GovernorSpec::NAMES[i]).unwrap())
+        }
+    })
+}
+
+fn workload() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        0u8..4,
+        1.0f64..500.0,
+        (0.0f64..200.0, 0.0f64..300.0, any::<bool>()),
+        proptest::collection::vec((1.0f64..100.0, 0.0f64..150.0), 1..4),
+    )
+        .prop_map(
+            |(kind, seconds, (intensity, start, bursty), segments)| match kind {
+                0 => WorkloadSpec::PiApp { seconds },
+                1 => WorkloadSpec::WebApp {
+                    intensity_pct: intensity,
+                    start_s: start,
+                    active_s: if bursty { Some(seconds) } else { None },
+                    bursty,
+                    request_mcycles: 50.0,
+                },
+                2 => WorkloadSpec::Trace { segments },
+                _ => WorkloadSpec::Fluid {
+                    load_pct: intensity,
+                },
+            },
+        )
+}
+
+fn vms() -> impl Strategy<Value = Vec<VmSpec>> {
+    proptest::collection::vec((1.0f64..95.0, workload()), 1..5).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (credit_pct, workload))| VmSpec {
+                name: format!("vm{i}"),
+                credit_pct,
+                workload,
+            })
+            .collect()
+    })
+}
+
+fn host_scenario() -> impl Strategy<Value = ScenarioSpec> {
+    ((machine(), scheduler(), governor()), 30.0f64..6000.0, vms()).prop_map(
+        |((machine, scheduler, governor), duration_s, vms)| {
+            ScenarioSpec::Host(HostScenario {
+                machine,
+                scheduler,
+                governor,
+                duration_s,
+                vms,
+            })
+        },
+    )
+}
+
+fn fleet_scenario() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (scheduler(), governor(), 60.0f64..3000.0, 1usize..40),
+        (0.01f64..0.2, 1.0f64..3.0, any::<bool>(), 0usize..3),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(
+                (scheduler, governor, duration_s, size),
+                (cpu_lo, credit_factor, best_fit, spare_hosts),
+                migrate,
+            )| {
+                ScenarioSpec::Fleet(FleetScenario {
+                    scheduler,
+                    governor,
+                    duration_s,
+                    size,
+                    mem_gib_choices: vec![2.0, 4.0, 8.0],
+                    cpu_frac_min: cpu_lo,
+                    cpu_frac_max: cpu_lo + 0.05,
+                    credit_factor,
+                    placement: if best_fit {
+                        PlacementSpec::BestFit
+                    } else {
+                        PlacementSpec::FirstFit
+                    },
+                    migration: if migrate {
+                        Some(MigrationSpec {
+                            high_pct: 85.0,
+                            target_pct: 70.0,
+                        })
+                    } else {
+                        None
+                    },
+                    epoch_s: 30.0,
+                    spare_hosts,
+                })
+            },
+        )
+}
+
+fn sweep() -> impl Strategy<Value = Vec<SweepAxis>> {
+    proptest::collection::vec(
+        (
+            any::<bool>(),
+            proptest::collection::vec(0.0f64..100.0, 1..4),
+        ),
+        0..3,
+    )
+    .prop_map(|axes| {
+        axes.into_iter()
+            .enumerate()
+            .map(|(i, (stringly, nums))| SweepAxis {
+                // Parameter names need not be resolvable for a shape
+                // round-trip; use distinct names to satisfy no-dup.
+                param: format!("axis{i}"),
+                values: if stringly {
+                    nums.iter()
+                        .map(|n| AxisValue::Str(format!("v{}", *n as i64)))
+                        .collect()
+                } else {
+                    nums.into_iter().map(AxisValue::Num).collect()
+                },
+            })
+            .collect()
+    })
+}
+
+fn campaign_spec() -> impl Strategy<Value = CampaignSpec> {
+    (
+        any::<bool>(),
+        host_scenario(),
+        fleet_scenario(),
+        (sweep(), 0u64..1000, 1usize..10),
+    )
+        .prop_map(|(host, h, f, (sweep, base, replicates))| CampaignSpec {
+            name: "prop".to_owned(),
+            scenario: if host { h } else { f },
+            sweep,
+            seeds: SeedSpec { base, replicates },
+            max_runs: 512,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// CampaignSpec → JSON → CampaignSpec is the identity.
+    #[test]
+    fn spec_round_trips_through_json(spec in campaign_spec()) {
+        let json = serde_json::to_string_pretty(&spec).expect("specs are finite");
+        let back: CampaignSpec = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{json}"));
+        prop_assert_eq!(&back, &spec, "{}", json);
+        // And serialising again is byte-stable.
+        let json2 = serde_json::to_string_pretty(&back).expect("specs are finite");
+        prop_assert_eq!(json, json2);
+    }
+
+    /// Arbitrary corruptions of a valid spec never panic: they either
+    /// still parse or produce a CampaignError.
+    #[test]
+    fn malformed_specs_error_instead_of_panicking(
+        which in 0u8..6,
+        junk in 0u32..1000,
+    ) {
+        let good = r#"{
+            "name": "m",
+            "scenario": {
+                "kind": "host",
+                "vms": [ { "name": "v", "credit_pct": 20,
+                           "workload": { "kind": "fluid", "load_pct": 50 } } ]
+            },
+            "seeds": { "replicates": 2 }
+        }"#;
+        let bad = match which {
+            0 => good.replace("\"kind\": \"host\"", &format!("\"kind\": \"host\", \"scheduler\": \"sched{junk}\"")),
+            1 => good.replace("\"replicates\": 2", "\"replicates\": 0"),
+            2 => good.replace("\"credit_pct\": 20", &format!("\"credit_pct\": {}", 96 + junk)),
+            3 => good.replace("\"seeds\"", "\"seed\""),
+            4 => good.replace("\"kind\": \"fluid\", \"load_pct\": 50", "\"kind\": \"fluid\""),
+            _ => good.replace(
+                "\"seeds\":",
+                "\"sweep\": [ { \"param\": \"scheduler\", \"values\": [] } ], \"seeds\":",
+            ),
+        };
+        let result = CampaignSpec::from_json(&bad);
+        prop_assert!(result.is_err(), "corruption {which} must be rejected");
+        let msg = result.unwrap_err().0;
+        prop_assert!(!msg.is_empty());
+    }
+}
+
+/// The three malformed shapes the issue names: unknown scheduler,
+/// empty sweep axis, R = 0 — all actionable errors.
+#[test]
+fn issue_named_malformations_are_actionable() {
+    let base = r#"{
+        "name": "m",
+        "scenario": {
+            "kind": "host",
+            SCHED
+            "vms": [ { "name": "v", "credit_pct": 20,
+                       "workload": { "kind": "fluid", "load_pct": 50 } } ]
+        },
+        SWEEP
+        "seeds": { "replicates": REPS }
+    }"#;
+    let build = |sched: &str, sweep: &str, reps: &str| {
+        base.replace("SCHED", sched)
+            .replace("SWEEP", sweep)
+            .replace("REPS", reps)
+    };
+
+    let err = CampaignSpec::from_json(&build("\"scheduler\": \"borrowed\",", "", "1")).unwrap_err();
+    assert!(err.0.contains("unknown scheduler `borrowed`"), "{err}");
+    assert!(err.0.contains("sedf"), "lists the vocabulary: {err}");
+
+    let err = CampaignSpec::from_json(&build(
+        "",
+        "\"sweep\": [ { \"param\": \"scheduler\", \"values\": [] } ],",
+        "1",
+    ))
+    .unwrap_err();
+    assert!(err.0.contains("has no values"), "{err}");
+
+    let err = CampaignSpec::from_json(&build("", "", "0")).unwrap_err();
+    assert!(err.0.contains("replicates must be at least 1"), "{err}");
+}

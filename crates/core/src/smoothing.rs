@@ -55,11 +55,15 @@ impl MovingAverage {
     /// Adds a sample and returns the current mean.
     pub fn push(&mut self, sample: f64) -> f64 {
         if self.samples.len() == self.window {
-            let old = self.samples.pop_front().expect("window full");
-            self.sum -= old;
+            self.samples.pop_front();
         }
         self.samples.push_back(sample);
-        self.sum += sample;
+        // Recompute rather than add/subtract incrementally: the
+        // incremental form leaves ±1e-15-scale residue once samples
+        // fall out of the window, and a "load" of -4e-15 trips the
+        // planner's non-negativity assert. Windows are small (the
+        // paper uses 3), so the rescan is free.
+        self.sum = self.samples.iter().sum();
         self.mean()
     }
 

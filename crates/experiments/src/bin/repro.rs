@@ -1,23 +1,28 @@
-//! `repro` — regenerate the paper's tables and figures.
+//! `repro` — regenerate the paper's tables and figures, and run
+//! declarative campaigns.
 //!
 //! ```text
-//! repro list                          # available experiments
+//! repro list                          # available experiments (with descriptions)
 //! repro all [--quick] [--jobs N]      # run everything
 //! repro fig9 [--quick] [--out D]      # one experiment, optional artefacts
+//! repro campaign spec.json [--quick] [--jobs N] [--out D]
 //! ```
 //!
 //! With `--out DIR`, each experiment writes `DIR/<id>.csv` (series)
-//! and `DIR/<id>.json` (scalars + notes). With `--jobs N`, independent
-//! experiments run on up to `N` worker threads, and the fleet-scale
-//! experiments additionally simulate their hosts concurrently — the
-//! printed output and the artefacts are byte-identical to a serial
-//! run (reports are emitted in request order, and every simulation is
-//! independently seeded; see `cluster::exec`).
+//! and `DIR/<id>.json` (scalars + notes); a campaign writes
+//! `DIR/<name>-summary.csv`, `DIR/<name>-runs.csv` and
+//! `DIR/<name>-summary.json`. With `--jobs N`, independent
+//! experiments (and campaign runs) execute on up to `N` worker
+//! threads — the printed output and the artefacts are byte-identical
+//! to a serial run (reports are emitted in request order, and every
+//! simulation is independently seeded; see `cluster::exec`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use experiments::{all_experiment_names, run_experiment_jobs, ExperimentReport, Fidelity};
+use experiments::{
+    all_experiment_names, experiment_description, run_experiment_jobs, ExperimentReport, Fidelity,
+};
 
 #[derive(Debug)]
 struct Args {
@@ -29,6 +34,7 @@ struct Args {
 
 const USAGE: &str = "usage: repro <experiment>... [--quick] [--out DIR] [--jobs N]\n\
                             repro all [--quick] [--out DIR] [--jobs N]\n\
+                            repro campaign <spec.json> [--quick] [--out DIR] [--jobs N]\n\
                             repro list\n";
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -104,6 +110,70 @@ fn emit(report: &ExperimentReport, out: Option<&PathBuf>) {
     }
 }
 
+/// Runs `repro campaign <spec.json>`: parse + validate the spec,
+/// expand and run the sweep, print the ranked summary, and with
+/// `--out` write the three campaign artefacts.
+fn run_campaign(args: &Args) -> ExitCode {
+    let spec_paths = &args.names[1..];
+    let [path] = spec_paths else {
+        eprintln!(
+            "error: `repro campaign` takes exactly one spec file, got {}",
+            spec_paths.len()
+        );
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match campaign::CampaignSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let quick = args.fidelity == Fidelity::Quick;
+    let report = match campaign::run(&spec, quick, args.jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.text());
+    if let Some(dir) = &args.out {
+        let artefacts = [
+            (format!("{}-summary.csv", spec.name), report.summary_csv()),
+            (format!("{}-runs.csv", spec.name), report.runs_csv()),
+        ];
+        for (name, content) in &artefacts {
+            let path = dir.join(name);
+            if let Err(e) = metrics::export::write_artifact(&path, content) {
+                eprintln!("failed to write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        match metrics::export::to_json(&report) {
+            Ok(json) => {
+                let path = dir.join(format!("{}-summary.json", spec.name));
+                if let Err(e) = metrics::export::write_artifact(&path, &json) {
+                    eprintln!("failed to write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to serialize campaign report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -113,6 +183,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.names.first().map(String::as_str) == Some("campaign") {
+        return run_campaign(&args);
+    }
+
     let mut to_run: Vec<String> = Vec::new();
     for name in &args.names {
         match name.as_str() {
@@ -121,8 +195,14 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "list" => {
+                let width = all_experiment_names()
+                    .iter()
+                    .map(|n| n.len())
+                    .max()
+                    .unwrap_or(0);
                 for n in all_experiment_names() {
-                    println!("{n}");
+                    let desc = experiment_description(n).expect("registry names are described");
+                    println!("{n:<width$}  {desc}");
                 }
                 return ExitCode::SUCCESS;
             }

@@ -49,5 +49,7 @@ pub mod table2;
 pub mod validation;
 
 pub use report::ExperimentReport;
-pub use runner::{all_experiment_names, run_experiment, run_experiment_jobs};
+pub use runner::{
+    all_experiment_names, experiment_description, run_experiment, run_experiment_jobs,
+};
 pub use scenario::Fidelity;

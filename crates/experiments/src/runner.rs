@@ -7,36 +7,110 @@ use crate::{
     placement, sensitivity, smt, table1, table2, validation,
 };
 
+/// The registry: `(name, one-line description)` in DESIGN.md index
+/// order. Descriptions are each module's headline, so `repro list`
+/// doubles as a table of contents. Crate-private: the public API is
+/// [`all_experiment_names`] and [`experiment_description`], so the
+/// tuple-array shape can change without breaking callers.
+const EXPERIMENTS: [(&str, &str); 25] = [
+    (
+        "validation-freq-load",
+        "§5.2 — execution time ∝ 1/load at fixed frequency (Eq. 2 check)",
+    ),
+    (
+        "validation-freq-time",
+        "§5.2 — execution time ∝ 1/frequency at fixed credit (Eq. 1 check)",
+    ),
+    (
+        "validation-credit-time",
+        "§5.2 — execution time ∝ 1/credit at fixed frequency (Eq. 3 check)",
+    ),
+    (
+        "fig1",
+        "Figure 1 — compensation of a frequency drop with credit allocation",
+    ),
+    (
+        "fig2",
+        "Figure 2 — V20/V70 under Credit at maximum frequency (the reference)",
+    ),
+    (
+        "fig3",
+        "Figure 3 — Credit + stock ondemand: the unstable governor",
+    ),
+    (
+        "fig4",
+        "Figure 4 — Credit + the paper's stabilised ondemand",
+    ),
+    (
+        "fig5",
+        "Figure 5 — the incompatibility: V20's QoS degraded at low frequency",
+    ),
+    ("fig6", "Figure 6 — SEDF with extra time (variable credit)"),
+    ("fig7", "Figure 7 — SEDF global load under DVFS"),
+    ("fig8", "Figure 8 — PAS: V20's absolute load preserved"),
+    (
+        "fig9",
+        "Figure 9 — PAS: compensated (granted) credits over time",
+    ),
+    ("fig10", "Figure 10 — PAS: frequency adaptation over time"),
+    ("table1", "Table 1 — cf_min on five processors"),
+    (
+        "table2",
+        "Table 2 — pi-app execution times on seven platform configs",
+    ),
+    (
+        "energy",
+        "X1 — energy/QoS trade-off across governor and scheduler choices",
+    ),
+    (
+        "placement",
+        "X2 — §4.1's three controller placements (daemon / hypervisor / hybrid)",
+    ),
+    (
+        "multicore",
+        "X3 — multi-core hosts with per-socket and per-core DVFS",
+    ),
+    (
+        "smt",
+        "X6 — hyper-threading: credit enforcement when logical CPUs share a core",
+    ),
+    (
+        "sensitivity",
+        "X7 — PAS design-knob sweep: smoothing window × planner headroom",
+    ),
+    (
+        "overbooking",
+        "X8 — the enforceable floor of a booking set under compensation",
+    ),
+    (
+        "consolidation",
+        "X4 — §2.3: consolidation is memory-bound, DVFS still pays",
+    ),
+    ("churn", "X5 — tenant arrival/departure churn under PAS"),
+    (
+        "cluster-energy",
+        "X9 — §2.3 at fleet scale under the placement controller",
+    ),
+    (
+        "migration",
+        "X10 — load-triggered live migration across the fleet",
+    ),
+];
+
 /// All experiment names, in DESIGN.md index order.
 #[must_use]
 pub fn all_experiment_names() -> Vec<&'static str> {
-    vec![
-        "validation-freq-load",
-        "validation-freq-time",
-        "validation-credit-time",
-        "fig1",
-        "fig2",
-        "fig3",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "table1",
-        "table2",
-        "energy",
-        "placement",
-        "multicore",
-        "smt",
-        "sensitivity",
-        "overbooking",
-        "consolidation",
-        "churn",
-        "cluster-energy",
-        "migration",
-    ]
+    EXPERIMENTS.iter().map(|&(name, _)| name).collect()
+}
+
+/// The one-line description of an experiment (`None` for unknown
+/// names).
+#[must_use]
+pub fn experiment_description(name: &str) -> Option<&'static str> {
+    EXPERIMENTS
+        .iter()
+        .find(|&&(n, _)| n == name)
+        .map(|&(_, desc)| desc)
 }
 
 /// Runs one experiment by name, serially.
@@ -105,5 +179,14 @@ mod tests {
         assert!(run_experiment("multicore", Fidelity::Quick).is_some());
         assert!(run_experiment("nonsense", Fidelity::Quick).is_none());
         assert_eq!(all_experiment_names().len(), 25);
+    }
+
+    #[test]
+    fn every_experiment_has_a_nonempty_description() {
+        for name in all_experiment_names() {
+            let desc = experiment_description(name).expect("described");
+            assert!(!desc.is_empty(), "{name} has an empty description");
+        }
+        assert_eq!(experiment_description("nonsense"), None);
     }
 }

@@ -25,12 +25,16 @@ fn artefacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
 }
 
 #[test]
-fn list_names_every_experiment_including_the_cluster_ones() {
+fn list_names_and_describes_every_experiment() {
     let out = repro(&["list"]);
     assert!(out.status.success());
     let stdout = String::from_utf8(out.stdout).expect("utf8");
-    let names: Vec<&str> = stdout.lines().collect();
-    assert_eq!(names.len(), 25);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 25);
+    let names: Vec<&str> = lines
+        .iter()
+        .map(|l| l.split_whitespace().next().expect("non-empty line"))
+        .collect();
     for expected in [
         "fig9",
         "consolidation",
@@ -40,6 +44,19 @@ fn list_names_every_experiment_including_the_cluster_ones() {
     ] {
         assert!(names.contains(&expected), "missing {expected}");
     }
+    // Every line carries a one-line description after the name.
+    for line in &lines {
+        let (name, rest) = line.split_once(' ').expect("name plus description");
+        assert!(
+            rest.trim_start().len() >= 10,
+            "{name} lacks a description: {line:?}"
+        );
+    }
+    // Spot-check a headline so the descriptions are real, not filler.
+    assert!(
+        stdout.contains("Table 1") && stdout.contains("live migration"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -119,4 +136,156 @@ fn repro_all_quick_is_byte_identical_across_job_counts() {
     }
 
     let _ = std::fs::remove_dir_all(&base);
+}
+
+fn example_spec(name: &str) -> String {
+    // CARGO_MANIFEST_DIR is crates/experiments; the specs live at the
+    // workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/campaigns")
+        .join(name)
+        .to_str()
+        .expect("utf8 path")
+        .to_owned()
+}
+
+/// The campaign acceptance criterion: a spec with two sweep axes and
+/// three seeds per point runs end-to-end through `repro campaign`,
+/// emits per-point statistics, and produces byte-identical stdout and
+/// artefacts for `--jobs 1` vs `--jobs 4`.
+#[test]
+fn campaign_is_byte_identical_across_job_counts() {
+    let base = std::env::temp_dir().join(format!("repro-campaign-test-{}", std::process::id()));
+    let dir1 = base.join("jobs1");
+    let dir4 = base.join("jobs4");
+    let _ = std::fs::remove_dir_all(&base);
+    let spec = example_spec("credit-sweep.json");
+
+    let out1 = repro(&[
+        "campaign",
+        &spec,
+        "--quick",
+        "--out",
+        dir1.to_str().unwrap(),
+        "--jobs",
+        "1",
+    ]);
+    assert!(
+        out1.status.success(),
+        "jobs=1 campaign succeeds: {}",
+        String::from_utf8_lossy(&out1.stderr)
+    );
+    let out4 = repro(&[
+        "campaign",
+        &spec,
+        "--quick",
+        "--out",
+        dir4.to_str().unwrap(),
+        "--jobs",
+        "4",
+    ]);
+    assert!(out4.status.success(), "jobs=4 campaign succeeds");
+
+    assert_eq!(out1.stdout, out4.stdout, "stdout must not depend on --jobs");
+    let stdout = String::from_utf8(out1.stdout).expect("utf8");
+    assert!(
+        stdout.contains("9 design points x 3 seeds = 27 runs"),
+        "explicit count report: {stdout}"
+    );
+    assert!(stdout.contains("ranked by mean energy_j"), "{stdout}");
+    assert!(stdout.contains("ci95="), "per-point statistics: {stdout}");
+
+    let a1 = artefacts(&dir1);
+    let a4 = artefacts(&dir4);
+    assert_eq!(
+        a1.keys().collect::<Vec<_>>(),
+        vec![
+            "credit-sweep-runs.csv",
+            "credit-sweep-summary.csv",
+            "credit-sweep-summary.json"
+        ],
+        "the three campaign artefacts"
+    );
+    for (name, bytes) in &a1 {
+        assert_eq!(
+            bytes, &a4[name],
+            "{name} must be byte-identical across job counts"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The fleet example spec also runs end-to-end (placement × migration
+/// axes over a seed-generated population).
+#[test]
+fn fleet_campaign_example_runs_quick() {
+    let spec = example_spec("fleet-placement-sweep.json");
+    let out = repro(&["campaign", &spec, "--quick", "--jobs", "4"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(
+        stdout.contains("4 design points x 3 seeds = 12 runs"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("migration=on"), "{stdout}");
+}
+
+/// Every shipped example spec must parse and validate (expansion
+/// included), so a typo'd machine name or over-cap sweep can't ship
+/// green and fail only on a user's machine.
+#[test]
+fn every_example_campaign_spec_is_valid() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/campaigns");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/campaigns exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable spec");
+        campaign::CampaignSpec::from_json(&text)
+            .unwrap_or_else(|e| panic!("{} must be valid: {e}", path.display()));
+        seen += 1;
+    }
+    assert!(seen >= 3, "expected the three shipped specs, found {seen}");
+}
+
+#[test]
+fn campaign_with_missing_spec_file_fails_cleanly() {
+    let out = repro(&["campaign", "/nonexistent/spec.json"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn campaign_with_malformed_spec_reports_the_field() {
+    let base = std::env::temp_dir().join(format!("repro-campaign-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&base).unwrap();
+    let path = base.join("bad.json");
+    std::fs::write(
+        &path,
+        r#"{ "name": "bad",
+             "scenario": { "kind": "host", "scheduler": "cfs", "vms": [] },
+             "seeds": { "replicates": 1 } }"#,
+    )
+    .unwrap();
+    let out = repro(&["campaign", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown scheduler `cfs`"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn campaign_requires_exactly_one_spec() {
+    let out = repro(&["campaign"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("exactly one spec file"), "{stderr}");
 }

@@ -41,7 +41,7 @@ pub fn to_csv(series: &[&TimeSeries]) -> String {
     out.push('t');
     for s in series {
         out.push(',');
-        out.push_str(s.name());
+        out.push_str(&csv_field(s.name()));
     }
     out.push('\n');
     for &t in &times {
@@ -95,6 +95,50 @@ pub fn write_artifact(path: &Path, content: &str) -> io::Result<()> {
     std::fs::write(path, content)
 }
 
+/// Quotes a CSV field per RFC 4180 when (and only when) it needs it:
+/// fields containing commas, double quotes, or line breaks are wrapped
+/// in double quotes with embedded quotes doubled; everything else is
+/// passed through unchanged.
+///
+/// # Example
+///
+/// ```
+/// use metrics::export::csv_field;
+/// assert_eq!(csv_field("plain"), "plain");
+/// assert_eq!(csv_field("load, pct"), "\"load, pct\"");
+/// assert_eq!(csv_field("the \"hot\" path"), "\"the \"\"hot\"\" path\"");
+/// ```
+#[must_use]
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Renders a float exactly: integral values (within `2^53`) print
+/// without a decimal point, everything else uses Rust's shortest
+/// round-trip formatting. The campaign artefacts and sweep labels all
+/// render numbers through this one helper so they can never drift
+/// apart.
+///
+/// # Example
+///
+/// ```
+/// use metrics::export::exact_num;
+/// assert_eq!(exact_num(42.0), "42");
+/// assert_eq!(exact_num(0.1), "0.1");
+/// ```
+#[must_use]
+pub fn exact_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 2f64.powi(53) {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
 fn trim_float(v: f64) -> String {
     if (v - v.round()).abs() < 1e-9 {
         format!("{}", v.round() as i64)
@@ -132,6 +176,17 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[1], "0,1,");
         assert_eq!(lines[2], "5,,2");
+    }
+
+    #[test]
+    fn csv_quotes_series_names_that_need_it() {
+        let a = TimeSeries::from_points("load, pct", vec![(0.0, 1.0)]);
+        let b = TimeSeries::from_points("the \"hot\" path", vec![(0.0, 2.0)]);
+        let c = TimeSeries::from_points("plain", vec![(0.0, 3.0)]);
+        let csv = to_csv(&[&a, &b, &c]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t,\"load, pct\",\"the \"\"hot\"\" path\",plain");
+        assert_eq!(lines[1], "0,1,2,3");
     }
 
     #[test]

@@ -86,14 +86,48 @@ impl Samples {
         if self.values.is_empty() {
             return None;
         }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.values[rank.clamp(1, n) - 1])
+    }
+
+    fn ensure_sorted(&mut self) {
         if !self.sorted {
             self.values
                 .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
             self.sorted = true;
         }
+    }
+
+    /// The `p`-th percentile by linear interpolation between closest
+    /// ranks (the `p/100 · (n-1)` definition, numpy's default), `None`
+    /// when empty.
+    ///
+    /// Unlike [`Samples::percentile`], which snaps to an observed
+    /// sample, this variant interpolates between the two samples
+    /// bracketing the fractional rank — the estimator the campaign
+    /// statistics engine uses, where replica counts are small and
+    /// nearest-rank would quantise the tail hard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_interpolated(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
         let n = self.values.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        Some(self.values[rank.clamp(1, n) - 1])
+        let rank = (p / 100.0) * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            return Some(self.values[lo]);
+        }
+        let frac = rank - lo as f64;
+        Some(self.values[lo] + (self.values[hi] - self.values[lo]) * frac)
     }
 
     /// Renders a compact textual summary (`n / mean / p50 / p95 / max`).
@@ -179,5 +213,51 @@ mod tests {
     #[should_panic(expected = "non-finite sample")]
     fn nan_rejected() {
         Samples::new().add(f64::NAN);
+    }
+
+    #[test]
+    fn interpolated_percentile_interpolates_between_ranks() {
+        let mut s: Samples = (1..=10).map(f64::from).collect();
+        // rank = 0.5 * 9 = 4.5 → halfway between 5 and 6.
+        assert_eq!(s.percentile_interpolated(50.0), Some(5.5));
+        // rank = 0.25 * 9 = 2.25 → 3 + 0.25.
+        assert!((s.percentile_interpolated(25.0).unwrap() - 3.25).abs() < 1e-12);
+        assert_eq!(s.percentile_interpolated(0.0), Some(1.0));
+        assert_eq!(s.percentile_interpolated(100.0), Some(10.0));
+    }
+
+    #[test]
+    fn interpolated_percentile_single_sample() {
+        let mut s: Samples = std::iter::once(7.0).collect();
+        assert_eq!(s.percentile_interpolated(0.0), Some(7.0));
+        assert_eq!(s.percentile_interpolated(50.0), Some(7.0));
+        assert_eq!(s.percentile_interpolated(100.0), Some(7.0));
+    }
+
+    #[test]
+    fn interpolated_percentile_duplicate_heavy() {
+        // 9 copies of 1.0 and a single 100.0: the median must sit on
+        // the plateau, and interpolation only kicks in at the tail.
+        let mut s: Samples = std::iter::repeat_n(1.0, 9)
+            .chain(std::iter::once(100.0))
+            .collect();
+        assert_eq!(s.percentile_interpolated(50.0), Some(1.0));
+        assert_eq!(s.percentile_interpolated(80.0), Some(1.0));
+        // rank = 0.95 * 9 = 8.55 → between 1.0 and 100.0.
+        let p95 = s.percentile_interpolated(95.0).unwrap();
+        assert!((p95 - (1.0 + 0.55 * 99.0)).abs() < 1e-9, "p95 {p95}");
+        assert_eq!(s.percentile_interpolated(100.0), Some(100.0));
+    }
+
+    #[test]
+    fn interpolated_percentile_empty_is_none() {
+        assert_eq!(Samples::new().percentile_interpolated(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,100]")]
+    fn interpolated_percentile_rejects_out_of_range() {
+        let mut s: Samples = std::iter::once(1.0).collect();
+        let _ = s.percentile_interpolated(101.0);
     }
 }

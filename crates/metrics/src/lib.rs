@@ -10,7 +10,10 @@
 //! * [`ascii`] — a quick terminal chart so `repro fig9` shows the
 //!   figure's shape without leaving the shell,
 //! * [`histogram`] — order statistics for tail-sensitive metrics
-//!   (response times).
+//!   (response times),
+//! * [`stats`] — replication statistics (mean / stddev / Student-t 95%
+//!   CI / interpolated percentiles) for the campaign subsystem's
+//!   multi-seed design points.
 
 #![deny(missing_docs)]
 
@@ -18,6 +21,7 @@ pub mod ascii;
 pub mod export;
 pub mod histogram;
 mod series;
+pub mod stats;
 pub mod summary;
 
 pub use series::TimeSeries;

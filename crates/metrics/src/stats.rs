@@ -1,0 +1,171 @@
+//! Replication statistics: reducing a handful of seeded runs to a
+//! defensible number.
+//!
+//! The campaign subsystem runs every design point under R independent
+//! seeds; this module reduces those replicas to mean, sample standard
+//! deviation, a 95% confidence interval (Student-t, exact small-R
+//! critical values), and interpolated percentiles. Everything here is
+//! pure arithmetic over a slice — deterministic by construction.
+
+use serde::Serialize;
+
+use crate::histogram::Samples;
+
+/// Reduction of one scalar across replicated runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Summary {
+    /// Number of replicas.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n-1` denominator; 0 when `n == 1`).
+    pub stddev: f64,
+    /// Half-width of the 95% confidence interval on the mean
+    /// (Student-t with `n-1` degrees of freedom; 0 when `n == 1`).
+    pub ci95_half: f64,
+    /// Median (interpolated).
+    pub p50: f64,
+    /// 95th percentile (interpolated).
+    pub p95: f64,
+    /// 99th percentile (interpolated).
+    pub p99: f64,
+    /// Smallest replica.
+    pub min: f64,
+    /// Largest replica.
+    pub max: f64,
+}
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom.
+///
+/// Exact table values for the small replica counts campaigns actually
+/// use (df 1–30); beyond that, the `1.960 + 2.4/df` continuation is
+/// within ~0.1% of the true quantile everywhere (and continuous at
+/// the table boundary), converging to the normal 1.960.
+///
+/// # Panics
+///
+/// Panics if `df` is zero (one sample has no dispersion estimate).
+#[must_use]
+pub fn student_t95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    assert!(df > 0, "Student-t needs at least one degree of freedom");
+    if df <= TABLE.len() {
+        TABLE[df - 1]
+    } else {
+        1.960 + 2.4 / df as f64
+    }
+}
+
+/// Reduces replicated samples to a [`Summary`] (`None` when empty).
+///
+/// # Example
+///
+/// ```
+/// use metrics::stats::summarize;
+/// let s = summarize(&[10.0, 12.0, 14.0]).unwrap();
+/// assert_eq!(s.n, 3);
+/// assert_eq!(s.mean, 12.0);
+/// assert_eq!(s.stddev, 2.0);
+/// // t(df=2) = 4.303: the CI is wide with three replicas.
+/// assert!((s.ci95_half - 4.303 * 2.0 / 3f64.sqrt()).abs() < 1e-9);
+/// assert_eq!(s.p50, 12.0);
+/// ```
+#[must_use]
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let stddev = if n > 1 {
+        let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+        (ss / (n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
+    let ci95_half = if n > 1 {
+        student_t95(n - 1) * stddev / (n as f64).sqrt()
+    } else {
+        0.0
+    };
+    let mut samples: Samples = values.iter().copied().collect();
+    Some(Summary {
+        n,
+        mean,
+        stddev,
+        ci95_half,
+        p50: samples.percentile_interpolated(50.0).expect("non-empty"),
+        p95: samples.percentile_interpolated(95.0).expect("non-empty"),
+        p99: samples.percentile_interpolated(99.0).expect("non-empty"),
+        min: samples.min().expect("non-empty"),
+        max: samples.max().expect("non-empty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert_eq!(summarize(&[]), None);
+    }
+
+    #[test]
+    fn single_replica_has_no_dispersion() {
+        let s = summarize(&[5.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half, 0.0);
+        assert_eq!(s.p50, 5.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn t_table_matches_known_values() {
+        assert_eq!(student_t95(1), 12.706);
+        assert_eq!(student_t95(4), 2.776);
+        assert_eq!(student_t95(30), 2.042);
+        // Past the table: near the true quantiles (t(40) = 2.021,
+        // t(60) = 2.000), no discontinuity at the boundary, and
+        // monotonically decreasing toward the normal 1.960.
+        assert!((student_t95(40) - 2.021).abs() < 0.002);
+        assert!((student_t95(60) - 2.000).abs() < 0.001);
+        assert!(student_t95(31) < student_t95(30));
+        assert!(student_t95(31) > student_t95(32));
+        assert!((student_t95(100_000) - 1.960).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one degree of freedom")]
+    fn zero_df_rejected() {
+        let _ = student_t95(0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_replica_count() {
+        // Same dispersion, more replicas → tighter interval.
+        let few = summarize(&[1.0, 3.0]).unwrap();
+        let many = summarize(&[1.0, 3.0, 1.0, 3.0, 1.0, 3.0, 1.0, 3.0]).unwrap();
+        assert!(many.ci95_half < few.ci95_half);
+    }
+
+    #[test]
+    fn percentiles_are_interpolated() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.p50, 2.5);
+    }
+
+    #[test]
+    fn summary_serializes_to_json() {
+        let s = summarize(&[1.0, 2.0]).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        assert!(json.contains("\"mean\":1.5"), "{json}");
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`metrics`] | time series, summaries, CSV/JSON export, ASCII charts |
 //! | [`enforcer`] | simulator + cgroup-v2 enforcement backends |
 //! | [`cluster`] | the fleet layer: placement, live migration, concurrent multi-host simulation |
+//! | [`campaign`] | declarative campaigns: JSON scenario specs, parameter sweeps, multi-seed statistics |
 //! | [`experiments`] | one module per paper table/figure + extensions; the `repro` binary |
 //! | `pas-bench` | criterion bench targets: figures/tables at quick fidelity + hot-path micros (not re-exported; run via `cargo bench`) |
 //!
@@ -56,6 +57,7 @@
 
 #![deny(missing_docs)]
 
+pub use campaign;
 pub use cluster;
 pub use cpumodel;
 pub use enforcer;

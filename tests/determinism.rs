@@ -143,6 +143,52 @@ fn fleet_experiments_are_byte_identical_across_job_counts() {
     }
 }
 
+/// The campaign subsystem's acceptance criterion, exercised through
+/// the library API (the `repro campaign` CLI path is covered
+/// end-to-end in `crates/experiments/tests/cli.rs`): a spec with two
+/// sweep axes and three seeds per design point must produce
+/// byte-identical text and artefacts for 1 and 4 worker threads.
+#[test]
+fn campaigns_are_byte_identical_across_job_counts() {
+    use pas_repro::campaign;
+
+    let spec = campaign::CampaignSpec::from_json(
+        r#"{
+            "name": "determinism",
+            "scenario": {
+                "kind": "host",
+                "scheduler": "credit",
+                "governor": "stable-ondemand",
+                "duration_s": 300,
+                "vms": [
+                    { "name": "v20", "credit_pct": 20,
+                      "workload": { "kind": "web-app", "intensity_pct": 100,
+                                    "bursty": true } }
+                ]
+            },
+            "sweep": [
+                { "param": "scheduler", "values": ["credit", "pas"] },
+                { "param": "credit_pct:v20", "values": [10, 20] }
+            ],
+            "seeds": { "base": 42, "replicates": 3 }
+        }"#,
+    )
+    .expect("valid spec");
+    let a = campaign::run(&spec, true, 1).expect("serial run");
+    let b = campaign::run(&spec, true, 4).expect("parallel run");
+    assert_eq!(a.total_runs, 12, "2 × 2 points × 3 seeds");
+    assert_eq!(
+        a.text().as_bytes(),
+        b.text().as_bytes(),
+        "campaign stdout must not depend on --jobs"
+    );
+    assert_eq!(a.summary_csv().as_bytes(), b.summary_csv().as_bytes());
+    assert_eq!(a.runs_csv().as_bytes(), b.runs_csv().as_bytes());
+    let ja = pas_repro::metrics::export::to_json(&a).expect("finite values");
+    let jb = pas_repro::metrics::export::to_json(&b).expect("finite values");
+    assert_eq!(ja.as_bytes(), jb.as_bytes());
+}
+
 /// Regression for the workspace bootstrap: two runs of the quickstart
 /// scenario with the same simkernel seed must produce byte-identical
 /// CSV and JSON metric exports.
