@@ -1,0 +1,566 @@
+//! The perf-trajectory harness behind `repro bench`.
+//!
+//! Runs a *fixed* suite of macro-benchmarks — single-host pi-app and
+//! web-app runs, [`cluster::Fleet`] epochs at three population sizes,
+//! one [`campaign`] sweep, and an idle-heavy fleet measured with the
+//! idle-skip fast path both on and off — with one warmup pass and `R`
+//! timed repetitions each, and reduces the wall-clock times to
+//! median/min/max per benchmark.
+//!
+//! # The `BENCH_<date>.json` schema (`pas-repro-bench/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "pas-repro-bench/v1",
+//!   "created_utc": "2026-08-07",
+//!   "quick": false,
+//!   "warmup": 1,
+//!   "repetitions": 5,
+//!   "benchmarks": [
+//!     { "name": "fleet_medium", "group": "fleet", "reps": 5,
+//!       "median_ms": 123.4, "min_ms": 120.0, "max_ms": 130.1,
+//!       "rss_peak_kb": 20480 }
+//!   ]
+//! }
+//! ```
+//!
+//! Field semantics, fixed for every `v1` producer and consumer:
+//!
+//! * `schema` — always `"pas-repro-bench/v1"`; bump on breaking change.
+//! * `created_utc` — UTC calendar date the suite ran, `YYYY-MM-DD`.
+//! * `quick` — `true` when the suite ran shortened simulations.
+//! * `warmup` / `repetitions` — untimed passes before, timed passes
+//!   per benchmark.
+//! * per benchmark: `median_ms`/`min_ms`/`max_ms` of the timed reps'
+//!   wall-clock, and `rss_peak_kb` — the *process* peak RSS (Linux
+//!   `VmHWM`) sampled after the benchmark's last repetition. The
+//!   high-water mark is monotone over the process lifetime, so within
+//!   one file it reads as "peak RSS of the suite up to and including
+//!   this benchmark"; on non-Linux platforms it is reported as 0.
+//!
+//! Wall-clock numbers are machine-dependent by nature; the JSON is a
+//! *trajectory* artefact (compare PRs on the same runner class), not a
+//! determinism artefact.
+
+use std::time::Instant;
+
+use campaign::CampaignSpec;
+use cluster::{Fleet, FleetConfig, VmSpec};
+use governors::StableOndemand;
+use hypervisor::host::{HostConfig, SchedulerKind};
+use hypervisor::vm::VmConfig;
+use pas_core::Credit;
+use serde::{Serialize, Value};
+use simkernel::{SimDuration, SimRng, SimTime};
+use workloads::{ArrivalModel, Intensity, PiApp, Profile, WebApp};
+
+/// The schema identifier written to and required of every artefact.
+pub const SCHEMA: &str = "pas-repro-bench/v1";
+
+/// One benchmark: a name, a display group, and the workload closure.
+pub struct Benchmark {
+    /// Stable identifier (a JSON key across PRs — never reuse).
+    pub name: &'static str,
+    /// Display group ("host", "fleet", "campaign").
+    pub group: &'static str,
+    runner: Box<dyn FnMut()>,
+}
+
+impl Benchmark {
+    /// Wraps a closure as a named benchmark.
+    pub fn new(name: &'static str, group: &'static str, runner: impl FnMut() + 'static) -> Self {
+        Benchmark {
+            name,
+            group,
+            runner: Box::new(runner),
+        }
+    }
+}
+
+/// Measured result of one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchResult {
+    /// The benchmark's stable name.
+    pub name: String,
+    /// Its display group.
+    pub group: String,
+    /// Timed repetitions the statistics are over.
+    pub reps: usize,
+    /// Median wall-clock per repetition, milliseconds.
+    pub median_ms: f64,
+    /// Fastest repetition, milliseconds.
+    pub min_ms: f64,
+    /// Slowest repetition, milliseconds.
+    pub max_ms: f64,
+    /// Process peak RSS after the last repetition, KiB (Linux `VmHWM`;
+    /// 0 where unavailable). Monotone across the suite.
+    pub rss_peak_kb: u64,
+}
+
+/// A finished suite: everything `BENCH_<date>.json` holds.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// UTC calendar date of the run (`YYYY-MM-DD`).
+    pub created_utc: String,
+    /// Whether the suite ran shortened simulations.
+    pub quick: bool,
+    /// Untimed warmup passes per benchmark.
+    pub warmup: usize,
+    /// Timed repetitions per benchmark.
+    pub repetitions: usize,
+    /// Per-benchmark results, in suite order.
+    pub benchmarks: Vec<BenchResult>,
+}
+
+impl BenchReport {
+    /// The artefact's canonical file name for its creation date.
+    #[must_use]
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.created_utc)
+    }
+
+    /// Serialises the report to pretty JSON.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: every field is finite by construction.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("finite fields")
+    }
+
+    /// A compact stdout table: one line per benchmark.
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "bench suite ({} benchmarks, {} reps + {} warmup{}):",
+            self.benchmarks.len(),
+            self.repetitions,
+            self.warmup,
+            if self.quick { ", quick" } else { "" }
+        );
+        let width = self
+            .benchmarks
+            .iter()
+            .map(|b| b.name.len())
+            .max()
+            .unwrap_or(4);
+        for b in &self.benchmarks {
+            let _ = writeln!(
+                out,
+                "  {:<width$}  median {:>9.2} ms  (min {:>9.2}, max {:>9.2})  rss {:>7} KiB",
+                b.name, b.median_ms, b.min_ms, b.max_ms, b.rss_peak_kb
+            );
+        }
+        out
+    }
+}
+
+/// The process's peak resident-set size in KiB (`VmHWM` from
+/// `/proc/self/status`), or 0 where that interface does not exist.
+#[must_use]
+pub fn rss_peak_kb() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    return rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Converts days since the Unix epoch to a civil `(year, month, day)`
+/// (Gregorian; the standard era-decomposition algorithm).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = u32::try_from(doy - (153 * mp + 2) / 5 + 1).expect("day in [1,31]");
+    let m = u32::try_from(if mp < 10 { mp + 3 } else { mp - 9 }).expect("month in [1,12]");
+    (era * 400 + yoe + i64::from(m <= 2), m, d)
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock.
+#[must_use]
+pub fn utc_date_today() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let (y, m, d) = civil_from_days(i64::try_from(secs / 86_400).expect("fits"));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Runs `benchmarks` with one warmup pass and `repetitions` timed
+/// passes each, in order.
+///
+/// # Panics
+///
+/// Panics if `repetitions` is zero.
+pub fn run(mut benchmarks: Vec<Benchmark>, quick: bool, repetitions: usize) -> BenchReport {
+    assert!(repetitions > 0, "need at least one timed repetition");
+    const WARMUP: usize = 1;
+    let mut results = Vec::with_capacity(benchmarks.len());
+    for bench in &mut benchmarks {
+        for _ in 0..WARMUP {
+            (bench.runner)();
+        }
+        let mut times_ms: Vec<f64> = (0..repetitions)
+            .map(|_| {
+                let t0 = Instant::now();
+                (bench.runner)();
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        times_ms.sort_by(f64::total_cmp);
+        results.push(BenchResult {
+            name: bench.name.to_owned(),
+            group: bench.group.to_owned(),
+            reps: repetitions,
+            median_ms: times_ms[times_ms.len() / 2],
+            min_ms: times_ms[0],
+            max_ms: times_ms[times_ms.len() - 1],
+            rss_peak_kb: rss_peak_kb(),
+        });
+    }
+    BenchReport {
+        schema: SCHEMA.to_owned(),
+        created_utc: utc_date_today(),
+        quick,
+        warmup: WARMUP,
+        repetitions,
+        benchmarks: results,
+    }
+}
+
+/// Runs the fixed macro-benchmark suite (see [`suite`]) with the
+/// default repetition count (5, or 3 under `quick`).
+#[must_use]
+pub fn run_suite(quick: bool) -> BenchReport {
+    run(suite(quick), quick, if quick { 3 } else { 5 })
+}
+
+/// A single-host pi-app run: a 50%-credit batch job racing a constant
+/// background load, simulated to completion.
+fn host_pi_app(quick: bool) {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+    let fmax = host.fmax_mcps();
+    let seconds = if quick { 30.0 } else { 120.0 };
+    let pi = host.add_vm(
+        VmConfig::new("pi", Credit::percent(50.0)),
+        Box::new(PiApp::sized_for_seconds(seconds, fmax)),
+    );
+    host.add_vm(
+        VmConfig::new("bg", Credit::percent(20.0)),
+        Box::new(hypervisor::work::ConstantDemand::new(0.2 * fmax)),
+    );
+    let done = host.run_until_vm_finished(pi, SimTime::from_secs(3600));
+    assert!(done.is_some(), "pi-app must finish within an hour");
+}
+
+/// A single-host web-app run: bursty Poisson arrivals under the
+/// stabilised ondemand governor.
+fn host_web_app(quick: bool) {
+    let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+        .with_governor(Box::new(StableOndemand::new()))
+        .build();
+    let fmax = host.fmax_mcps();
+    let secs = if quick { 60 } else { 300 };
+    host.add_vm(
+        VmConfig::new("web", Credit::percent(70.0)),
+        Box::new(WebApp::new(
+            Profile::active_for(SimDuration::from_secs(secs), Intensity::Fraction(0.5)),
+            0.70 * fmax,
+            fmax,
+            ArrivalModel::Poisson {
+                request_mcycles: 50.0,
+                rng: SimRng::seed_from(7),
+            },
+        )),
+    );
+    host.run_for(SimDuration::from_secs(secs));
+}
+
+/// A mixed fleet population: one quarter web-tier-sized VMs, the rest
+/// small steady tenants (4 GiB each → four VMs per Optiplex host).
+fn fleet_population(n: usize) -> Vec<VmSpec> {
+    (0..n)
+        .map(|i| {
+            let frac = if i % 4 == 0 { 0.20 } else { 0.05 };
+            VmSpec::new(format!("vm{i}"), 4.0, frac)
+        })
+        .collect()
+}
+
+/// `Fleet` epochs over `n` VMs (the three population-size points).
+fn fleet_epochs(n: usize, quick: bool) {
+    let specs = fleet_population(n);
+    let mut fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+    fleet.run_epochs(if quick { 3 } else { 10 }, 4);
+    assert!(fleet.totals().energy_j > 0.0);
+}
+
+/// An idle-heavy fleet: two working VMs and 62 zero-demand VMs, so 16
+/// of 17 hosts are quiescent from the first epoch. Run with the
+/// idle-skip fast path on or off — the pair of benchmarks this feeds
+/// is the measured evidence for the fast path's wall-clock win.
+fn fleet_idle_heavy(quick: bool, fast: bool) {
+    let mut specs = vec![
+        VmSpec::new("busy0", 4.0, 0.30),
+        VmSpec::new("busy1", 4.0, 0.30),
+    ];
+    specs.extend((0..62).map(|i| VmSpec::new(format!("idle{i}"), 4.0, 0.0).with_credit_frac(0.15)));
+    let cfg = FleetConfig::performance_defaults().with_idle_fast_path(fast);
+    let mut fleet = Fleet::build(cfg, &specs);
+    fleet.run_epochs(if quick { 10 } else { 40 }, 4);
+    assert!(fleet.totals().energy_j > 0.0);
+}
+
+/// One small campaign sweep: scheduler × credit, three seeds.
+fn campaign_sweep() {
+    let spec = CampaignSpec::from_json(
+        r#"{
+            "name": "bench-sweep",
+            "scenario": {
+                "kind": "host",
+                "scheduler": "credit",
+                "governor": "stable-ondemand",
+                "duration_s": 300,
+                "vms": [
+                    { "name": "v20", "credit_pct": 20,
+                      "workload": { "kind": "web-app", "intensity_pct": 100,
+                                    "bursty": true } }
+                ]
+            },
+            "sweep": [
+                { "param": "scheduler", "values": ["credit", "pas"] },
+                { "param": "credit_pct:v20", "values": [10, 20] }
+            ],
+            "seeds": { "base": 42, "replicates": 3 }
+        }"#,
+    )
+    .expect("valid bench spec");
+    let report = campaign::run(&spec, true, 2).expect("campaign runs");
+    assert_eq!(report.total_runs, 12);
+}
+
+/// The fixed macro-benchmark suite `repro bench` runs, in order.
+#[must_use]
+pub fn suite(quick: bool) -> Vec<Benchmark> {
+    vec![
+        Benchmark::new("host_pi_app", "host", move || host_pi_app(quick)),
+        Benchmark::new("host_web_app", "host", move || host_web_app(quick)),
+        Benchmark::new("fleet_small_16vms", "fleet", move || {
+            fleet_epochs(16, quick);
+        }),
+        Benchmark::new("fleet_medium_48vms", "fleet", move || {
+            fleet_epochs(48, quick);
+        }),
+        Benchmark::new("fleet_large_96vms", "fleet", move || {
+            fleet_epochs(96, quick);
+        }),
+        Benchmark::new("campaign_sweep", "campaign", campaign_sweep),
+        Benchmark::new("fleet_idle_heavy_skip", "fleet", move || {
+            fleet_idle_heavy(quick, true);
+        }),
+        Benchmark::new("fleet_idle_heavy_exact", "fleet", move || {
+            fleet_idle_heavy(quick, false);
+        }),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Schema validation (the CI gate for emitted artefacts).
+// ---------------------------------------------------------------------------
+
+fn field<'v>(map: &'v [(String, Value)], key: &str) -> Result<&'v Value, String> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn num_of(v: &Value, what: &str) -> Result<f64, String> {
+    let n = v
+        .as_num()
+        .ok_or_else(|| format!("{what} must be a number"))?;
+    if n.is_finite() && n >= 0.0 {
+        Ok(n)
+    } else {
+        Err(format!("{what} must be finite and non-negative, got {n}"))
+    }
+}
+
+fn str_of<'v>(v: &'v Value, what: &str) -> Result<&'v str, String> {
+    v.as_str().ok_or_else(|| format!("{what} must be a string"))
+}
+
+/// Validates a `BENCH_*.json` artefact against the `v1` schema:
+/// parseable JSON, the exact [`SCHEMA`] tag, well-formed top-level
+/// fields and at least one benchmark entry with consistent
+/// (`min ≤ median ≤ max`) non-negative statistics.
+///
+/// # Errors
+///
+/// Returns a human-actionable message naming the first violation.
+pub fn validate(json: &str) -> Result<(), String> {
+    let v: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let map = v.as_map().ok_or("top level must be an object")?;
+    let schema = str_of(field(map, "schema")?, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is `{schema}`, expected `{SCHEMA}`"));
+    }
+    let date = str_of(field(map, "created_utc")?, "created_utc")?;
+    let date_ok = date.len() == 10
+        && date.bytes().enumerate().all(|(i, b)| match i {
+            4 | 7 => b == b'-',
+            _ => b.is_ascii_digit(),
+        });
+    if !date_ok {
+        return Err(format!("created_utc `{date}` is not YYYY-MM-DD"));
+    }
+    field(map, "quick")?
+        .as_bool()
+        .ok_or("quick must be a boolean")?;
+    num_of(field(map, "warmup")?, "warmup")?;
+    let reps = num_of(field(map, "repetitions")?, "repetitions")?;
+    if reps < 1.0 {
+        return Err("repetitions must be at least 1".to_owned());
+    }
+    let benches = field(map, "benchmarks")?
+        .as_seq()
+        .ok_or("benchmarks must be an array")?;
+    if benches.is_empty() {
+        return Err("benchmarks must not be empty".to_owned());
+    }
+    for (i, b) in benches.iter().enumerate() {
+        let b = b
+            .as_map()
+            .ok_or_else(|| format!("benchmarks[{i}] must be an object"))?;
+        let name = str_of(field(b, "name")?, "name")?;
+        str_of(field(b, "group")?, "group")?;
+        if num_of(field(b, "reps")?, "reps")? < 1.0 {
+            return Err(format!("{name}: reps must be at least 1"));
+        }
+        let median = num_of(field(b, "median_ms")?, "median_ms")?;
+        let min = num_of(field(b, "min_ms")?, "min_ms")?;
+        let max = num_of(field(b, "max_ms")?, "max_ms")?;
+        if !(min <= median && median <= max) {
+            return Err(format!(
+                "{name}: expected min_ms <= median_ms <= max_ms, got {min} / {median} / {max}"
+            ));
+        }
+        num_of(field(b, "rss_peak_kb")?, "rss_peak_kb")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_date_conversion_is_correct() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_723 + 59), (2024, 2, 29));
+        assert_eq!(civil_from_days(20_672), (2026, 8, 7));
+    }
+
+    #[test]
+    fn utc_date_is_well_formed() {
+        let d = utc_date_today();
+        assert!(validate_date(&d), "{d}");
+    }
+
+    fn validate_date(d: &str) -> bool {
+        d.len() == 10
+            && d.bytes().enumerate().all(|(i, b)| match i {
+                4 | 7 => b == b'-',
+                _ => b.is_ascii_digit(),
+            })
+    }
+
+    #[test]
+    fn rss_is_reported_on_linux() {
+        #[cfg(target_os = "linux")]
+        assert!(rss_peak_kb() > 0, "VmHWM must be readable");
+    }
+
+    /// A tiny synthetic suite exercises the run → serialise → validate
+    /// round trip without the cost of the real macro-suite.
+    #[test]
+    fn run_serialise_validate_roundtrip() {
+        let benches = vec![
+            Benchmark::new("noop_a", "test", || {}),
+            Benchmark::new("noop_b", "test", || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            }),
+        ];
+        let report = run(benches, true, 3);
+        assert_eq!(report.benchmarks.len(), 2);
+        assert_eq!(
+            report.file_name(),
+            format!("BENCH_{}.json", report.created_utc)
+        );
+        let json = report.to_json();
+        validate(&json).expect("emitted artefact validates");
+        for b in &report.benchmarks {
+            assert!(b.min_ms <= b.median_ms && b.median_ms <= b.max_ms);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_malformed_artefacts() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").unwrap_err().contains("schema"));
+        assert!(validate(r#"{"schema": "other/v9"}"#)
+            .unwrap_err()
+            .contains("expected"));
+        let no_benches = r#"{
+            "schema": "pas-repro-bench/v1", "created_utc": "2026-08-07",
+            "quick": true, "warmup": 1, "repetitions": 3, "benchmarks": []
+        }"#;
+        assert!(validate(no_benches).unwrap_err().contains("empty"));
+        let bad_order = r#"{
+            "schema": "pas-repro-bench/v1", "created_utc": "2026-08-07",
+            "quick": true, "warmup": 1, "repetitions": 3,
+            "benchmarks": [{ "name": "x", "group": "g", "reps": 3,
+                "median_ms": 5.0, "min_ms": 6.0, "max_ms": 7.0,
+                "rss_peak_kb": 0 }]
+        }"#;
+        assert!(validate(bad_order).unwrap_err().contains("min_ms"));
+    }
+
+    /// The suite definition itself: fixed names, the documented
+    /// minimum of six benchmarks, and the idle-skip A/B pair present.
+    #[test]
+    fn suite_shape_is_stable() {
+        let s = suite(true);
+        assert!(s.len() >= 6, "suite has {} benchmarks", s.len());
+        let names: Vec<&str> = s.iter().map(|b| b.name).collect();
+        assert!(names.contains(&"fleet_idle_heavy_skip"));
+        assert!(names.contains(&"fleet_idle_heavy_exact"));
+        assert!(names.contains(&"campaign_sweep"));
+    }
+}

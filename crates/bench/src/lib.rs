@@ -1,4 +1,5 @@
-//! Shared configuration for the benchmark suite.
+//! Shared configuration for the benchmark suite, plus the
+//! perf-trajectory harness behind `repro bench` (see [`harness`]).
 //!
 //! Every paper artefact has a bench target that regenerates it at
 //! quick fidelity (the shapes are fidelity-independent; see
@@ -9,8 +10,15 @@
 //! * `benches/ablations.rs` — the X1–X8 extension studies,
 //! * `benches/micro.rs` — hot-path micro-benchmarks (event queue,
 //!   scheduler dispatch, planner).
+//!
+//! The criterion benches measure *statistical* timing of isolated
+//! pieces; the [`harness`] module measures *whole-suite wall-clock*
+//! (plus peak RSS) and writes the `BENCH_<date>.json` artefact that
+//! PRs compare against.
 
 #![deny(missing_docs)]
+
+pub mod harness;
 
 use criterion::Criterion;
 

@@ -116,9 +116,7 @@ pub fn reduce(
     ranking.sort_by(|&a, &b| {
         let ea = points[a].mean("energy_j").unwrap_or(f64::INFINITY);
         let eb = points[b].mean("energy_j").unwrap_or(f64::INFINITY);
-        ea.partial_cmp(&eb)
-            .expect("finite energy means")
-            .then(a.cmp(&b))
+        f64::total_cmp(&ea, &eb).then(a.cmp(&b))
     });
 
     CampaignReport {
@@ -185,12 +183,16 @@ impl CampaignReport {
         for point in &self.points {
             let _ = writeln!(out, "  point {}", point.label);
             for (metric, s) in &point.metrics {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "    {metric}: n={} mean={:.4} stddev={:.4} ci95={:.4} \
                      p50={:.4} p95={:.4} p99={:.4} min={:.4} max={:.4}",
                     s.n, s.mean, s.stddev, s.ci95_half, s.p50, s.p95, s.p99, s.min, s.max
                 );
+                if s.dropped > 0 {
+                    let _ = write!(out, " dropped={}", s.dropped);
+                }
+                out.push('\n');
             }
         }
         out
@@ -199,13 +201,14 @@ impl CampaignReport {
     /// The summary artefact: one CSV row per design point × metric.
     #[must_use]
     pub fn summary_csv(&self) -> String {
-        let mut out =
-            String::from("point,label,metric,n,mean,stddev,ci95_half,p50,p95,p99,min,max\n");
+        let mut out = String::from(
+            "point,label,metric,n,mean,stddev,ci95_half,p50,p95,p99,min,max,dropped\n",
+        );
         for (p, point) in self.points.iter().enumerate() {
             for (metric, s) in &point.metrics {
                 let _ = writeln!(
                     out,
-                    "{p},{},{},{},{},{},{},{},{},{},{},{}",
+                    "{p},{},{},{},{},{},{},{},{},{},{},{},{}",
                     csv_field(&point.label),
                     csv_field(metric),
                     s.n,
@@ -216,7 +219,8 @@ impl CampaignReport {
                     fmt(s.p95),
                     fmt(s.p99),
                     fmt(s.min),
-                    fmt(s.max)
+                    fmt(s.max),
+                    s.dropped
                 );
             }
         }
@@ -312,6 +316,39 @@ mod tests {
             "{runs}"
         );
         assert!(runs.contains("1,b,2,energy_j,110"), "{runs}");
+    }
+
+    #[test]
+    fn injected_nan_is_dropped_counted_and_reported() {
+        // One replica of point `a` reports a NaN energy: the reduction
+        // must complete (no panic in sorting or ranking), exclude the
+        // poisoned replica from the statistics, and say so.
+        let r = reduce(
+            "t",
+            false,
+            512,
+            vec![("a".to_owned(), vec![]), ("b".to_owned(), vec![])],
+            vec![
+                vec![record(1, f64::NAN, 0.0), record(2, 220.0, 0.5)],
+                vec![record(1, 100.0, 1.0), record(2, 110.0, 1.5)],
+            ],
+        );
+        assert_eq!(r.ranking, vec![1, 0], "ranking survives the NaN");
+        let a_energy = r.points[0]
+            .metrics
+            .iter()
+            .find(|(n, _)| n == "energy_j")
+            .map(|(_, s)| s)
+            .expect("metric present");
+        assert_eq!(a_energy.n, 1, "only the finite replica counts");
+        assert_eq!(a_energy.dropped, 1);
+        assert!(r.text().contains("dropped=1"), "{}", r.text());
+        assert!(
+            r.summary_csv().contains("energy_j,1,220,"),
+            "{}",
+            r.summary_csv()
+        );
+        assert!(r.runs_csv().contains("NaN"), "raw replicas keep the value");
     }
 
     #[test]

@@ -270,6 +270,7 @@ fn run_fleet(sc: &FleetScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
         cost: MigrationCostModel::gigabit_defaults(),
         epoch: SimDuration::from_secs_f64(sc.epoch_s),
         spare_hosts: sc.spare_hosts,
+        idle_fast_path: true,
     };
     let specs = fleet_population(sc, seed);
     let mut fleet = Fleet::build(cfg, &specs);

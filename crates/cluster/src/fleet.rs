@@ -72,6 +72,11 @@ pub struct FleetConfig {
     /// provisioning). They idle (and burn idle energy) until a VM
     /// arrives.
     pub spare_hosts: usize,
+    /// Whether hosts may use the hypervisor's idle-skip fast path and
+    /// [`Fleet::run_epochs`] may keep quiescent hosts off the worker
+    /// pool. Bit-identical either way; the switch exists for the
+    /// fast-vs-exact benchmarks and regression tests.
+    pub idle_fast_path: bool,
 }
 
 impl FleetConfig {
@@ -89,6 +94,7 @@ impl FleetConfig {
             cost: MigrationCostModel::gigabit_defaults(),
             epoch: SimDuration::from_secs(30),
             spare_hosts: 0,
+            idle_fast_path: true,
         }
     }
 
@@ -124,6 +130,13 @@ impl FleetConfig {
         self
     }
 
+    /// Enables or disables the idle-skip fast path (on by default).
+    #[must_use]
+    pub fn with_idle_fast_path(mut self, on: bool) -> Self {
+        self.idle_fast_path = on;
+        self
+    }
+
     /// Overrides the control-epoch length.
     ///
     /// # Panics
@@ -137,7 +150,8 @@ impl FleetConfig {
     }
 
     fn build_host(&self) -> Host {
-        let mut cfg = HostConfig::optiplex_defaults(self.scheduler);
+        let mut cfg =
+            HostConfig::optiplex_defaults(self.scheduler).with_idle_fast_path(self.idle_fast_path);
         if let Some(gov) = self.governor {
             cfg = cfg.with_governor(gov.build());
         }
@@ -319,7 +333,25 @@ impl Fleet {
     pub fn run_epochs(&mut self, epochs: usize, jobs: usize) {
         for _ in 0..epochs {
             let epoch = self.cfg.epoch;
-            exec::for_each_mut(jobs, &mut self.hosts, |_, host| host.run_for(epoch));
+            if self.cfg.idle_fast_path {
+                // Fully-idle hosts (spares, drained batch hosts) take
+                // the hypervisor's idle-skip path and cost next to
+                // nothing — advance them inline and spend the worker
+                // pool on the hosts that actually simulate work. Each
+                // host is independent, so the split cannot change
+                // results.
+                let mut busy: Vec<&mut Host> = Vec::new();
+                for host in &mut self.hosts {
+                    if host.is_quiescent() {
+                        host.run_for(epoch);
+                    } else {
+                        busy.push(host);
+                    }
+                }
+                exec::for_each_mut(jobs, &mut busy, |_, host| host.run_for(epoch));
+            } else {
+                exec::for_each_mut(jobs, &mut self.hosts, |_, host| host.run_for(epoch));
+            }
             self.elapsed += epoch;
 
             // Absolute (fmax-normalised) load, the same unit as the
@@ -358,7 +390,7 @@ impl Fleet {
                 .max_by(|&a, &b| {
                     let da = self.specs[a].demand_at(now_s);
                     let db = self.specs[b].demand_at(now_s);
-                    da.partial_cmp(&db).expect("finite demand").then(b.cmp(&a))
+                    f64::total_cmp(&da, &db).then(b.cmp(&a))
                 });
             let Some(vm_idx) = candidate else { continue };
             let spec_mem = self.specs[vm_idx].mem_gib;
@@ -379,10 +411,7 @@ impl Fleet {
                         && trigger.admissible(self.host_load[d], spec_credit)
                 })
                 .min_by(|&a, &b| {
-                    self.host_load[a]
-                        .partial_cmp(&self.host_load[b])
-                        .expect("finite load")
-                        .then(a.cmp(&b))
+                    f64::total_cmp(&self.host_load[a], &self.host_load[b]).then(a.cmp(&b))
                 });
             let Some(dst) = dst else { continue };
 
@@ -578,6 +607,38 @@ mod tests {
         fleet.run_epochs(6, 2);
         assert_eq!(fleet.migrations().len(), 0, "no phantom overload");
         assert!(fleet.totals().sla_ratio > 0.9);
+    }
+
+    #[test]
+    fn idle_fast_path_is_bit_exact_and_jobs_invariant() {
+        // Idle-heavy: one working host plus six quiescent spares. The
+        // fast path (quiescent hosts advanced inline via the
+        // hypervisor's idle skip) must match the slice-exact path bit
+        // for bit, at every job count.
+        let specs = lazy_fleet(4);
+        let run = |fast: bool, jobs: usize| {
+            let cfg = FleetConfig::performance_defaults()
+                .with_spares(6)
+                .with_idle_fast_path(fast);
+            let mut fleet = Fleet::build(cfg, &specs);
+            fleet.run_epochs(4, jobs);
+            (fleet.totals(), fleet.load_series().points().to_vec())
+        };
+        let (t_exact, s_exact) = run(false, 1);
+        for (fast, jobs) in [(true, 1), (true, 4), (false, 4)] {
+            let (t, s) = run(fast, jobs);
+            assert_eq!(
+                t.energy_j.to_bits(),
+                t_exact.energy_j.to_bits(),
+                "energy, fast={fast} jobs={jobs}"
+            );
+            assert_eq!(t.sla_ratio.to_bits(), t_exact.sla_ratio.to_bits());
+            assert_eq!(s.len(), s_exact.len());
+            for (a, b) in s.iter().zip(&s_exact) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "fast={fast} jobs={jobs}");
+            }
+        }
     }
 
     #[test]

@@ -204,12 +204,7 @@ impl PlacementPolicy {
     #[must_use]
     pub fn place(self, specs: &[VmSpec], capacity: HostCapacity) -> Placement {
         let mut order: Vec<usize> = (0..specs.len()).collect();
-        order.sort_by(|&a, &b| {
-            specs[b]
-                .mem_gib
-                .partial_cmp(&specs[a].mem_gib)
-                .expect("finite memory")
-        });
+        order.sort_by(|&a, &b| f64::total_cmp(&specs[b].mem_gib, &specs[a].mem_gib));
 
         // (mem_used, cpu_used, spec indices) per open host.
         let mut hosts: Vec<(f64, f64, Vec<usize>)> = Vec::new();
@@ -234,7 +229,7 @@ impl PlacementPolicy {
                             (capacity.mem_gib - h.0 - need_mem) / capacity.mem_gib
                                 + (capacity.cpu_frac - h.1 - need_cpu) / capacity.cpu_frac
                         };
-                        slack(a).partial_cmp(&slack(b)).expect("finite slack")
+                        f64::total_cmp(&slack(a), &slack(b))
                     }),
             };
             match target {

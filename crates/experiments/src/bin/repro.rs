@@ -6,6 +6,8 @@
 //! repro all [--quick] [--jobs N]      # run everything
 //! repro fig9 [--quick] [--out D]      # one experiment, optional artefacts
 //! repro campaign spec.json [--quick] [--jobs N] [--out D]
+//! repro bench [--quick] [--out D]     # perf baseline → BENCH_<date>.json
+//! repro bench-check BENCH_x.json      # validate an artefact's schema
 //! ```
 //!
 //! With `--out DIR`, each experiment writes `DIR/<id>.csv` (series)
@@ -35,6 +37,8 @@ struct Args {
 const USAGE: &str = "usage: repro <experiment>... [--quick] [--out DIR] [--jobs N]\n\
                             repro all [--quick] [--out DIR] [--jobs N]\n\
                             repro campaign <spec.json> [--quick] [--out DIR] [--jobs N]\n\
+                            repro bench [--quick] [--out DIR]\n\
+                            repro bench-check <BENCH_*.json>\n\
                             repro list\n";
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
@@ -174,6 +178,84 @@ fn run_campaign(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs `repro bench`: the fixed macro-benchmark suite from
+/// `pas_bench::harness`, a stdout table plus the idle-skip speedup,
+/// and `BENCH_<date>.json` written to `--out DIR` (default: the
+/// current directory, conventionally the repo root).
+fn run_bench(args: &Args) -> ExitCode {
+    if args.names.len() > 1 {
+        eprintln!("error: `repro bench` takes no positional arguments");
+        return ExitCode::FAILURE;
+    }
+    let quick = args.fidelity == Fidelity::Quick;
+    let report = pas_bench::harness::run_suite(quick);
+    print!("{}", report.table());
+    // The suite runs the same idle-heavy fleet with the idle-skip
+    // fast path on and off; surface that A/B directly.
+    let median_of = |name: &str| {
+        report
+            .benchmarks
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.median_ms)
+    };
+    if let (Some(skip), Some(exact)) = (
+        median_of("fleet_idle_heavy_skip"),
+        median_of("fleet_idle_heavy_exact"),
+    ) {
+        if skip > 0.0 {
+            println!(
+                "idle-skip fast path on the idle-heavy fleet: \
+                 {exact:.2} ms -> {skip:.2} ms ({:.2}x)",
+                exact / skip
+            );
+        }
+    }
+    let json = report.to_json();
+    if let Err(e) = pas_bench::harness::validate(&json) {
+        eprintln!("error: emitted report fails its own schema: {e}");
+        return ExitCode::FAILURE;
+    }
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    let path = dir.join(report.file_name());
+    if let Err(e) = metrics::export::write_artifact(&path, &json) {
+        eprintln!("failed to write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", path.display());
+    ExitCode::SUCCESS
+}
+
+/// Runs `repro bench-check <file>`: validates an emitted artefact
+/// against the `pas-repro-bench/v1` schema (the CI gate).
+fn run_bench_check(args: &Args) -> ExitCode {
+    let paths = &args.names[1..];
+    let [path] = paths else {
+        eprintln!(
+            "error: `repro bench-check` takes exactly one BENCH_*.json file, got {}",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match pas_bench::harness::validate(&text) {
+        Ok(()) => {
+            println!("{path}: valid {}", pas_bench::harness::SCHEMA);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -183,8 +265,11 @@ fn main() -> ExitCode {
         }
     };
 
-    if args.names.first().map(String::as_str) == Some("campaign") {
-        return run_campaign(&args);
+    match args.names.first().map(String::as_str) {
+        Some("campaign") => return run_campaign(&args),
+        Some("bench") => return run_bench(&args),
+        Some("bench-check") => return run_bench_check(&args),
+        _ => {}
     }
 
     let mut to_run: Vec<String> = Vec::new();
@@ -308,5 +393,19 @@ mod tests {
     fn empty_invocation_asks_for_help() {
         let a = parse(&[]).unwrap();
         assert_eq!(a.names, vec!["help"]);
+    }
+
+    #[test]
+    fn bench_subcommand_parses_with_quick_and_out() {
+        let a = parse(&["bench", "--quick", "--out", "artefacts"]).unwrap();
+        assert_eq!(a.names, vec!["bench"]);
+        assert_eq!(a.fidelity, Fidelity::Quick);
+        assert_eq!(a.out, Some(PathBuf::from("artefacts")));
+    }
+
+    #[test]
+    fn bench_check_takes_a_file_argument() {
+        let a = parse(&["bench-check", "BENCH_2026-08-07.json"]).unwrap();
+        assert_eq!(a.names, vec!["bench-check", "BENCH_2026-08-07.json"]);
     }
 }

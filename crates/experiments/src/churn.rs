@@ -95,7 +95,7 @@ fn run_config(
         events.push((t.arrive_s, Ev::Arrive(i)));
         events.push((t.depart_s, Ev::Depart(i)));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    events.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
 
     let mut vm_of_tenant: Vec<Option<VmId>> = vec![None; tenants.len()];
     for (at, ev) in events {

@@ -64,6 +64,11 @@ pub struct HostConfig {
     /// PAS planner headroom override, percent (ablation; the paper's
     /// Listing 1.1 uses none). Ignored for other schedulers.
     pub pas_headroom_pct: Option<f64>,
+    /// Whether [`Host::run_until`] may jump quiescent hosts straight
+    /// to the next period boundary (see [`Host::is_quiescent`]). The
+    /// jump is bit-identical to the slice-exact path; the switch
+    /// exists so tests and benchmarks can compare the two.
+    pub idle_fast_path: bool,
 }
 
 impl HostConfig {
@@ -81,7 +86,15 @@ impl HostConfig {
             sample_period: SimDuration::from_secs(10),
             pas_smoothing_window: None,
             pas_headroom_pct: None,
+            idle_fast_path: true,
         }
+    }
+
+    /// Enables or disables the idle-skip fast path (on by default).
+    #[must_use]
+    pub fn with_idle_fast_path(mut self, on: bool) -> Self {
+        self.idle_fast_path = on;
+        self
     }
 
     /// Overrides PAS's load-smoothing window (the paper's footnote 5
@@ -176,6 +189,7 @@ impl HostConfig {
             next_acct: SimTime::ZERO + acct_period,
             next_gov: SimTime::ZERO + gov_period,
             next_sample: SimTime::ZERO + self.sample_period,
+            idle_fast_path: self.idle_fast_path,
         }
     }
 }
@@ -227,6 +241,7 @@ pub struct Host {
     next_acct: SimTime,
     next_gov: SimTime,
     next_sample: SimTime,
+    idle_fast_path: bool,
 }
 
 impl Host {
@@ -385,13 +400,42 @@ impl Host {
         self.run_until(end);
     }
 
+    /// `true` when no VM can ever execute work again: none is runnable
+    /// and every demand source is exhausted (see
+    /// [`WorkSource::demand_exhausted`]). Quiescence is absorbing —
+    /// only [`Host::add_vm`] / [`Host::admit_vm`] can end it.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.vms
+            .iter()
+            .all(|vm| !vm.is_runnable() && vm.work.demand_exhausted())
+    }
+
     /// Runs the simulation until the absolute instant `t_end`.
     pub fn run_until(&mut self, t_end: SimTime) {
         while self.now < t_end {
             self.handle_boundaries();
             let boundary = self.next_boundary(t_end);
-            debug_assert!(boundary > self.now, "boundary must advance");
-            self.advance_one_slice(boundary);
+            // A real assert, not a debug_assert: a non-advancing
+            // boundary (a zero-length period, say) would otherwise be
+            // an infinite loop in exactly the --release builds the
+            // benchmarks run.
+            assert!(boundary > self.now, "boundary must advance");
+            if self.idle_fast_path && self.is_quiescent() {
+                // Idle-skip fast path: a quiescent host produces no VM
+                // activity before the next boundary, so the per-slice
+                // machinery (runnable scan, scheduler pick, per-VM
+                // refill) is all no-ops. The only observable effect of
+                // the gap is idle energy accounting — and the exact
+                // path covers an empty gap with a single slice, so one
+                // `account` call here is bit-identical, not just
+                // approximately equal. Boundaries (accounting,
+                // governor, snapshots) still fire one by one above.
+                self.cpu.account(0.0, boundary - self.now);
+                self.now = boundary;
+            } else {
+                self.advance_one_slice(boundary);
+            }
         }
         self.handle_boundaries();
         self.stats.set_elapsed(self.now);
@@ -399,18 +443,27 @@ impl Host {
 
     /// Runs until the given VM's workload reports completion, up to
     /// `limit`. Returns the completion instant if reached.
+    ///
+    /// Completion is detected at *slice* granularity: a slice ends
+    /// exactly when the backlog drains, so the returned instant is the
+    /// true completion time, not rounded up to the next accounting
+    /// boundary. The host stops at that instant.
     pub fn run_until_vm_finished(&mut self, id: VmId, limit: SimTime) -> Option<SimTime> {
-        while self.now < limit {
+        loop {
             if self.vms[id.0].work.is_finished() && !self.vms[id.0].is_runnable() {
+                self.handle_boundaries();
+                self.stats.set_elapsed(self.now);
                 return Some(self.now);
             }
-            let step_end = (self.now + self.acct_period).min(limit);
-            self.run_until(step_end);
-        }
-        if self.vms[id.0].work.is_finished() && !self.vms[id.0].is_runnable() {
-            Some(self.now)
-        } else {
-            None
+            if self.now >= limit {
+                self.handle_boundaries();
+                self.stats.set_elapsed(self.now);
+                return None;
+            }
+            self.handle_boundaries();
+            let boundary = self.next_boundary(limit);
+            assert!(boundary > self.now, "boundary must advance");
+            self.advance_one_slice(boundary);
         }
     }
 
@@ -692,5 +745,68 @@ mod tests {
         let done = host.run_until_vm_finished(VmId(0), SimTime::from_secs(100));
         let t = done.expect("finished").as_secs_f64();
         assert!((t - 20.0).abs() < 0.5, "finished at {t}");
+    }
+
+    #[test]
+    fn completion_instant_is_slice_exact_not_acct_quantized() {
+        // 0.5 s of fmax work in a 50% VM: 15 ms of service per 30 ms
+        // accounting period, starting one period late (credit arrives
+        // at the first accounting boundary), so the drain finishes
+        // mid-period at t = 0.03 + 33 × 0.03 + 0.005 = 1.025 s —
+        // strictly between the 1.02 and 1.05 boundaries. The
+        // acct-granularity poll this regression pins down used to
+        // round completion up to the next boundary.
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        let total = 0.5 * host.fmax_mcps();
+        host.add_vm(
+            VmConfig::new("batch", Credit::percent(50.0)),
+            Box::new(crate::work::test_batch(total)),
+        );
+        let done = host.run_until_vm_finished(VmId(0), SimTime::from_secs(10));
+        let t = done.expect("finished").as_secs_f64();
+        assert!(
+            (t - 1.025).abs() < 1e-4,
+            "exact completion instant, got {t}"
+        );
+        assert_eq!(host.now().as_secs_f64(), t, "host stops at completion");
+    }
+
+    /// The idle-skip fast path must be *bit-identical* to the
+    /// slice-exact path, not merely close: energy accounting, loads
+    /// and snapshots all agree to the last bit on a host that turns
+    /// quiescent mid-run.
+    #[test]
+    fn idle_fast_path_is_bit_exact() {
+        let run = |fast: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+                .with_governor(Box::new(StableOndemand::new()))
+                .with_idle_fast_path(fast)
+                .build();
+            let total = 5.0 * host.fmax_mcps();
+            host.add_vm(
+                VmConfig::new("batch", Credit::percent(50.0)),
+                Box::new(crate::work::test_batch(total)),
+            );
+            host.add_vm(
+                VmConfig::new("spare", Credit::percent(20.0)),
+                Box::new(crate::work::Idle),
+            );
+            // ~10 s busy, then ~50 s quiescent.
+            host.run_for(SimDuration::from_secs(60));
+            host
+        };
+        let fast = run(true);
+        let exact = run(false);
+        assert!(fast.is_quiescent() && exact.is_quiescent());
+        assert_eq!(
+            fast.cpu().energy().joules().to_bits(),
+            exact.cpu().energy().joules().to_bits(),
+            "energy must agree bit-for-bit"
+        );
+        assert_eq!(
+            fast.stats().global_busy_fraction().to_bits(),
+            exact.stats().global_busy_fraction().to_bits()
+        );
+        assert_eq!(fast.stats().snapshots(), exact.stats().snapshots());
     }
 }

@@ -74,6 +74,14 @@ pub trait WorkSource: Send {
     /// tail still deserves the CPU: ongoing fluid sources wait until a
     /// request's worth of demand accumulates, but an exhausted batch
     /// source must drain its tail exactly or it would never complete.
+    ///
+    /// **Contract:** exhaustion is *absorbing and pure*. Once this
+    /// returns `true`, every later [`generate`](Self::generate) call
+    /// must return `0.0` with no observable state change, and
+    /// `demand_exhausted` must keep returning `true`. The host's
+    /// idle-skip fast path relies on this to elide `generate` calls on
+    /// quiescent hosts without changing results (see
+    /// `Host::is_quiescent`).
     fn demand_exhausted(&self) -> bool {
         self.is_finished()
     }
@@ -131,6 +139,12 @@ impl WorkSource for ConstantDemand {
 
     fn generate(&mut self, _now: SimTime, dt: SimDuration) -> f64 {
         self.rate_mcps * dt.as_secs_f64()
+    }
+
+    fn demand_exhausted(&self) -> bool {
+        // A zero-rate source will never produce demand, so a host
+        // carrying only such VMs counts as quiescent.
+        self.rate_mcps == 0.0
     }
 }
 
@@ -251,6 +265,8 @@ mod tests {
     fn zero_rate_is_idle_like() {
         let mut d = ConstantDemand::new(0.0);
         assert_eq!(d.generate(SimTime::ZERO, SimDuration::from_secs(10)), 0.0);
+        assert!(d.demand_exhausted(), "zero rate counts as exhausted");
+        assert!(!ConstantDemand::new(5.0).demand_exhausted());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub fn to_csv(series: &[&TimeSeries]) -> String {
         .iter()
         .flat_map(|s| s.points().iter().map(|p| p.0))
         .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times.sort_by(f64::total_cmp);
     times.dedup();
 
     let mut out = String::new();

@@ -22,6 +22,7 @@
 pub struct Samples {
     values: Vec<f64>,
     sorted: bool,
+    dropped: usize,
 }
 
 impl Samples {
@@ -33,11 +34,15 @@ impl Samples {
 
     /// Adds one sample.
     ///
-    /// # Panics
-    ///
-    /// Panics if `value` is not finite.
+    /// Non-finite values (NaN, ±∞) are **dropped, not stored**: one
+    /// poisoned sample must not panic a whole campaign mid-run. Drops
+    /// are counted ([`Samples::dropped`]) and surfaced by
+    /// [`Samples::summary`] so they never pass silently.
     pub fn add(&mut self, value: f64) {
-        assert!(value.is_finite(), "non-finite sample {value}");
+        if !value.is_finite() {
+            self.dropped += 1;
+            return;
+        }
         self.values.push(value);
         self.sorted = false;
     }
@@ -46,6 +51,12 @@ impl Samples {
     #[must_use]
     pub fn len(&self) -> usize {
         self.values.len()
+    }
+
+    /// Number of non-finite values rejected by [`Samples::add`].
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
     }
 
     /// `true` when no samples have been added.
@@ -94,8 +105,7 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -130,9 +140,11 @@ impl Samples {
         Some(self.values[lo] + (self.values[hi] - self.values[lo]) * frac)
     }
 
-    /// Renders a compact textual summary (`n / mean / p50 / p95 / max`).
+    /// Renders a compact textual summary (`n / mean / p50 / p95 / max`),
+    /// with a trailing `dropped=k` whenever non-finite values were
+    /// rejected.
     pub fn summary(&mut self) -> String {
-        match (
+        let mut text = match (
             self.mean(),
             self.percentile(50.0),
             self.percentile(95.0),
@@ -143,7 +155,11 @@ impl Samples {
                 self.len()
             ),
             _ => String::from("n=0"),
+        };
+        if self.dropped > 0 {
+            text.push_str(&format!(" dropped={}", self.dropped));
         }
+        text
     }
 }
 
@@ -210,9 +226,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-finite sample")]
-    fn nan_rejected() {
-        Samples::new().add(f64::NAN);
+    fn non_finite_dropped_and_counted() {
+        let mut s = Samples::new();
+        s.add(f64::NAN);
+        s.add(f64::INFINITY);
+        s.add(f64::NEG_INFINITY);
+        assert!(s.is_empty(), "non-finite values are not stored");
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.summary(), "n=0 dropped=3");
+        s.add(2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.percentile(50.0), Some(2.0));
+        assert!(s.summary().ends_with("dropped=3"), "{}", s.summary());
     }
 
     #[test]

@@ -31,7 +31,7 @@ impl TimeSeries {
     /// Builds a series from points, sorting them by time.
     #[must_use]
     pub fn from_points(name: impl Into<String>, mut points: Vec<(f64, f64)>) -> Self {
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        points.sort_by(|a, b| f64::total_cmp(&a.0, &b.0));
         TimeSeries {
             name: name.into(),
             points,

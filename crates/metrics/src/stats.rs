@@ -33,6 +33,9 @@ pub struct Summary {
     pub min: f64,
     /// Largest replica.
     pub max: f64,
+    /// Non-finite replicas excluded from the reduction (see
+    /// [`summarize`]).
+    pub dropped: usize,
 }
 
 /// Two-sided 95% Student-t critical value for `df` degrees of freedom.
@@ -60,7 +63,12 @@ pub fn student_t95(df: usize) -> f64 {
     }
 }
 
-/// Reduces replicated samples to a [`Summary`] (`None` when empty).
+/// Reduces replicated samples to a [`Summary`] (`None` when no finite
+/// value remains).
+///
+/// Non-finite replicas (a NaN latency from a degenerate run, say) are
+/// excluded from every statistic rather than poisoning the reduction;
+/// the count of exclusions is reported in [`Summary::dropped`].
 ///
 /// # Example
 ///
@@ -73,16 +81,19 @@ pub fn student_t95(df: usize) -> f64 {
 /// // t(df=2) = 4.303: the CI is wide with three replicas.
 /// assert!((s.ci95_half - 4.303 * 2.0 / 3f64.sqrt()).abs() < 1e-9);
 /// assert_eq!(s.p50, 12.0);
+/// assert_eq!(s.dropped, 0);
 /// ```
 #[must_use]
 pub fn summarize(values: &[f64]) -> Option<Summary> {
-    if values.is_empty() {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let dropped = values.len() - finite.len();
+    if finite.is_empty() {
         return None;
     }
-    let n = values.len();
-    let mean = values.iter().sum::<f64>() / n as f64;
+    let n = finite.len();
+    let mean = finite.iter().sum::<f64>() / n as f64;
     let stddev = if n > 1 {
-        let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let ss: f64 = finite.iter().map(|v| (v - mean) * (v - mean)).sum();
         (ss / (n - 1) as f64).sqrt()
     } else {
         0.0
@@ -92,7 +103,7 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
     } else {
         0.0
     };
-    let mut samples: Samples = values.iter().copied().collect();
+    let mut samples: Samples = finite.iter().copied().collect();
     Some(Summary {
         n,
         mean,
@@ -103,6 +114,7 @@ pub fn summarize(values: &[f64]) -> Option<Summary> {
         p99: samples.percentile_interpolated(99.0).expect("non-empty"),
         min: samples.min().expect("non-empty"),
         max: samples.max().expect("non-empty"),
+        dropped,
     })
 }
 
@@ -113,6 +125,18 @@ mod tests {
     #[test]
     fn empty_is_none() {
         assert_eq!(summarize(&[]), None);
+    }
+
+    #[test]
+    fn non_finite_replicas_are_dropped_not_fatal() {
+        let s = summarize(&[10.0, f64::NAN, 14.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.mean, 12.0);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 14.0);
+        // All-poisoned input reduces to nothing rather than panicking.
+        assert_eq!(summarize(&[f64::NAN, f64::NEG_INFINITY]), None);
     }
 
     #[test]

@@ -104,6 +104,80 @@ proptest! {
         }
     }
 
+    /// Degenerate inputs: on an all-equal sample (including n = 1),
+    /// the snap and interpolated percentile estimators agree exactly
+    /// with each other and with the sample value, for every `p`.
+    #[test]
+    fn percentile_estimators_agree_on_degenerate_inputs(
+        v in -1e6f64..1e6,
+        n in 1usize..20,
+        p in 0.0f64..100.0,
+    ) {
+        let mut h = Samples::new();
+        for _ in 0..n {
+            h.add(v);
+        }
+        let snap = h.percentile(p).expect("non-empty");
+        let interp = h.percentile_interpolated(p).expect("non-empty");
+        prop_assert_eq!(snap.to_bits(), interp.to_bits());
+        prop_assert_eq!(snap.to_bits(), v.to_bits());
+    }
+
+    /// Non-finite pushes never panic and never poison the estimators:
+    /// with NaN/±inf interleaved among finite samples, both percentile
+    /// variants return bit-identical results to the finite subset
+    /// alone, and every rejected push is counted.
+    #[test]
+    fn non_finite_pushes_never_panic_or_poison(
+        vals in values(),
+        junk in proptest::collection::vec(
+            (0u8..3).prop_map(|i| match i {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            }),
+            0..10,
+        ),
+        p in 0.0f64..100.0,
+    ) {
+        let mut clean = Samples::new();
+        let mut mixed = Samples::new();
+        for (i, &v) in vals.iter().enumerate() {
+            clean.add(v);
+            mixed.add(v);
+            if let Some(&j) = junk.get(i) {
+                mixed.add(j);
+            }
+        }
+        for &j in junk.iter().skip(vals.len()) {
+            mixed.add(j);
+        }
+        prop_assert_eq!(mixed.dropped(), junk.len());
+        prop_assert_eq!(clean.dropped(), 0);
+        let (a, b) = (clean.percentile(p), mixed.percentile(p));
+        prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+        let (ai, bi) = (
+            clean.percentile_interpolated(p),
+            mixed.percentile_interpolated(p),
+        );
+        prop_assert_eq!(ai.map(f64::to_bits), bi.map(f64::to_bits));
+    }
+
+    /// The interpolated estimator stays bracketed by min/max and hits
+    /// them exactly at p = 0 and p = 100.
+    #[test]
+    fn interpolated_percentile_is_bracketed(vals in values(), p in 0.0f64..100.0) {
+        let mut h = Samples::new();
+        for &v in &vals {
+            h.add(v);
+        }
+        let q = h.percentile_interpolated(p).expect("non-empty");
+        let (min, max) = (h.min().expect("non-empty"), h.max().expect("non-empty"));
+        prop_assert!(min <= q && q <= max, "p{p}: {q} outside [{min}, {max}]");
+        prop_assert_eq!(h.percentile_interpolated(0.0).expect("non-empty").to_bits(), min.to_bits());
+        prop_assert_eq!(h.percentile_interpolated(100.0).expect("non-empty").to_bits(), max.to_bits());
+    }
+
     /// Degradation: OnDemand equal to Performance is 0%; doubling the
     /// time is 50% in the paper's convention (Table 2's formula).
     #[test]

@@ -189,6 +189,49 @@ fn campaigns_are_byte_identical_across_job_counts() {
     assert_eq!(ja.as_bytes(), jb.as_bytes());
 }
 
+/// The idle-skip fast path is a wall-clock optimisation only: on an
+/// idle-heavy fleet (most VMs quiescent from the first epoch) the
+/// exported CSV artefact and the fleet totals must be byte-identical
+/// with the fast path on and off, serial and parallel. This is the
+/// top-level guarantee behind `fleet_idle_heavy_{skip,exact}` in
+/// `repro bench` reporting a speedup without changing any result.
+#[test]
+fn idle_skip_fleet_artifacts_are_byte_identical() {
+    use pas_repro::cluster::{Fleet, FleetConfig, VmSpec};
+    use pas_repro::metrics::export;
+
+    let mut specs = vec![
+        VmSpec::new("busy0", 4.0, 0.30),
+        VmSpec::new("busy1", 4.0, 0.30),
+    ];
+    specs.extend((0..14).map(|i| VmSpec::new(format!("idle{i}"), 4.0, 0.0).with_credit_frac(0.15)));
+    let run = |fast: bool, jobs: usize| {
+        let mut fleet = Fleet::build(
+            FleetConfig::performance_defaults().with_idle_fast_path(fast),
+            &specs,
+        );
+        fleet.run_epochs(6, jobs);
+        let totals = fleet.totals();
+        (
+            totals.energy_j.to_bits(),
+            export::to_csv(&[fleet.load_series()]),
+        )
+    };
+    let (energy_exact, csv_exact) = run(false, 1);
+    for (fast, jobs) in [(true, 1), (true, 4), (false, 4)] {
+        let (energy, csv) = run(fast, jobs);
+        assert_eq!(
+            energy, energy_exact,
+            "energy must be bit-identical (fast={fast}, jobs={jobs})"
+        );
+        assert_eq!(
+            csv.as_bytes(),
+            csv_exact.as_bytes(),
+            "load-series CSV must be byte-identical (fast={fast}, jobs={jobs})"
+        );
+    }
+}
+
 /// Regression for the workspace bootstrap: two runs of the quickstart
 /// scenario with the same simkernel seed must produce byte-identical
 /// CSV and JSON metric exports.
