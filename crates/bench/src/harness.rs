@@ -336,6 +336,25 @@ fn fleet_idle_heavy(quick: bool, fast: bool) {
     assert!(fleet.totals().energy_j > 0.0);
 }
 
+/// A datacenter-scale fleet pass: a `hosts`-host population (four VMs
+/// per Optiplex host), 16 shard controllers, and short 10 s control
+/// epochs so a repetition stays affordable. `bounded` selects the
+/// streaming-sketch statistics path (`with_bounded_stats`) or the
+/// store-all baseline it is measured against. The suite runs the
+/// sketch variants *before* the store-all one: `rss_peak_kb` is a
+/// process high-water mark, so that order makes "store-all RSS above
+/// sketch RSS" directly readable off the artefact.
+fn fleet_scale(hosts: usize, quick: bool, bounded: bool) {
+    let specs = fleet_population(hosts * 4);
+    let cfg = FleetConfig::pas_defaults()
+        .with_epoch(SimDuration::from_secs(10))
+        .with_sharding(cluster::ShardConfig::new(16))
+        .with_bounded_stats(bounded);
+    let mut fleet = Fleet::build(cfg, &specs);
+    fleet.run_epochs(if quick { 1 } else { 2 }, 4);
+    assert!(fleet.totals().energy_j > 0.0);
+}
+
 /// One small campaign sweep: scheduler × credit, three seeds.
 fn campaign_sweep() {
     let spec = CampaignSpec::from_json(
@@ -385,6 +404,18 @@ pub fn suite(quick: bool) -> Vec<Benchmark> {
         }),
         Benchmark::new("fleet_idle_heavy_exact", "fleet", move || {
             fleet_idle_heavy(quick, false);
+        }),
+        // Datacenter scale: wall-clock + RSS at 1k and 10k hosts.
+        // Sketch variants first — see `fleet_scale` on why order
+        // matters for the RSS reading.
+        Benchmark::new("fleet_scale_1k_sketch", "fleet_scale", move || {
+            fleet_scale(1_000, quick, true);
+        }),
+        Benchmark::new("fleet_scale_10k_sketch", "fleet_scale", move || {
+            fleet_scale(10_000, quick, true);
+        }),
+        Benchmark::new("fleet_scale_10k_storeall", "fleet_scale", move || {
+            fleet_scale(10_000, quick, false);
         }),
     ]
 }

@@ -271,6 +271,13 @@ fn run_fleet(sc: &FleetScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
         epoch: SimDuration::from_secs_f64(sc.epoch_s),
         spare_hosts: sc.spare_hosts,
         idle_fast_path: true,
+        sharding: sc.shards.map(cluster::ShardConfig::new),
+        // Campaigns only consume scalar reductions, so every fleet
+        // run takes the bounded-statistics path: mean load from the
+        // running sum, the load distribution from the mergeable
+        // sketch, no per-epoch series or per-host snapshot retention
+        // — memory stays O(sketch) at any population.
+        bounded_stats: true,
     };
     let specs = fleet_population(sc, seed);
     let mut fleet = Fleet::build(cfg, &specs);
@@ -278,13 +285,7 @@ fn run_fleet(sc: &FleetScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
     // replicas and design points, which is both simpler and fuller.
     fleet.run_epochs(epochs, 1);
     let totals = fleet.totals();
-
-    let load = fleet.load_series();
-    let mean_load = if load.is_empty() {
-        0.0
-    } else {
-        load.points().iter().map(|p| p.1).sum::<f64>() / load.len() as f64
-    };
+    let sketch = fleet.load_sketch();
 
     vec![
         ("energy_j".to_owned(), totals.energy_j),
@@ -297,7 +298,17 @@ fn run_fleet(sc: &FleetScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
         ("migration_count".to_owned(), totals.migration_count as f64),
         ("downtime_s".to_owned(), totals.downtime_s),
         ("host_count".to_owned(), fleet.host_count() as f64),
-        ("mean_load_pct".to_owned(), mean_load),
+        ("mean_load_pct".to_owned(), fleet.mean_load_pct()),
+        // Tail percentiles of the per-host-epoch load distribution,
+        // from the sketch (within its documented 1% relative error).
+        (
+            "load_p95_pct".to_owned(),
+            sketch.percentile(95.0).unwrap_or(0.0),
+        ),
+        (
+            "load_p99_pct".to_owned(),
+            sketch.percentile(99.0).unwrap_or(0.0),
+        ),
     ]
 }
 
@@ -425,6 +436,7 @@ mod tests {
             }),
             epoch_s: 30.0,
             spare_hosts: 0,
+            shards: None,
         });
         let a = run_point(&point(sc.clone()), 1, true);
         let get = |k: &str| a.scalars.iter().find(|(n, _)| n == k).unwrap().1;

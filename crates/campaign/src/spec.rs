@@ -682,6 +682,12 @@ pub struct FleetScenario {
     pub epoch_s: f64,
     /// Empty spare hosts provisioned for the migration controller.
     pub spare_hosts: usize,
+    /// Sharded placement: the number of per-zone shard controllers
+    /// (see `cluster::shard`). `None` keeps the global single-pass
+    /// controller. The count is pure worker partitioning — results
+    /// are identical at any value — which is why it is sweepable: the
+    /// sweep pins the invariance, not a behaviour change.
+    pub shards: Option<usize>,
 }
 
 /// Migration watermarks, percent of one host's fmax capacity.
@@ -793,6 +799,7 @@ impl ScenarioSpec {
                         "migration",
                         "epoch_s",
                         "spare_hosts",
+                        "shards",
                     ],
                     what,
                 )?;
@@ -853,6 +860,10 @@ impl ScenarioSpec {
                         Some(v) => usize_of(v, "scenario.spare_hosts")?,
                         None => 0,
                     },
+                    shards: match get(m, "shards") {
+                        None | Some(Value::Null) => None,
+                        Some(v) => Some(usize_of(v, "scenario.shards")?),
+                    },
                 }))
             }
             other => Err(DeError(format!(
@@ -904,6 +915,10 @@ impl ScenarioSpec {
                 ),
                 entry("epoch_s", Value::Num(f.epoch_s)),
                 entry("spare_hosts", Value::Num(f.spare_hosts as f64)),
+                entry(
+                    "shards",
+                    f.shards.map_or(Value::Null, |s| Value::Num(s as f64)),
+                ),
             ]),
         }
     }
@@ -989,6 +1004,14 @@ impl ScenarioSpec {
                     f.epoch_s.is_finite() && f.epoch_s > 0.0,
                     format!("scenario.epoch_s must be positive, got {}", f.epoch_s),
                 )?;
+                if let Some(s) = f.shards {
+                    check(
+                        s >= 1,
+                        "scenario.shards must be at least 1 (or null for the \
+                         global controller)"
+                            .to_owned(),
+                    )?;
+                }
                 if let Some(g) = f.governor {
                     if f.scheduler != SchedulerSpec::Pas {
                         g.fleet().map(|_| ())?;

@@ -24,6 +24,7 @@
 //! | `migration_high_pct` | percent (implies migration on) | fleet |
 //! | `migration_target_pct` | percent (implies migration on) | fleet |
 //! | `spare_hosts` | host count | fleet |
+//! | `shards` | shard-controller count (`"off"` for the global pass) | fleet |
 
 use crate::spec::{
     AxisValue, CampaignError, CampaignSpec, GovernorSpec, MachinePreset, MigrationSpec,
@@ -32,7 +33,7 @@ use crate::spec::{
 
 /// The supported sweep parameters (`<vm>` is a VM name from the
 /// scenario), for error messages.
-pub const PARAMS: [&str; 12] = [
+pub const PARAMS: [&str; 13] = [
     "scheduler",
     "governor",
     "duration_s",
@@ -45,6 +46,7 @@ pub const PARAMS: [&str; 12] = [
     "migration_high_pct",
     "migration_target_pct",
     "spare_hosts",
+    "shards",
 ];
 
 /// One concrete design point of a campaign.
@@ -304,6 +306,21 @@ fn apply(scenario: &mut ScenarioSpec, param: &str, value: &AxisValue) -> Result<
                 "sweep axis `spare_hosts` only applies to fleet scenarios".to_owned(),
             )),
         },
+        "shards" => match scenario {
+            ScenarioSpec::Fleet(f) => {
+                // Accept `"off"` (the global controller) or a count —
+                // so a sweep can pin shard-count invariance against
+                // the unsharded baseline in one campaign.
+                match value {
+                    AxisValue::Str(s) if s == "off" => f.shards = None,
+                    _ => f.shards = Some(want_count(param, value)?),
+                }
+                Ok(())
+            }
+            ScenarioSpec::Host(_) => Err(CampaignError(
+                "sweep axis `shards` only applies to fleet scenarios".to_owned(),
+            )),
+        },
         other => {
             if let Some(vm_name) = other.strip_prefix("credit_pct:") {
                 return with_host_vm(scenario, param, vm_name, |vm| {
@@ -394,6 +411,7 @@ mod tests {
             migration: None,
             epoch_s: 30.0,
             spare_hosts: 0,
+            shards: None,
         })
     }
 

@@ -117,6 +117,13 @@ fn fleet_scenario() -> impl Strategy<Value = ScenarioSpec> {
                     },
                     epoch_s: 30.0,
                     spare_hosts,
+                    // Exercise both the sharded and the global
+                    // controller paths without a fresh strategy input.
+                    shards: if size % 2 == 0 {
+                        Some(1 + size / 8)
+                    } else {
+                        None
+                    },
                 })
             },
         )

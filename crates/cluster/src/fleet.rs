@@ -17,6 +17,7 @@ use governors::{Governor, Ondemand, Performance, StableOndemand};
 use hypervisor::host::{Host, HostConfig, SchedulerKind};
 use hypervisor::vm::{VmConfig, VmId};
 use hypervisor::work::{ConstantDemand, WorkSource};
+use metrics::sketch::{Sketch, DEFAULT_ALPHA};
 use metrics::TimeSeries;
 use pas_core::Credit;
 use simkernel::{SimDuration, SimTime};
@@ -24,6 +25,7 @@ use simkernel::{SimDuration, SimTime};
 use crate::exec;
 use crate::migration::{MigrationCostModel, MigrationRecord, MigrationTrigger};
 use crate::placement::{HostCapacity, Placement, PlacementPolicy, VmSpec};
+use crate::shard::{self, ShardConfig};
 
 /// Which DVFS governor every fleet host runs (a plain enum rather than
 /// a boxed trait object so one config can build any number of hosts).
@@ -77,6 +79,19 @@ pub struct FleetConfig {
     /// pool. Bit-identical either way; the switch exists for the
     /// fast-vs-exact benchmarks and regression tests.
     pub idle_fast_path: bool,
+    /// Sharded placement (see [`crate::shard`]): `None` keeps the
+    /// global single-controller pass. The shard *count* inside the
+    /// config is pure worker partitioning — it never changes the
+    /// placement — so this is safe to vary with the machine.
+    pub sharding: Option<ShardConfig>,
+    /// Bounded-memory statistics for datacenter-scale runs: the
+    /// per-epoch [`Fleet::load_series`] is not recorded (the mean and
+    /// the per-host-epoch distribution stay available through
+    /// [`Fleet::mean_load_pct`] and [`Fleet::load_sketch`]), and hosts
+    /// retain no periodic snapshots — so retained state stops scaling
+    /// with epoch count and host population. Off by default; scale
+    /// campaigns and benches turn it on.
+    pub bounded_stats: bool,
 }
 
 impl FleetConfig {
@@ -95,6 +110,8 @@ impl FleetConfig {
             epoch: SimDuration::from_secs(30),
             spare_hosts: 0,
             idle_fast_path: true,
+            sharding: None,
+            bounded_stats: false,
         }
     }
 
@@ -137,6 +154,20 @@ impl FleetConfig {
         self
     }
 
+    /// Enables sharded placement (see [`crate::shard`]).
+    #[must_use]
+    pub fn with_sharding(mut self, sharding: ShardConfig) -> Self {
+        self.sharding = Some(sharding);
+        self
+    }
+
+    /// Enables or disables bounded-memory statistics (off by default).
+    #[must_use]
+    pub fn with_bounded_stats(mut self, on: bool) -> Self {
+        self.bounded_stats = on;
+        self
+    }
+
     /// Overrides the control-epoch length.
     ///
     /// # Panics
@@ -152,6 +183,12 @@ impl FleetConfig {
     fn build_host(&self) -> Host {
         let mut cfg =
             HostConfig::optiplex_defaults(self.scheduler).with_idle_fast_path(self.idle_fast_path);
+        if self.bounded_stats {
+            // Push the snapshot boundary past any realistic run so
+            // hosts retain no periodic snapshots: per-host state stays
+            // O(1) in both epoch count and wall-clock.
+            cfg = cfg.with_sample_period(SimDuration::from_secs(86_400 * 365));
+        }
         if let Some(gov) = self.governor {
             cfg = cfg.with_governor(gov.build());
         }
@@ -217,10 +254,26 @@ pub struct Fleet {
     credit_booked: Vec<f64>,
     /// Absolute (fmax-fraction) load per host over the last epoch —
     /// the unit the specs' demand and credit fractions are in.
+    /// Reused across epochs (cleared, never reallocated).
     host_load: Vec<f64>,
+    /// Spec indices currently resident per host — the incremental
+    /// index the controller scans instead of the whole spec list.
+    resident: Vec<Vec<usize>>,
+    /// Each host's cumulative energy at the last epoch boundary, so
+    /// the epoch pass books per-epoch *deltas*.
+    host_energy_prev: Vec<f64>,
+    /// Running fleet energy total (sum of the per-epoch deltas).
+    host_energy_acc: f64,
+    /// Running sum of the per-epoch mean loads (percent), for
+    /// [`Fleet::mean_load_pct`] without retaining the series.
+    epoch_mean_sum: f64,
+    epochs_run: usize,
     elapsed: SimDuration,
     migrations: Vec<MigrationRecord>,
     load_series: TimeSeries,
+    /// Every per-host-epoch absolute load (percent), sketched: the
+    /// bounded-memory load distribution at any population.
+    load_sketch: Sketch,
 }
 
 impl Fleet {
@@ -246,7 +299,10 @@ impl Fleet {
                 spec.credit_frac
             );
         }
-        let placement = cfg.policy.place(specs, cfg.capacity);
+        let placement = match &cfg.sharding {
+            Some(sc) => shard::place_sharded(cfg.policy, specs, cfg.capacity, sc).placement,
+            None => cfg.policy.place(specs, cfg.capacity),
+        };
         let mut hosts = Vec::with_capacity(placement.host_count());
         let mut residency: Vec<Vec<(usize, VmId)>> = vec![Vec::new(); specs.len()];
         let mut mem_used = Vec::new();
@@ -278,6 +334,10 @@ impl Fleet {
             credit_booked.push(0.0);
         }
         let n = hosts.len();
+        let mut resident: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (h, bin) in placement.hosts.iter().enumerate() {
+            resident[h] = bin.clone();
+        }
         Fleet {
             cfg,
             specs: specs.to_vec(),
@@ -287,9 +347,15 @@ impl Fleet {
             mem_used,
             credit_booked,
             host_load: vec![0.0; n],
+            resident,
+            host_energy_prev: vec![0.0; n],
+            host_energy_acc: 0.0,
+            epoch_mean_sum: 0.0,
+            epochs_run: 0,
             elapsed: SimDuration::from_secs(0),
             migrations: Vec::new(),
             load_series: TimeSeries::new("fleet_mean_load_pct"),
+            load_sketch: Sketch::new(DEFAULT_ALPHA),
         }
     }
 
@@ -315,9 +381,51 @@ impl Fleet {
     /// (one point per completed epoch). The absolute measure is what
     /// the controller triggers on: a PAS host 100% busy at a reduced
     /// frequency is not overloaded — it has fmax headroom.
+    ///
+    /// Empty when the fleet runs with
+    /// [`bounded_stats`](FleetConfig::bounded_stats): the series is
+    /// the one per-epoch accumulator whose memory grows with run
+    /// length, so scale runs keep only [`Fleet::mean_load_pct`] and
+    /// [`Fleet::load_sketch`].
     #[must_use]
     pub fn load_series(&self) -> &TimeSeries {
         &self.load_series
+    }
+
+    /// Mean of the per-epoch mean loads, percent of fmax capacity.
+    /// Maintained as a running sum — identical to averaging
+    /// [`Fleet::load_series`], but available in bounded-stats mode
+    /// too. `0.0` before the first epoch completes.
+    #[must_use]
+    pub fn mean_load_pct(&self) -> f64 {
+        if self.epochs_run == 0 {
+            0.0
+        } else {
+            self.epoch_mean_sum / self.epochs_run as f64
+        }
+    }
+
+    /// The sketched distribution of every per-host-epoch absolute
+    /// load (percent): bounded memory at any population, mergeable
+    /// across shards and campaigns.
+    #[must_use]
+    pub fn load_sketch(&self) -> &Sketch {
+        &self.load_sketch
+    }
+
+    /// Total statistic points the fleet currently retains: load-series
+    /// points, per-host snapshots and sketch buckets. The regression
+    /// guard for the O(sketch) memory claim — in bounded-stats mode
+    /// this must not scale with epoch count.
+    #[must_use]
+    pub fn retained_stat_points(&self) -> usize {
+        self.load_series.len()
+            + self
+                .hosts
+                .iter()
+                .map(|h| h.stats().snapshots().len())
+                .sum::<usize>()
+            + self.load_sketch.bucket_count()
     }
 
     /// Simulated fleet time so far.
@@ -354,18 +462,34 @@ impl Fleet {
             }
             self.elapsed += epoch;
 
-            // Absolute (fmax-normalised) load, the same unit as the
-            // specs' demand/credit fractions — wall-clock busy time
-            // would read a PAS host at low frequency as "overloaded"
-            // when it merely parked the frequency.
-            self.host_load = self
-                .hosts
-                .iter_mut()
-                .map(|h| h.take_external_load().1 / 100.0)
-                .collect();
-            let mean = self.host_load.iter().sum::<f64>() / self.host_load.len() as f64;
-            self.load_series
-                .push(self.elapsed.as_secs_f64(), mean * 100.0);
+            // One serial pass over the hosts books everything the
+            // epoch changed: the absolute (fmax-normalised) load —
+            // the same unit as the specs' demand/credit fractions;
+            // wall-clock busy time would read a PAS host at low
+            // frequency as "overloaded" when it merely parked the
+            // frequency — plus the per-epoch energy delta, so totals
+            // never rescan, and the load sketch. The buffer is reused
+            // across epochs and the sum runs in host-index order, so
+            // the values are bit-identical to the collect-then-sum
+            // they replace.
+            self.host_load.clear();
+            let mut load_sum = 0.0;
+            for (h, host) in self.hosts.iter_mut().enumerate() {
+                let load = host.take_external_load().1 / 100.0;
+                self.host_load.push(load);
+                load_sum += load;
+                self.load_sketch.push(load * 100.0);
+                let joules = host.cpu().energy().joules();
+                self.host_energy_acc += joules - self.host_energy_prev[h];
+                self.host_energy_prev[h] = joules;
+            }
+            let mean = load_sum / self.host_load.len() as f64;
+            self.epoch_mean_sum += mean * 100.0;
+            self.epochs_run += 1;
+            if !self.cfg.bounded_stats {
+                self.load_series
+                    .push(self.elapsed.as_secs_f64(), mean * 100.0);
+            }
 
             if let Some(trigger) = self.cfg.trigger {
                 self.rebalance(&trigger);
@@ -384,14 +508,15 @@ impl Fleet {
                 continue;
             }
             // The hottest VM currently resident on `src` (ties go to
-            // the lowest spec index — deterministic).
-            let candidate = (0..self.specs.len())
-                .filter(|&i| self.residency[i].last().is_some_and(|&(h, _)| h == src))
-                .max_by(|&a, &b| {
-                    let da = self.specs[a].demand_at(now_s);
-                    let db = self.specs[b].demand_at(now_s);
-                    f64::total_cmp(&da, &db).then(b.cmp(&a))
-                });
+            // the lowest spec index — deterministic). The per-host
+            // resident index makes this O(residents), not O(fleet):
+            // the comparator is a total order on (demand, -index), so
+            // the winner is independent of the index's internal order.
+            let candidate = self.resident[src].iter().copied().max_by(|&a, &b| {
+                let da = self.specs[a].demand_at(now_s);
+                let db = self.specs[b].demand_at(now_s);
+                f64::total_cmp(&da, &db).then(b.cmp(&a))
+            });
             let Some(vm_idx) = candidate else { continue };
             let spec_mem = self.specs[vm_idx].mem_gib;
             let spec_credit = self.specs[vm_idx].credit_frac;
@@ -419,6 +544,12 @@ impl Fleet {
             let moved = self.hosts[src].extract_vm(src_id);
             let new_id = self.hosts[dst].admit_vm(moved);
             self.residency[vm_idx].push((dst, new_id));
+            let slot = self.resident[src]
+                .iter()
+                .position(|&i| i == vm_idx)
+                .expect("indexed");
+            self.resident[src].swap_remove(slot);
+            self.resident[dst].push(vm_idx);
             self.mem_used[src] -= spec_mem;
             self.mem_used[dst] += spec_mem;
             self.credit_booked[src] -= spec_credit;
@@ -442,9 +573,15 @@ impl Fleet {
     }
 
     /// The fleet-wide bill and service record so far.
+    ///
+    /// Energy comes from the running per-epoch delta accounting in
+    /// [`Fleet::run_epochs`] — no per-host rescan — so this is cheap
+    /// to call every epoch even at datacenter population. The SLA
+    /// ratio still walks the residency history once per call: it is a
+    /// whole-run integral, not a per-epoch quantity.
     #[must_use]
     pub fn totals(&self) -> FleetTotals {
-        let host_energy_j: f64 = self.hosts.iter().map(|h| h.cpu().energy().joules()).sum();
+        let host_energy_j: f64 = self.host_energy_acc + 0.0;
         // `+ 0.0` normalises the empty sum (std's additive identity is
         // -0.0, which would print and serialise as "-0").
         let migration_energy_j: f64 = self.migrations.iter().map(|m| m.energy_j).sum::<f64>() + 0.0;
@@ -648,5 +785,85 @@ mod tests {
         fleet.run_epochs(5, 2);
         assert_eq!(fleet.load_series().len(), 5);
         assert_eq!(fleet.elapsed(), SimDuration::from_secs(150));
+    }
+
+    #[test]
+    fn mean_load_matches_the_series_mean_bit_for_bit() {
+        let specs = lazy_fleet(12);
+        let mut fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+        fleet.run_epochs(6, 2);
+        let pts = fleet.load_series().points();
+        let series_mean = pts.iter().map(|p| p.1).sum::<f64>() / pts.len() as f64;
+        assert_eq!(fleet.mean_load_pct().to_bits(), series_mean.to_bits());
+    }
+
+    #[test]
+    fn load_sketch_sees_one_sample_per_host_epoch() {
+        let specs = lazy_fleet(8);
+        let mut fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+        let hosts = fleet.host_count();
+        fleet.run_epochs(5, 1);
+        assert_eq!(fleet.load_sketch().len(), hosts * 5);
+    }
+
+    #[test]
+    fn sharded_fleet_runs_and_matches_single_shard() {
+        let specs = lazy_fleet(24);
+        let run = |shards: usize, jobs: usize| {
+            let cfg = FleetConfig::pas_defaults().with_sharding(ShardConfig::new(shards));
+            let mut fleet = Fleet::build(cfg, &specs);
+            fleet.run_epochs(3, jobs);
+            (fleet.totals(), fleet.load_series().points().to_vec())
+        };
+        let (t1, s1) = run(1, 1);
+        for (shards, jobs) in [(4, 1), (16, 4)] {
+            let (t, s) = run(shards, jobs);
+            assert_eq!(
+                t.energy_j.to_bits(),
+                t1.energy_j.to_bits(),
+                "shards={shards} jobs={jobs}"
+            );
+            assert_eq!(t.sla_ratio.to_bits(), t1.sla_ratio.to_bits());
+            assert_eq!(s.len(), s1.len());
+            for (a, b) in s.iter().zip(&s1) {
+                assert_eq!(a.1.to_bits(), b.1.to_bits());
+            }
+        }
+    }
+
+    /// The O(sketch) memory claim: in bounded-stats mode the retained
+    /// statistic state must not grow with epoch count — a 10× longer
+    /// run keeps the same footprint (regression guard for routing the
+    /// fleet's per-epoch series through the sketch path).
+    #[test]
+    fn bounded_stats_memory_does_not_scale_with_epochs() {
+        let specs = lazy_fleet(12);
+        let run = |epochs: usize| {
+            let cfg = FleetConfig::pas_defaults().with_bounded_stats(true);
+            let mut fleet = Fleet::build(cfg, &specs);
+            fleet.run_epochs(epochs, 2);
+            fleet
+        };
+        let short = run(4);
+        let long = run(40);
+        assert_eq!(short.load_series().len(), 0, "series is not recorded");
+        assert_eq!(long.load_series().len(), 0);
+        assert!(
+            long.retained_stat_points() <= short.retained_stat_points(),
+            "10× the epochs must not retain more state: {} vs {}",
+            long.retained_stat_points(),
+            short.retained_stat_points()
+        );
+        // The statistics themselves are still available and sane.
+        assert!(long.mean_load_pct() > 0.0);
+        assert_eq!(long.load_sketch().len(), 40 * long.host_count());
+        // And the store-all mode really does grow with epochs, so the
+        // guard above is meaningful.
+        let unbounded = {
+            let mut fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+            fleet.run_epochs(40, 2);
+            fleet
+        };
+        assert!(unbounded.retained_stat_points() > long.retained_stat_points());
     }
 }

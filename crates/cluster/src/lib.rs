@@ -20,7 +20,12 @@
 //! * [`exec`] — the deterministic parallel executor: scoped worker
 //!   threads with index-ordered results, so a fleet (or a batch of
 //!   independent experiments) simulates concurrently yet produces
-//!   byte-identical output to a serial run.
+//!   byte-identical output to a serial run,
+//! * [`shard`] — datacenter-scale placement: VMs hash onto a fixed
+//!   virtual-zone universe, per-zone shard controllers pack locally
+//!   and a coordinator re-places overflow between zones. The shard
+//!   count is pure worker partitioning, so placements are identical
+//!   at any shard count.
 //!
 //! Single-host simulations stay single-threaded (bit-for-bit
 //! reproducibility); all parallelism lives *across* hosts and
@@ -52,8 +57,10 @@ pub mod exec;
 pub mod fleet;
 pub mod migration;
 pub mod placement;
+pub mod shard;
 
 pub use exec::parallel_map;
 pub use fleet::{Fleet, FleetConfig, FleetGovernor, FleetTotals};
 pub use migration::{MigrationCostModel, MigrationRecord, MigrationTrigger};
 pub use placement::{HostCapacity, Placement, PlacementPolicy, VmSpec};
+pub use shard::{place_sharded, zone_of, ShardConfig, ShardedPlacement};

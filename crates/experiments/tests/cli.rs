@@ -255,6 +255,173 @@ fn every_example_campaign_spec_is_valid() {
     assert!(seen >= 3, "expected the three shipped specs, found {seen}");
 }
 
+/// Spawns the repro binary while sampling the child's peak RSS
+/// (`VmHWM` from `/proc/<pid>/status`, monotone over the child's
+/// lifetime). Returns the process output and the last observed
+/// high-water mark in KiB — 0 where `/proc` does not exist.
+fn repro_with_rss(args: &[&str]) -> (Output, u64) {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("repro binary spawns");
+    let status_path = format!("/proc/{}/status", child.id());
+    let mut hwm_kb = 0u64;
+    loop {
+        if let Ok(Some(_)) = child.try_wait() {
+            break;
+        }
+        if let Ok(status) = std::fs::read_to_string(&status_path) {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb = rest.trim().trim_end_matches("kB").trim();
+                    hwm_kb = hwm_kb.max(kb.parse().unwrap_or(0));
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let out = child.wait_with_output().expect("repro binary runs");
+    (out, hwm_kb)
+}
+
+/// The datacenter-scale smoke (ignored by default: it simulates a
+/// ~2.9k-host fleet three times and wants a release binary; CI runs it
+/// explicitly via `cargo test --release -p experiments --test cli --
+/// --ignored`). The committed `fleet-scale.json` sweep is trimmed to
+/// its middle point — 10 000 VMs, which places onto ≥1k hosts — and
+/// run end-to-end through `repro campaign --quick`:
+///
+/// * the three artefacts exist and the summary CSV parses,
+/// * the placed fleet really is ≥1k hosts,
+/// * artefacts are byte-identical across `--jobs 1` vs `--jobs 2`
+///   and across shard counts 16 vs 4 (sharding is pure partitioning),
+/// * peak RSS of the run stays under the documented 512 MiB ceiling
+///   (the bounded-statistics guarantee at this scale; the store-all
+///   path would grow with epochs × hosts instead).
+#[test]
+#[ignore = "scale smoke: minutes of simulation; run with --release -- --ignored (CI does)"]
+fn fleet_scale_campaign_quick_point_is_a_bounded_memory_smoke() {
+    let base = std::env::temp_dir().join(format!("repro-fleet-scale-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+
+    let text = std::fs::read_to_string(example_spec("fleet-scale.json")).expect("readable spec");
+    let full_axis = "\"values\": [1000, 10000, 100000]";
+    assert!(
+        text.contains(full_axis) && text.contains("\"shards\": 16"),
+        "fleet-scale.json drifted from what this smoke trims: {text}"
+    );
+    let trimmed = text.replace(full_axis, "\"values\": [10000]");
+    let spec1 = base.join("fleet-scale-10k.json");
+    std::fs::write(&spec1, &trimmed).unwrap();
+    let spec_shards4 = base.join("fleet-scale-10k-shards4.json");
+    std::fs::write(
+        &spec_shards4,
+        trimmed.replace("\"shards\": 16", "\"shards\": 4"),
+    )
+    .unwrap();
+
+    let dir1 = base.join("jobs1");
+    let (out1, hwm_kb) = repro_with_rss(&[
+        "campaign",
+        spec1.to_str().unwrap(),
+        "--quick",
+        "--jobs",
+        "1",
+        "--out",
+        dir1.to_str().unwrap(),
+    ]);
+    assert!(
+        out1.status.success(),
+        "quick point runs: {}",
+        String::from_utf8_lossy(&out1.stderr)
+    );
+
+    // Artefacts exist and the summary CSV parses row-by-row.
+    let a1 = artefacts(&dir1);
+    for name in [
+        "fleet-scale-runs.csv",
+        "fleet-scale-summary.csv",
+        "fleet-scale-summary.json",
+    ] {
+        assert!(
+            a1.get(name).is_some_and(|b| !b.is_empty()),
+            "{name} exists and is non-empty"
+        );
+    }
+    let summary = String::from_utf8(a1["fleet-scale-summary.csv"].clone()).expect("utf8");
+    let mut lines = summary.lines();
+    let header = lines.next().expect("header row");
+    assert_eq!(
+        header, "point,label,metric,n,mean,stddev,ci95_half,p50,p95,p99,min,max,dropped",
+        "summary schema"
+    );
+    let mut host_count = None;
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        assert_eq!(fields.len(), 13, "malformed row: {line}");
+        let mean: f64 = fields[4]
+            .parse()
+            .unwrap_or_else(|_| panic!("numeric mean: {line}"));
+        if fields[2] == "host_count" {
+            host_count = Some(mean);
+        }
+    }
+    let hosts = host_count.expect("host_count metric present");
+    assert!(hosts >= 1000.0, "the quick point is ≥1k hosts, got {hosts}");
+
+    // Byte-identical across worker counts.
+    let dir2 = base.join("jobs2");
+    let out2 = repro(&[
+        "campaign",
+        spec1.to_str().unwrap(),
+        "--quick",
+        "--jobs",
+        "2",
+        "--out",
+        dir2.to_str().unwrap(),
+    ]);
+    assert!(out2.status.success());
+    let a2 = artefacts(&dir2);
+    for (name, bytes) in &a1 {
+        assert_eq!(bytes, &a2[name], "{name} must not depend on --jobs");
+    }
+
+    // Byte-identical across shard counts (the summary JSON echoes the
+    // spec, shards included, so only the measurement artefacts apply).
+    let dir3 = base.join("shards4");
+    let out3 = repro(&[
+        "campaign",
+        spec_shards4.to_str().unwrap(),
+        "--quick",
+        "--jobs",
+        "1",
+        "--out",
+        dir3.to_str().unwrap(),
+    ]);
+    assert!(out3.status.success());
+    let a3 = artefacts(&dir3);
+    for name in ["fleet-scale-runs.csv", "fleet-scale-summary.csv"] {
+        assert_eq!(
+            &a1[name], &a3[name],
+            "{name} must not depend on shard count"
+        );
+    }
+
+    // The documented bounded-statistics ceiling for this smoke.
+    if hwm_kb > 0 {
+        assert!(
+            hwm_kb < 512 * 1024,
+            "peak RSS {hwm_kb} KiB exceeds the 512 MiB ceiling"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
 #[test]
 fn campaign_with_missing_spec_file_fails_cleanly() {
     let out = repro(&["campaign", "/nonexistent/spec.json"]);

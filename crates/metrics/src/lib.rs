@@ -13,7 +13,11 @@
 //!   (response times),
 //! * [`stats`] — replication statistics (mean / stddev / Student-t 95%
 //!   CI / interpolated percentiles) for the campaign subsystem's
-//!   multi-seed design points.
+//!   multi-seed design points,
+//! * [`sketch`] — a mergeable DDSketch-style quantile sketch: the
+//!   bounded-memory counterpart to [`histogram`] that fleet-scale runs
+//!   stream per-host samples through, with exactly associative merges
+//!   so sharded results stay byte-identical.
 
 #![deny(missing_docs)]
 
@@ -21,6 +25,7 @@ pub mod ascii;
 pub mod export;
 pub mod histogram;
 mod series;
+pub mod sketch;
 pub mod stats;
 pub mod summary;
 

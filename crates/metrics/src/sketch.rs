@@ -1,0 +1,466 @@
+//! A mergeable streaming quantile sketch with bounded memory.
+//!
+//! [`Samples`](crate::histogram::Samples) stores every observation, so
+//! its memory grows linearly with the run: fine for a single host's
+//! response times, ruinous for a 100k-host fleet streaming one load
+//! sample per host per control epoch. [`Sketch`] is the bounded
+//! alternative: a DDSketch-style collection of logarithmic buckets
+//! whose size depends only on the *dynamic range* of the data, never
+//! on the sample count.
+//!
+//! # Accuracy contract
+//!
+//! A sketch built with relative accuracy `alpha` answers
+//! [`Sketch::percentile`] within `alpha` **relative** error of the
+//! value the store-all nearest-rank estimator would return: if the
+//! true rank-`r` sample is `v`, the sketch returns a value in
+//! `[v / (1 + alpha) … v · (1 + alpha)]` (mirrored for negative `v`).
+//! `len`, `dropped`, `min` and `max` are exact; `mean` is within
+//! `alpha` relative error per contributing sample.
+//!
+//! # Merge semantics
+//!
+//! Two sketches built with the same `alpha` merge by *integer* bucket
+//! addition — no floating-point accumulation order is involved — so
+//! merging is exactly associative and commutative, and a merged sketch
+//! is **identical** (`==`) to a single sketch fed the concatenated
+//! stream. That is the property the fleet layer leans on: per-shard
+//! sketches merged in any order produce byte-identical artefacts
+//! across `--jobs` values and shard counts.
+//!
+//! # Example
+//!
+//! ```
+//! use metrics::sketch::Sketch;
+//! let mut a = Sketch::new(0.01);
+//! let mut b = Sketch::new(0.01);
+//! for v in 1..=50 {
+//!     a.push(f64::from(v));
+//! }
+//! for v in 51..=100 {
+//!     b.push(f64::from(v));
+//! }
+//! a.merge(&b);
+//! let p50 = a.percentile(50.0).unwrap();
+//! assert!((p50 - 50.0).abs() <= 0.01 * 50.0);
+//! assert_eq!(a.len(), 100);
+//! assert_eq!(a.max(), Some(100.0));
+//! ```
+
+use std::collections::BTreeMap;
+
+/// The default relative accuracy used by the fleet and campaign
+/// layers: percentiles within 1% of the store-all answer.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A mergeable DDSketch-style quantile sketch.
+///
+/// Mirrors the query surface of
+/// [`Samples`](crate::histogram::Samples) (`len` / `dropped` / `mean`
+/// / `min` / `max` / `percentile` / `summary`) so call sites can swap
+/// the store-all accumulator for the bounded one without rewriting
+/// their reporting. Equality is exact structural equality, which —
+/// because the state is integer bucket counts plus exact min/max — is
+/// the right notion for "same stream, any merge order".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sketch {
+    /// Relative accuracy `alpha`; fixed at construction.
+    alpha: f64,
+    /// `ln(gamma)` with `gamma = (1 + alpha) / (1 - alpha)`, cached.
+    gamma_ln: f64,
+    /// Bucket key → count for positive samples. Key `k` covers the
+    /// interval `(gamma^(k-1), gamma^k]`.
+    pos: BTreeMap<i32, u64>,
+    /// Bucket key → count for the magnitudes of negative samples.
+    neg: BTreeMap<i32, u64>,
+    /// Count of exact zeros (both signs normalised to `+0.0`).
+    zero: u64,
+    /// Total finite samples (`pos + neg + zero` counts).
+    count: u64,
+    /// Exact smallest finite sample (`+inf` when empty).
+    min: f64,
+    /// Exact largest finite sample (`-inf` when empty).
+    max: f64,
+    /// Non-finite pushes rejected, mirroring `Samples::dropped`.
+    dropped: u64,
+}
+
+impl Sketch {
+    /// An empty sketch with relative accuracy `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    #[must_use]
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "sketch accuracy {alpha} out of (0,1)"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        Sketch {
+            alpha,
+            gamma_ln: gamma.ln(),
+            pos: BTreeMap::new(),
+            neg: BTreeMap::new(),
+            zero: 0,
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            dropped: 0,
+        }
+    }
+
+    /// The relative accuracy this sketch was built with.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Adds one sample.
+    ///
+    /// Non-finite values (NaN, ±∞) are dropped and counted, exactly
+    /// like [`Samples::add`](crate::histogram::Samples::add): one
+    /// poisoned sample must not panic a campaign mid-run, and drops
+    /// are surfaced by [`Sketch::summary`] so they never pass
+    /// silently.
+    pub fn push(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.dropped += 1;
+            return;
+        }
+        // Normalise -0.0 so min/max stay merge-order independent.
+        let value = if value == 0.0 { 0.0 } else { value };
+        if value == 0.0 {
+            self.zero += 1;
+        } else if value > 0.0 {
+            *self.pos.entry(self.key(value)).or_insert(0) += 1;
+        } else {
+            *self.neg.entry(self.key(-value)).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The log-bucket key of a positive magnitude.
+    fn key(&self, magnitude: f64) -> i32 {
+        // ceil(ln(v) / ln(gamma)): bucket k covers (gamma^(k-1),
+        // gamma^k]. Keys stay well inside i32 for every finite f64
+        // (|ln v| ≤ ~745, and gamma_ln ≥ alpha).
+        (magnitude.ln() / self.gamma_ln).ceil() as i32
+    }
+
+    /// The representative value of bucket `k`: the midpoint
+    /// `2·gamma^k / (gamma + 1)`, within `alpha` relative error of
+    /// every sample the bucket absorbed.
+    fn representative(&self, k: i32) -> f64 {
+        let gamma = self.gamma_ln.exp();
+        2.0 * (f64::from(k) * self.gamma_ln).exp() / (gamma + 1.0)
+    }
+
+    /// Number of finite samples pushed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Number of non-finite values rejected by [`Sketch::push`].
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped as usize
+    }
+
+    /// `true` when no finite samples have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Number of live buckets — the memory footprint, proportional to
+    /// the data's dynamic range and independent of sample count.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.pos.len() + self.neg.len() + usize::from(self.zero > 0)
+    }
+
+    /// Exact smallest sample (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of the samples, within `alpha` relative error per sample
+    /// (`None` when empty).
+    ///
+    /// Derived from the integer bucket counts in sorted key order at
+    /// query time — never from a running float sum — so the result is
+    /// identical regardless of push interleaving or merge history.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut sum = 0.0;
+        for (&k, &n) in self.neg.iter().rev() {
+            sum -= self.representative(k) * n as f64;
+        }
+        for (&k, &n) in &self.pos {
+            sum += self.representative(k) * n as f64;
+        }
+        Some(sum / self.count as f64)
+    }
+
+    /// The `p`-th percentile (nearest-rank method, the same rank rule
+    /// as [`Samples::percentile`](crate::histogram::Samples::percentile)),
+    /// within `alpha` relative error of the store-all answer; `None`
+    /// when empty. The result is clamped to the exact `[min, max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0,100]");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        // Walk buckets in ascending value order: negatives from the
+        // largest magnitude down, then zeros, then positives up.
+        let mut seen = 0u64;
+        for (&k, &n) in self.neg.iter().rev() {
+            seen += n;
+            if seen >= rank {
+                return Some((-self.representative(k)).clamp(self.min, self.max));
+            }
+        }
+        seen += self.zero;
+        if seen >= rank {
+            return Some(0.0f64.clamp(self.min, self.max));
+        }
+        for (&k, &n) in &self.pos {
+            seen += n;
+            if seen >= rank {
+                return Some(self.representative(k).clamp(self.min, self.max));
+            }
+        }
+        // Counts always sum to `count`, so the walk cannot fall out.
+        unreachable!("rank {rank} beyond {} samples", self.count)
+    }
+
+    /// Absorbs `other` into `self` by integer bucket addition.
+    ///
+    /// Exactly associative and commutative: any merge tree over the
+    /// same set of pushes yields a sketch that compares `==` to a
+    /// single sketch fed the concatenated stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketches were built with different `alpha`s —
+    /// their buckets would not be commensurable.
+    pub fn merge(&mut self, other: &Sketch) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge sketches with alpha {} and {}",
+            self.alpha,
+            other.alpha
+        );
+        for (&k, &n) in &other.pos {
+            *self.pos.entry(k).or_insert(0) += n;
+        }
+        for (&k, &n) in &other.neg {
+            *self.neg.entry(k).or_insert(0) += n;
+        }
+        self.zero += other.zero;
+        self.count += other.count;
+        self.dropped += other.dropped;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Renders the same compact textual summary as
+    /// [`Samples::summary`](crate::histogram::Samples::summary):
+    /// `n / mean / p50 / p95 / max`, with a trailing `dropped=k`
+    /// whenever non-finite values were rejected.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut text = match (
+            self.mean(),
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.max(),
+        ) {
+            (Some(mean), Some(p50), Some(p95), Some(max)) => format!(
+                "n={} mean={mean:.3} p50={p50:.3} p95={p95:.3} max={max:.3}",
+                self.len()
+            ),
+            _ => String::from("n=0"),
+        };
+        if self.dropped > 0 {
+            text.push_str(&format!(" dropped={}", self.dropped));
+        }
+        text
+    }
+}
+
+impl Extend<f64> for Sketch {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queries_are_none() {
+        let s = Sketch::new(0.01);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.summary(), "n=0");
+        assert_eq!(s.bucket_count(), 0);
+    }
+
+    #[test]
+    fn percentiles_track_nearest_rank_within_alpha() {
+        let mut s = Sketch::new(0.01);
+        s.extend((1..=1000).map(f64::from));
+        for (p, truth) in [(10.0, 100.0), (50.0, 500.0), (95.0, 950.0)] {
+            let got = s.percentile(p).unwrap();
+            assert!(
+                (got - truth).abs() <= 0.01 * truth + 1e-9,
+                "p{p}: {got} vs {truth}"
+            );
+        }
+        assert_eq!(s.percentile(100.0), Some(1000.0), "max is exact");
+        assert_eq!(s.percentile(0.0), Some(1.0), "min is exact via clamp");
+    }
+
+    #[test]
+    fn min_max_len_are_exact() {
+        let mut s = Sketch::new(0.05);
+        s.extend([3.5, -2.25, 0.0, 17.0, -0.0]);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.min(), Some(-2.25));
+        assert_eq!(s.max(), Some(17.0));
+    }
+
+    #[test]
+    fn negative_and_zero_samples_are_ordered_correctly() {
+        let mut s = Sketch::new(0.01);
+        s.extend([-100.0, -10.0, 0.0, 10.0, 100.0]);
+        let p50 = s.percentile(50.0).unwrap();
+        assert_eq!(p50, 0.0, "median of the symmetric set is the zero");
+        let p10 = s.percentile(10.0).unwrap();
+        assert!((p10 + 100.0).abs() <= 1.0, "p10 {p10} near -100");
+    }
+
+    #[test]
+    fn non_finite_dropped_and_counted_like_samples() {
+        let mut s = Sketch::new(0.01);
+        s.push(f64::NAN);
+        s.push(f64::INFINITY);
+        s.push(f64::NEG_INFINITY);
+        assert!(s.is_empty());
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(s.summary(), "n=0 dropped=3");
+        s.push(2.0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.percentile(50.0), Some(2.0));
+        assert!(s.summary().ends_with("dropped=3"), "{}", s.summary());
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let mut whole = Sketch::new(0.02);
+        let mut left = Sketch::new(0.02);
+        let mut right = Sketch::new(0.02);
+        for i in 0..500 {
+            let v = (f64::from(i) * 0.37).sin() * 50.0;
+            whole.push(v);
+            if i % 2 == 0 {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        left.push(f64::NAN);
+        whole.push(f64::NAN);
+        left.merge(&right);
+        assert_eq!(left, whole, "merged == single-pass over concatenation");
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Sketch::new(0.01);
+        let mut b = Sketch::new(0.01);
+        a.extend([1.0, 2.0, 3.0]);
+        b.extend([-4.0, 0.0, 5.0]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge sketches with alpha")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = Sketch::new(0.01);
+        a.merge(&Sketch::new(0.02));
+    }
+
+    #[test]
+    fn bucket_count_is_bounded_by_dynamic_range_not_samples() {
+        let mut s = Sketch::new(0.01);
+        for i in 0..100_000 {
+            s.push(1.0 + f64::from(i % 1000) / 100.0);
+        }
+        assert_eq!(s.len(), 100_000);
+        assert!(
+            s.bucket_count() < 200,
+            "range [1,11) at alpha 0.01 needs ~{} buckets",
+            s.bucket_count()
+        );
+    }
+
+    #[test]
+    fn summary_matches_samples_format() {
+        let mut s = Sketch::new(0.001);
+        s.extend((1..=100).map(f64::from));
+        let text = s.summary();
+        assert!(text.starts_with("n=100 mean="), "{text}");
+        assert!(text.contains("p50="), "{text}");
+        assert!(text.contains("max=100.000"), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,100]")]
+    fn percentile_rejects_out_of_range() {
+        let mut s = Sketch::new(0.01);
+        s.push(1.0);
+        let _ = s.percentile(101.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of (0,1)")]
+    fn new_rejects_bad_alpha() {
+        let _ = Sketch::new(1.5);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the quantile sketch: merge algebra, equality
+//! with the single-pass sketch, the documented rank-error bound
+//! against the store-all `Samples` estimator, and NaN hygiene.
+
+use metrics::histogram::Samples;
+use metrics::sketch::Sketch;
+use proptest::prelude::*;
+
+const ALPHA: f64 = 0.01;
+
+fn sketch_of(values: &[f64]) -> Sketch {
+    let mut s = Sketch::new(ALPHA);
+    s.extend(values.iter().copied());
+    s
+}
+
+/// A seeded pseudo-random stream in one of three shapes; the shapes
+/// the fleet actually produces (uniform loads, heavy-tailed response
+/// times, and a bimodal idle/busy mix).
+fn distribution(kind: u8, seed: u64, n: usize) -> Vec<f64> {
+    // Deterministic xorshift so every proptest case is replayable.
+    let mut state = seed | 1;
+    let mut unit = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| match kind {
+            // Uniform on [0, 100): per-epoch load percentages.
+            0 => unit() * 100.0,
+            // Lognormal-ish: exp of an approximate normal (CLT over
+            // twelve uniforms), the classic response-time tail.
+            1 => {
+                let z: f64 = (0..12).map(|_| unit()).sum::<f64>() - 6.0;
+                z.exp()
+            }
+            // Bimodal: a near-idle mode at ~2 and a busy mode at ~80.
+            _ => {
+                if unit() < 0.7 {
+                    2.0 + unit()
+                } else {
+                    80.0 + 5.0 * unit()
+                }
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// Merging is associative and commutative on arbitrary splits:
+    /// every merge tree over the same pushes gives the same sketch.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(-1000.0f64..1000.0, 0..40),
+        b in proptest::collection::vec(-1000.0f64..1000.0, 0..40),
+        c in proptest::collection::vec(-1000.0f64..1000.0, 0..40),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right, "associativity");
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba, "commutativity");
+    }
+
+    /// A merged sketch equals the single-pass sketch over the
+    /// concatenated stream — the exact property fleet sharding relies
+    /// on for byte-identical artefacts across `--jobs`.
+    #[test]
+    fn merged_equals_single_pass_over_concatenation(
+        a in proptest::collection::vec(-500.0f64..500.0, 0..60),
+        b in proptest::collection::vec(-500.0f64..500.0, 0..60),
+    ) {
+        let mut merged = sketch_of(&a);
+        merged.merge(&sketch_of(&b));
+        let concat: Vec<f64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(merged, sketch_of(&concat));
+    }
+
+    /// Across uniform / lognormal / bimodal seeded streams, every
+    /// sketch percentile stays within the documented `alpha` relative
+    /// error of the store-all nearest-rank answer from `Samples`.
+    #[test]
+    fn rank_error_within_documented_bound(
+        kind in 0u8..3,
+        seed in 1u64..10_000,
+        n in 1usize..400,
+    ) {
+        let values = distribution(kind, seed, n);
+        let sketch = sketch_of(&values);
+        let mut store_all: Samples = values.iter().copied().collect();
+        for p in [0.0, 1.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let truth = store_all.percentile(p).unwrap();
+            let est = sketch.percentile(p).unwrap();
+            prop_assert!(
+                (est - truth).abs() <= ALPHA * truth.abs() + 1e-9,
+                "kind {} seed {} n {} p{}: sketch {} vs store-all {}",
+                kind, seed, n, p, est, truth
+            );
+        }
+        // The summary surface agrees on the exact fields.
+        prop_assert_eq!(sketch.len(), store_all.len());
+        prop_assert_eq!(sketch.min(), store_all.min());
+        prop_assert_eq!(sketch.max(), store_all.max());
+    }
+
+    /// Non-finite pushes are dropped and counted exactly like
+    /// `Samples::add` — the PR-4 NaN-hygiene contract carries over.
+    #[test]
+    fn non_finite_handling_matches_samples(
+        finite in proptest::collection::vec(-100.0f64..100.0, 0..30),
+        poison_mask in proptest::collection::vec(0u8..3, 1..10),
+    ) {
+        let mut sketch = Sketch::new(ALPHA);
+        let mut samples = Samples::new();
+        for v in &finite {
+            sketch.push(*v);
+            samples.add(*v);
+        }
+        for m in &poison_mask {
+            let bad = match m {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            sketch.push(bad);
+            samples.add(bad);
+        }
+        prop_assert_eq!(sketch.len(), samples.len());
+        prop_assert_eq!(sketch.dropped(), samples.dropped());
+        prop_assert_eq!(sketch.dropped(), poison_mask.len());
+        let (st, sa) = (sketch.summary(), samples.summary());
+        prop_assert_eq!(
+            st.rsplit(" dropped=").next().map(str::to_owned),
+            sa.rsplit(" dropped=").next().map(str::to_owned),
+            "both summaries report the same drop count"
+        );
+    }
+}

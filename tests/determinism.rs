@@ -232,6 +232,57 @@ fn idle_skip_fleet_artifacts_are_byte_identical() {
     }
 }
 
+/// The sharded placement layer is a pure worker partitioning: VMs
+/// hash to a fixed universe of virtual zones, shards own contiguous
+/// zone ranges, and the coordinator concatenates shard results
+/// zone-major — so the shard count, like the job count, must never
+/// change a single byte of the artefacts. This pins the fleet-scale
+/// contract: `repro campaign examples/campaigns/fleet-scale.json` is
+/// regenerable on any machine whatever `--jobs` or `shards` say.
+#[test]
+fn sharded_fleet_artifacts_are_byte_identical_across_jobs_and_shards() {
+    use pas_repro::cluster::{Fleet, FleetConfig, ShardConfig, VmSpec};
+    use pas_repro::metrics::export;
+
+    let specs: Vec<VmSpec> = (0..48)
+        .map(|i| {
+            let mem = [2.0, 4.0, 8.0][i % 3];
+            let cpu = 0.03 + 0.02 * (i % 4) as f64;
+            VmSpec::new(format!("vm{i}"), mem, cpu)
+        })
+        .collect();
+    let run = |shards: usize, jobs: usize| {
+        let mut fleet = Fleet::build(
+            FleetConfig::pas_defaults().with_sharding(ShardConfig::new(shards)),
+            &specs,
+        );
+        fleet.run_epochs(4, jobs);
+        let totals = fleet.totals();
+        (
+            totals.energy_j.to_bits(),
+            export::to_csv(&[fleet.load_series()]),
+            fleet.load_sketch().summary(),
+        )
+    };
+    let (energy_ref, csv_ref, sketch_ref) = run(1, 1);
+    for (shards, jobs) in [(1, 2), (1, 8), (4, 1), (4, 2), (16, 8)] {
+        let (energy, csv, sketch) = run(shards, jobs);
+        assert_eq!(
+            energy, energy_ref,
+            "energy must be bit-identical (shards={shards}, jobs={jobs})"
+        );
+        assert_eq!(
+            csv.as_bytes(),
+            csv_ref.as_bytes(),
+            "load-series CSV must be byte-identical (shards={shards}, jobs={jobs})"
+        );
+        assert_eq!(
+            sketch, sketch_ref,
+            "load sketch must agree (shards={shards}, jobs={jobs})"
+        );
+    }
+}
+
 /// Regression for the workspace bootstrap: two runs of the quickstart
 /// scenario with the same simkernel seed must produce byte-identical
 /// CSV and JSON metric exports.
