@@ -2,10 +2,14 @@
 //!
 //! Runs a *fixed* suite of macro-benchmarks — single-host pi-app and
 //! web-app runs, [`cluster::Fleet`] epochs at three population sizes,
-//! one [`campaign`] sweep, and an idle-heavy fleet measured with the
-//! idle-skip fast path both on and off — with one warmup pass and `R`
-//! timed repetitions each, and reduces the wall-clock times to
-//! median/min/max per benchmark.
+//! one [`campaign`] sweep, an idle-heavy fleet measured with the
+//! idle-skip fast path both on and off, and the 96-VM fleet with the
+//! event tracer off and on (the tracing-overhead A/B) — with one
+//! warmup pass and `R` timed repetitions each, and reduces the
+//! wall-clock times to median/min/max per benchmark. The trace A/B
+//! pair runs its repetitions interleaved (off, on, off, on, …) so the
+//! overhead ratio survives machine-noise drift; see
+//! [`Benchmark::interleaved_with_next`].
 //!
 //! # The `BENCH_<date>.json` schema (`pas-repro-bench/v1`)
 //!
@@ -20,6 +24,11 @@
 //!     { "name": "fleet_medium", "group": "fleet", "reps": 5,
 //!       "median_ms": 123.4, "min_ms": 120.0, "max_ms": 130.1,
 //!       "rss_peak_kb": 20480 }
+//!   ],
+//!   "pairs": [
+//!     { "baseline": "fleet_96vms_trace_off",
+//!       "measured": "fleet_96vms_trace_on",
+//!       "reps": 15, "median_overhead_pct": 1.1 }
 //!   ]
 //! }
 //! ```
@@ -37,6 +46,10 @@
 //!   high-water mark is monotone over the process lifetime, so within
 //!   one file it reads as "peak RSS of the suite up to and including
 //!   this benchmark"; on non-Linux platforms it is reported as 0.
+//! * `pairs` — one entry per interleaved A/B pair (see [`PairResult`]):
+//!   the pair's arm names, repetition-pair count (3× `repetitions`),
+//!   and the median per-repetition overhead percentage, which may be
+//!   negative under noise. Empty when the suite has no pairs.
 //!
 //! Wall-clock numbers are machine-dependent by nature; the JSON is a
 //! *trajectory* artefact (compare PRs on the same runner class), not a
@@ -63,6 +76,9 @@ pub struct Benchmark {
     pub name: &'static str,
     /// Display group ("host", "fleet", "campaign").
     pub group: &'static str,
+    /// When `true`, this benchmark and the next suite entry form an
+    /// interleaved A/B pair (see [`Benchmark::interleaved_with_next`]).
+    pub pair_with_next: bool,
     runner: Box<dyn FnMut()>,
 }
 
@@ -72,8 +88,28 @@ impl Benchmark {
         Benchmark {
             name,
             group,
+            pair_with_next: false,
             runner: Box::new(runner),
         }
+    }
+
+    /// Marks this benchmark and the *next* suite entry as an
+    /// interleaved A/B pair: the runner alternates their repetitions
+    /// (A, B, A, B, …) instead of completing one arm before the other.
+    ///
+    /// Back-to-back repetitions let slow machine drift (thermal
+    /// throttling, a co-tenant waking up) land entirely on one arm and
+    /// masquerade as a large speedup or regression. Alternating makes
+    /// adjacent repetitions of the two arms sample the same noise, so
+    /// the per-repetition ratio cancels drift; the pair's median ratio
+    /// is reported in [`BenchReport::pairs`]. The pair runs 3× the
+    /// suite repetitions (the ratio is what it exists for, and more
+    /// pairs tighten the median), and both arms still get ordinary
+    /// per-arm entries in the artefact.
+    #[must_use]
+    pub fn interleaved_with_next(mut self) -> Self {
+        self.pair_with_next = true;
+        self
     }
 }
 
@@ -97,6 +133,26 @@ pub struct BenchResult {
     pub rss_peak_kb: u64,
 }
 
+/// The paired statistic of one interleaved A/B pair: the median over
+/// repetitions of the per-repetition ratio `b_i / a_i - 1`, as a
+/// percentage. Because each repetition of `b` runs immediately after
+/// its paired repetition of `a`, machine-noise drift hits both arms of
+/// a pair almost equally and cancels in the ratio — on a noisy runner
+/// this statistic resolves single-digit-percent overheads that the
+/// ratio of the two arms' medians cannot.
+#[derive(Debug, Clone, Serialize)]
+pub struct PairResult {
+    /// Name of the baseline arm (`a`).
+    pub baseline: String,
+    /// Name of the measured arm (`b`).
+    pub measured: String,
+    /// Interleaved repetition pairs the median is over.
+    pub reps: usize,
+    /// Median per-repetition overhead of `b` over `a`, percent. May be
+    /// negative when the measurement noise exceeds the true overhead.
+    pub median_overhead_pct: f64,
+}
+
 /// A finished suite: everything `BENCH_<date>.json` holds.
 #[derive(Debug, Clone, Serialize)]
 pub struct BenchReport {
@@ -112,6 +168,9 @@ pub struct BenchReport {
     pub repetitions: usize,
     /// Per-benchmark results, in suite order.
     pub benchmarks: Vec<BenchResult>,
+    /// Paired A/B statistics, one per interleaved pair in the suite
+    /// (empty when the suite has none).
+    pub pairs: Vec<PairResult>,
 }
 
 impl BenchReport {
@@ -211,37 +270,91 @@ pub fn utc_date_today() -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
+/// One timed pass of a benchmark's closure, in milliseconds.
+fn time_once(bench: &mut Benchmark) -> f64 {
+    let t0 = Instant::now();
+    (bench.runner)();
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Reduces a benchmark's timed repetitions to its [`BenchResult`].
+fn reduce(bench: &Benchmark, mut times_ms: Vec<f64>) -> BenchResult {
+    times_ms.sort_by(f64::total_cmp);
+    BenchResult {
+        name: bench.name.to_owned(),
+        group: bench.group.to_owned(),
+        reps: times_ms.len(),
+        median_ms: times_ms[times_ms.len() / 2],
+        min_ms: times_ms[0],
+        max_ms: times_ms[times_ms.len() - 1],
+        rss_peak_kb: rss_peak_kb(),
+    }
+}
+
 /// Runs `benchmarks` with one warmup pass and `repetitions` timed
-/// passes each, in order.
+/// passes each, in order. Entries marked
+/// [`interleaved_with_next`](Benchmark::interleaved_with_next)
+/// alternate repetitions with their successor so A/B ratios stay
+/// meaningful under machine-noise drift; their results are still
+/// reported as two ordinary per-arm entries.
 ///
 /// # Panics
 ///
-/// Panics if `repetitions` is zero.
+/// Panics if `repetitions` is zero, or if the final benchmark is
+/// marked `pair_with_next` (it has no successor to pair with).
 pub fn run(mut benchmarks: Vec<Benchmark>, quick: bool, repetitions: usize) -> BenchReport {
     assert!(repetitions > 0, "need at least one timed repetition");
     const WARMUP: usize = 1;
     let mut results = Vec::with_capacity(benchmarks.len());
-    for bench in &mut benchmarks {
-        for _ in 0..WARMUP {
-            (bench.runner)();
-        }
-        let mut times_ms: Vec<f64> = (0..repetitions)
-            .map(|_| {
-                let t0 = Instant::now();
+    let mut pairs = Vec::new();
+    let mut i = 0;
+    while i < benchmarks.len() {
+        if benchmarks[i].pair_with_next {
+            assert!(
+                i + 1 < benchmarks.len(),
+                "`{}` is pair_with_next but is the last benchmark",
+                benchmarks[i].name
+            );
+            let (head, tail) = benchmarks.split_at_mut(i + 1);
+            let (a, b) = (&mut head[i], &mut tail[0]);
+            for _ in 0..WARMUP {
+                (a.runner)();
+                (b.runner)();
+            }
+            // 3x repetitions: the pair exists for its ratio, and the
+            // median of per-pair ratios tightens with pair count at a
+            // cost of seconds, not minutes.
+            let pair_reps = repetitions * 3;
+            let mut times_a = Vec::with_capacity(pair_reps);
+            let mut times_b = Vec::with_capacity(pair_reps);
+            for _ in 0..pair_reps {
+                times_a.push(time_once(a));
+                times_b.push(time_once(b));
+            }
+            let mut ratios: Vec<f64> = times_a
+                .iter()
+                .zip(&times_b)
+                .map(|(ta, tb)| (tb / ta - 1.0) * 100.0)
+                .collect();
+            ratios.sort_by(f64::total_cmp);
+            pairs.push(PairResult {
+                baseline: a.name.to_owned(),
+                measured: b.name.to_owned(),
+                reps: pair_reps,
+                median_overhead_pct: ratios[ratios.len() / 2],
+            });
+            results.push(reduce(a, times_a));
+            results.push(reduce(b, times_b));
+            i += 2;
+        } else {
+            let bench = &mut benchmarks[i];
+            for _ in 0..WARMUP {
                 (bench.runner)();
-                t0.elapsed().as_secs_f64() * 1e3
-            })
-            .collect();
-        times_ms.sort_by(f64::total_cmp);
-        results.push(BenchResult {
-            name: bench.name.to_owned(),
-            group: bench.group.to_owned(),
-            reps: repetitions,
-            median_ms: times_ms[times_ms.len() / 2],
-            min_ms: times_ms[0],
-            max_ms: times_ms[times_ms.len() - 1],
-            rss_peak_kb: rss_peak_kb(),
-        });
+            }
+            let times_ms = (0..repetitions).map(|_| time_once(bench)).collect();
+            results.push(reduce(bench, times_ms));
+            i += 1;
+        }
     }
     BenchReport {
         schema: SCHEMA.to_owned(),
@@ -250,6 +363,7 @@ pub fn run(mut benchmarks: Vec<Benchmark>, quick: bool, repetitions: usize) -> B
         warmup: WARMUP,
         repetitions,
         benchmarks: results,
+        pairs,
     }
 }
 
@@ -336,6 +450,26 @@ fn fleet_idle_heavy(quick: bool, fast: bool) {
     assert!(fleet.totals().energy_j > 0.0);
 }
 
+/// The 96-VM fleet from `fleet_epochs`, run with the event tracer
+/// disabled or enabled — the A/B pair behind the documented tracing
+/// overhead ceiling. The traced variant drains the merged trace at
+/// the end so the cost of recording *and* collection is inside the
+/// measurement, not just the per-event ring pushes.
+fn fleet_traced(n: usize, quick: bool, traced: bool) {
+    let specs = fleet_population(n);
+    let mut fleet = Fleet::build(FleetConfig::pas_defaults(), &specs);
+    if traced {
+        fleet.enable_tracing(trace::DEFAULT_CAPACITY);
+    }
+    fleet.run_epochs(if quick { 3 } else { 10 }, 4);
+    assert!(fleet.totals().energy_j > 0.0);
+    if traced {
+        let t = fleet.take_trace().expect("tracing was enabled");
+        assert!(t.recorded() > 0, "a traced fleet records events");
+        std::hint::black_box(t.events().len());
+    }
+}
+
 /// A datacenter-scale fleet pass: a `hosts`-host population (four VMs
 /// per Optiplex host), 16 shard controllers, and short 10 s control
 /// epochs so a repetition stays affordable. `bounded` selects the
@@ -404,6 +538,17 @@ pub fn suite(quick: bool) -> Vec<Benchmark> {
         }),
         Benchmark::new("fleet_idle_heavy_exact", "fleet", move || {
             fleet_idle_heavy(quick, false);
+        }),
+        // Tracing overhead A/B on the 96-VM fleet: off first, then on,
+        // so the pair reads top-to-bottom as baseline → instrumented.
+        // Interleaved: the overhead ratio is single-digit percent,
+        // well below this runner's sequential run-to-run drift.
+        Benchmark::new("fleet_96vms_trace_off", "trace_overhead", move || {
+            fleet_traced(96, quick, false);
+        })
+        .interleaved_with_next(),
+        Benchmark::new("fleet_96vms_trace_on", "trace_overhead", move || {
+            fleet_traced(96, quick, true);
         }),
         // Datacenter scale: wall-clock + RSS at 1k and 10k hosts.
         // Sketch variants first — see `fleet_scale` on why order
@@ -503,6 +648,29 @@ pub fn validate(json: &str) -> Result<(), String> {
         }
         num_of(field(b, "rss_peak_kb")?, "rss_peak_kb")?;
     }
+    // `pairs` is additive (absent in artefacts from before interleaved
+    // A/B pairs existed); when present it must be well-formed.
+    if let Some((_, v)) = map.iter().find(|(k, _)| k == "pairs") {
+        let pairs = v.as_seq().ok_or("pairs must be an array")?;
+        for (i, p) in pairs.iter().enumerate() {
+            let p = p
+                .as_map()
+                .ok_or_else(|| format!("pairs[{i}] must be an object"))?;
+            let baseline = str_of(field(p, "baseline")?, "baseline")?;
+            str_of(field(p, "measured")?, "measured")?;
+            if num_of(field(p, "reps")?, "reps")? < 1.0 {
+                return Err(format!("pair {baseline}: reps must be at least 1"));
+            }
+            let ratio = field(p, "median_overhead_pct")?
+                .as_num()
+                .ok_or("median_overhead_pct must be a number")?;
+            if !ratio.is_finite() {
+                return Err(format!(
+                    "pair {baseline}: median_overhead_pct must be finite, got {ratio}"
+                ));
+            }
+        }
+    }
     Ok(())
 }
 
@@ -583,6 +751,69 @@ mod tests {
         assert!(validate(bad_order).unwrap_err().contains("min_ms"));
     }
 
+    /// An interleaved pair alternates repetitions (A, B, A, B, …)
+    /// after a joint warmup, runs 3× the suite repetitions, and
+    /// reports two ordinary per-arm entries plus a `pairs` statistic.
+    #[test]
+    fn interleaved_pair_alternates_repetitions() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let order = Rc::new(RefCell::new(String::new()));
+        let (oa, ob) = (Rc::clone(&order), Rc::clone(&order));
+        let benches = vec![
+            Benchmark::new("arm_a", "pair", move || oa.borrow_mut().push('a'))
+                .interleaved_with_next(),
+            Benchmark::new("arm_b", "pair", move || ob.borrow_mut().push('b')),
+        ];
+        let report = run(benches, true, 3);
+        // 1 warmup each, then 3x3 alternating timed rep pairs.
+        assert_eq!(*order.borrow(), "ab".repeat(10));
+        assert_eq!(report.benchmarks.len(), 2);
+        assert_eq!(report.benchmarks[0].name, "arm_a");
+        assert_eq!(report.benchmarks[1].name, "arm_b");
+        assert_eq!(report.benchmarks[0].reps, 9);
+        assert_eq!(report.pairs.len(), 1);
+        let p = &report.pairs[0];
+        assert_eq!(
+            (p.baseline.as_str(), p.measured.as_str()),
+            ("arm_a", "arm_b")
+        );
+        assert_eq!(p.reps, 9);
+        assert!(p.median_overhead_pct.is_finite());
+        validate(&report.to_json()).expect("paired artefact validates");
+    }
+
+    /// Artefacts from before `pairs` existed still validate, and a
+    /// malformed `pairs` entry is rejected.
+    #[test]
+    fn validate_pairs_field_is_additive() {
+        let no_pairs = r#"{
+            "schema": "pas-repro-bench/v1", "created_utc": "2026-08-07",
+            "quick": true, "warmup": 1, "repetitions": 3,
+            "benchmarks": [{ "name": "x", "group": "g", "reps": 3,
+                "median_ms": 5.0, "min_ms": 4.0, "max_ms": 7.0,
+                "rss_peak_kb": 0 }]
+        }"#;
+        validate(no_pairs).expect("pairs is optional");
+        let bad_pair = r#"{
+            "schema": "pas-repro-bench/v1", "created_utc": "2026-08-07",
+            "quick": true, "warmup": 1, "repetitions": 3,
+            "benchmarks": [{ "name": "x", "group": "g", "reps": 3,
+                "median_ms": 5.0, "min_ms": 4.0, "max_ms": 7.0,
+                "rss_peak_kb": 0 }],
+            "pairs": [{ "baseline": "x", "measured": "y", "reps": 0,
+                "median_overhead_pct": 1.0 }]
+        }"#;
+        assert!(validate(bad_pair).unwrap_err().contains("reps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "pair_with_next but is the last benchmark")]
+    fn trailing_pair_marker_panics() {
+        let benches = vec![Benchmark::new("lonely", "pair", || {}).interleaved_with_next()];
+        let _ = run(benches, true, 1);
+    }
+
     /// The suite definition itself: fixed names, the documented
     /// minimum of six benchmarks, and the idle-skip A/B pair present.
     #[test]
@@ -592,6 +823,8 @@ mod tests {
         let names: Vec<&str> = s.iter().map(|b| b.name).collect();
         assert!(names.contains(&"fleet_idle_heavy_skip"));
         assert!(names.contains(&"fleet_idle_heavy_exact"));
+        assert!(names.contains(&"fleet_96vms_trace_off"));
+        assert!(names.contains(&"fleet_96vms_trace_on"));
         assert!(names.contains(&"campaign_sweep"));
     }
 }

@@ -64,7 +64,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use report::{CampaignReport, PointReport};
-pub use run::RunRecord;
+pub use run::{RunRecord, TracedRun};
 pub use spec::{CampaignError, CampaignSpec, ScenarioSpec};
 pub use sweep::{expand, DesignPoint, Expansion};
 
@@ -109,6 +109,104 @@ pub fn run(spec: &CampaignSpec, quick: bool, jobs: usize) -> Result<CampaignRepo
         labels,
         grouped,
     ))
+}
+
+/// A traced campaign: the ordinary report plus the run-labelled event
+/// trace and the wall-clock self-profile.
+///
+/// The report and the trace JSONL are deterministic — byte-identical
+/// for every `--jobs` value. The profile measures wall-clock time and
+/// is **not**; callers must write it to its own artefact and keep it
+/// out of byte-identity comparisons.
+#[derive(Debug, Clone)]
+pub struct TracedCampaign {
+    /// The campaign report, bit-identical to what [`run()`] produces.
+    pub report: CampaignReport,
+    /// The merged `pas-repro-trace/v1` JSONL document: every event
+    /// line labelled `<point-label>#<seed>`, runs in plan order
+    /// (point-major, seed-minor).
+    pub trace_jsonl: String,
+    /// Phase spans (`expand` / `simulate` / `reduce`, plus `runs_cpu`
+    /// — the summed per-run worker time, whose ratio to `simulate`
+    /// shows the parallel speedup) and counters.
+    pub profile: metrics::profile::ProfileReport,
+}
+
+/// Runs a whole campaign with per-run tracing and self-profiling:
+/// every simulated host carries a bounded event ring of `capacity`
+/// events (see [`trace::Tracer`]), and the campaign times its own
+/// phases.
+///
+/// The scalar results are bit-identical to [`run()`] — tracing only
+/// observes the simulation.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] if the spec fails validation or sweep
+/// expansion (see [`sweep::expand`]).
+pub fn run_traced(
+    spec: &CampaignSpec,
+    quick: bool,
+    jobs: usize,
+    capacity: usize,
+) -> Result<TracedCampaign, CampaignError> {
+    let mut profiler = metrics::profile::Profiler::new();
+    let expansion = profiler.span("expand", || sweep::expand(spec))?;
+    let replicates = expansion.replicates;
+
+    let plans: Vec<(usize, u64)> = (0..expansion.points.len())
+        .flat_map(|p| (0..replicates).map(move |r| (p, spec.seeds.base + r as u64)))
+        .collect();
+    let run_labels: Vec<String> = plans
+        .iter()
+        .map(|&(p, seed)| format!("{}#{seed}", expansion.points[p].label))
+        .collect();
+
+    let results: Vec<(run::TracedRun, f64)> = profiler.span("simulate", || {
+        cluster::exec::parallel_map(jobs.max(1), plans, |_, (p, seed)| {
+            let started = std::time::Instant::now();
+            let traced = run::run_point_traced(&expansion.points[p], seed, quick, capacity);
+            (traced, started.elapsed().as_secs_f64() * 1000.0)
+        })
+    });
+    profiler.add_span_ms("runs_cpu", results.iter().map(|(_, ms)| ms).sum());
+    profiler.count("runs", results.len() as u64);
+    profiler.count(
+        "trace_events",
+        results
+            .iter()
+            .map(|(r, _)| r.trace.events().len() as u64)
+            .sum(),
+    );
+    profiler.count(
+        "trace_dropped",
+        results.iter().map(|(r, _)| r.trace.dropped()).sum(),
+    );
+
+    let parts: Vec<(Option<&str>, &trace::Trace)> = run_labels
+        .iter()
+        .zip(results.iter())
+        .map(|(label, (r, _))| (Some(label.as_str()), &r.trace))
+        .collect();
+    let trace_jsonl = trace::render_jsonl(&spec.name, &parts);
+
+    let grouped: Vec<Vec<RunRecord>> = results
+        .chunks(replicates)
+        .map(|chunk| chunk.iter().map(|(r, _)| r.record.clone()).collect())
+        .collect();
+    let labels = expansion
+        .points
+        .iter()
+        .map(|p| (p.label.clone(), p.settings.clone()))
+        .collect();
+    let report = profiler.span("reduce", || {
+        report::reduce(&spec.name, quick, spec.max_runs, labels, grouped)
+    });
+    Ok(TracedCampaign {
+        report,
+        trace_jsonl,
+        profile: profiler.report(),
+    })
 }
 
 #[cfg(test)]
@@ -167,6 +265,43 @@ mod tests {
         assert!(energy.stddev > 0.0, "bursty seeds must disperse");
         assert!(energy.ci95_half > 0.0);
         assert!(energy.min <= energy.p50 && energy.p50 <= energy.max);
+    }
+
+    #[test]
+    fn traced_campaign_matches_untraced_and_is_jobs_invariant() {
+        let spec = CampaignSpec::from_json(SWEPT).unwrap();
+        let plain = run(&spec, true, 2).unwrap();
+        let t1 = run_traced(&spec, true, 1, 4096).unwrap();
+        let t4 = run_traced(&spec, true, 4, 4096).unwrap();
+        assert_eq!(
+            plain.text(),
+            t1.report.text(),
+            "tracing must not change the report"
+        );
+        assert_eq!(t1.report.text(), t4.report.text());
+        assert_eq!(t1.trace_jsonl, t4.trace_jsonl, "trace is jobs-invariant");
+        // Header, labelled event lines in plan order, and a footer
+        // accounting for all 12 runs.
+        assert!(t1
+            .trace_jsonl
+            .starts_with("{\"schema\":\"pas-repro-trace/v1\""));
+        assert!(t1
+            .trace_jsonl
+            .contains("\"run\":\"scheduler=credit, credit_pct:v20=10#7\""));
+        assert!(t1.trace_jsonl.trim_end().ends_with("\"runs\":12}"));
+        // The profile is wall-clock (non-deterministic) but complete.
+        let span_names: Vec<&str> = t1.profile.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(span_names, ["expand", "simulate", "runs_cpu", "reduce"]);
+        let counter = |name: &str| {
+            t1.profile
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+                .unwrap()
+        };
+        assert_eq!(counter("runs"), 12);
+        assert!(counter("trace_events") > 0);
     }
 
     #[test]

@@ -37,6 +37,16 @@ pub struct RunRecord {
     pub scalars: Vec<(String, f64)>,
 }
 
+/// One replica's results plus its merged event trace (see
+/// [`run_point_traced`]).
+#[derive(Debug, Clone)]
+pub struct TracedRun {
+    /// The scalar results, identical to what [`run_point`] returns.
+    pub record: RunRecord,
+    /// The run's merged, time-ordered event trace.
+    pub trace: trace::Trace,
+}
+
 /// The time-scale factor: `--quick` runs are 10× shorter (floored at
 /// 30 s), applied uniformly so profile shapes are preserved.
 fn time_factor(duration_s: f64, quick: bool) -> f64 {
@@ -51,10 +61,25 @@ fn time_factor(duration_s: f64, quick: bool) -> f64 {
 #[must_use]
 pub fn run_point(point: &DesignPoint, seed: u64, quick: bool) -> RunRecord {
     let scalars = match &point.scenario {
-        ScenarioSpec::Host(h) => run_host(h, seed, quick),
-        ScenarioSpec::Fleet(f) => run_fleet(f, seed, quick),
+        ScenarioSpec::Host(h) => run_host(h, seed, quick, None).0,
+        ScenarioSpec::Fleet(f) => run_fleet(f, seed, quick, None).0,
     };
     RunRecord { seed, scalars }
+}
+
+/// Runs one design point under one seed with tracing enabled: every
+/// host carries a bounded ring of `capacity` events. The scalar
+/// results are bit-identical to [`run_point`] — tracing only observes.
+#[must_use]
+pub fn run_point_traced(point: &DesignPoint, seed: u64, quick: bool, capacity: usize) -> TracedRun {
+    let (scalars, trace) = match &point.scenario {
+        ScenarioSpec::Host(h) => run_host(h, seed, quick, Some(capacity)),
+        ScenarioSpec::Fleet(f) => run_fleet(f, seed, quick, Some(capacity)),
+    };
+    TracedRun {
+        record: RunRecord { seed, scalars },
+        trace: trace.expect("tracing was requested"),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -160,7 +185,12 @@ fn entitled_fmax_secs(w: &WorkloadSpec, credit_frac: f64, scale: f64, total_s: f
     }
 }
 
-fn run_host(sc: &HostScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
+fn run_host(
+    sc: &HostScenario,
+    seed: u64,
+    quick: bool,
+    trace_capacity: Option<usize>,
+) -> (Vec<(String, f64)>, Option<trace::Trace>) {
     let scale = time_factor(sc.duration_s, quick);
     let total_s = sc.duration_s * scale;
     let mut cfg = HostConfig::optiplex_defaults(sc.scheduler.kind())
@@ -174,6 +204,9 @@ fn run_host(sc: &HostScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
         }
     }
     let mut host = cfg.build();
+    if let Some(cap) = trace_capacity {
+        host.set_tracer(trace::Tracer::new(1, cap).with_host(0));
+    }
     let fmax = host.fmax_mcps();
     let base_rng = SimRng::seed_from(seed);
 
@@ -230,7 +263,10 @@ fn run_host(sc: &HostScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
         ("mean_freq_mhz".to_owned(), mean_freq),
     ];
     scalars.extend(per_vm);
-    scalars
+    let trace = host
+        .take_tracer()
+        .map(|tracer| trace::Trace::merge(vec![tracer]));
+    (scalars, trace)
 }
 
 // ---------------------------------------------------------------------------
@@ -250,7 +286,12 @@ fn fleet_population(sc: &FleetScenario, seed: u64) -> Vec<ClusterVmSpec> {
         .collect()
 }
 
-fn run_fleet(sc: &FleetScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
+fn run_fleet(
+    sc: &FleetScenario,
+    seed: u64,
+    quick: bool,
+    trace_capacity: Option<usize>,
+) -> (Vec<(String, f64)>, Option<trace::Trace>) {
     let scale = time_factor(sc.duration_s, quick);
     let total_s = sc.duration_s * scale;
     let epochs = ((total_s / sc.epoch_s).round() as usize).max(1);
@@ -281,13 +322,17 @@ fn run_fleet(sc: &FleetScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
     };
     let specs = fleet_population(sc, seed);
     let mut fleet = Fleet::build(cfg, &specs);
+    if let Some(cap) = trace_capacity {
+        fleet.enable_tracing(cap);
+    }
     // Inner jobs stay at 1: campaign parallelism fans out across
     // replicas and design points, which is both simpler and fuller.
     fleet.run_epochs(epochs, 1);
     let totals = fleet.totals();
+    let trace = fleet.take_trace();
     let sketch = fleet.load_sketch();
 
-    vec![
+    let scalars = vec![
         ("energy_j".to_owned(), totals.energy_j),
         (
             "sla_violation_pct".to_owned(),
@@ -309,7 +354,8 @@ fn run_fleet(sc: &FleetScenario, seed: u64, quick: bool) -> Vec<(String, f64)> {
             "load_p99_pct".to_owned(),
             sketch.percentile(99.0).unwrap_or(0.0),
         ),
-    ]
+    ];
+    (scalars, trace)
 }
 
 #[cfg(test)]
@@ -445,5 +491,48 @@ mod tests {
         assert!(get("mean_load_pct") > 0.0);
         let b = run_point(&point(sc), 2, true);
         assert_ne!(a.scalars, b.scalars, "population follows the seed");
+    }
+
+    #[test]
+    fn traced_point_matches_untraced_scalars_and_yields_events() {
+        let host_sc = ScenarioSpec::Host(quick_host(SchedulerSpec::Pas, None));
+        let plain = run_point(&point(host_sc.clone()), 7, true);
+        let traced = run_point_traced(&point(host_sc), 7, true, 4096);
+        assert_eq!(
+            plain, traced.record,
+            "tracing must not change the simulation"
+        );
+        assert!(traced.trace.recorded() > 0, "a PAS host emits events");
+        assert!(traced
+            .trace
+            .events()
+            .iter()
+            .any(|e| e.kind.name() == "sched_pick"));
+
+        let fleet_sc = ScenarioSpec::Fleet(FleetScenario {
+            scheduler: SchedulerSpec::Pas,
+            governor: None,
+            duration_s: 600.0,
+            size: 10,
+            mem_gib_choices: vec![2.0, 4.0, 8.0],
+            cpu_frac_min: 0.03,
+            cpu_frac_max: 0.10,
+            credit_factor: 1.0,
+            placement: PlacementSpec::BestFit,
+            migration: None,
+            epoch_s: 30.0,
+            spare_hosts: 0,
+            shards: None,
+        });
+        let plain = run_point(&point(fleet_sc.clone()), 1, true);
+        let traced = run_point_traced(&point(fleet_sc), 1, true, 4096);
+        assert_eq!(plain, traced.record);
+        let placements = traced
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.kind.name() == "placement")
+            .count();
+        assert_eq!(placements, 10, "one placement event per VM");
     }
 }

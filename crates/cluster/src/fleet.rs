@@ -21,6 +21,7 @@ use metrics::sketch::{Sketch, DEFAULT_ALPHA};
 use metrics::TimeSeries;
 use pas_core::Credit;
 use simkernel::{SimDuration, SimTime};
+use trace::{EventKind, Record as _, Trace, Tracer};
 
 use crate::exec;
 use crate::migration::{MigrationCostModel, MigrationRecord, MigrationTrigger};
@@ -274,6 +275,15 @@ pub struct Fleet {
     /// Every per-host-epoch absolute load (percent), sketched: the
     /// bounded-memory load distribution at any population.
     load_sketch: Sketch,
+    /// The zone each host belongs to under sharded placement; empty
+    /// when the global controller placed the fleet.
+    zone_of_host: Vec<Option<usize>>,
+    /// Spec indices re-placed through the coordinator's spill path.
+    spilled: Vec<usize>,
+    /// Fleet-level tracer (stream 0): controller events — placement,
+    /// migration timeline, epoch boundaries, SLA verdict. `None` keeps
+    /// the controller's hot path free of tracing branches.
+    tracer: Option<Tracer>,
 }
 
 impl Fleet {
@@ -299,9 +309,16 @@ impl Fleet {
                 spec.credit_frac
             );
         }
-        let placement = match &cfg.sharding {
-            Some(sc) => shard::place_sharded(cfg.policy, specs, cfg.capacity, sc).placement,
-            None => cfg.policy.place(specs, cfg.capacity),
+        let (placement, zone_of_host, spilled) = match &cfg.sharding {
+            Some(sc) => {
+                let sp = shard::place_sharded(cfg.policy, specs, cfg.capacity, sc);
+                (sp.placement, sp.zone_of_host, sp.spilled)
+            }
+            None => (
+                cfg.policy.place(specs, cfg.capacity),
+                Vec::new(),
+                Vec::new(),
+            ),
         };
         let mut hosts = Vec::with_capacity(placement.host_count());
         let mut residency: Vec<Vec<(usize, VmId)>> = vec![Vec::new(); specs.len()];
@@ -356,7 +373,67 @@ impl Fleet {
             migrations: Vec::new(),
             load_series: TimeSeries::new("fleet_mean_load_pct"),
             load_sketch: Sketch::new(DEFAULT_ALPHA),
+            zone_of_host,
+            spilled,
+            tracer: None,
         }
+    }
+
+    /// Installs tracers on the fleet stream and on every host, each a
+    /// bounded ring of `capacity` events (see [`trace::Tracer`]); the
+    /// placement is recorded immediately, one `placement` event per
+    /// VM in host-major order. Tracing never changes the simulation —
+    /// only observes it — so traced and untraced runs are
+    /// bit-identical in every artefact.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        let mut tracer = Tracer::new(0, capacity);
+        let at_s = self.elapsed.as_secs_f64();
+        for (h, i) in self.placement.assignments() {
+            tracer.record(
+                at_s,
+                EventKind::Placement {
+                    vm: self.specs[i].name.as_str().into(),
+                    to_host: h,
+                    zone: self.zone_of_host.get(h).copied().flatten(),
+                    spilled: self.spilled.contains(&i),
+                },
+            );
+        }
+        self.tracer = Some(tracer);
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            host.set_tracer(Tracer::new(h + 1, capacity).with_host(h));
+        }
+    }
+
+    /// `true` once [`Fleet::enable_tracing`] has installed tracers.
+    #[must_use]
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Uninstalls every tracer and merges their streams into one
+    /// time-ordered [`Trace`]. A final `sla_violation` event is
+    /// recorded first if the run's delivered/entitled ratio fell
+    /// short. Returns `None` when tracing was never enabled.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.as_ref()?;
+        let totals = self.totals();
+        let mut fleet_tracer = self.tracer.take().expect("checked above");
+        if totals.sla_ratio < 1.0 - 1e-9 {
+            fleet_tracer.record(
+                self.elapsed.as_secs_f64(),
+                EventKind::SlaViolation {
+                    sla_ratio: totals.sla_ratio,
+                },
+            );
+        }
+        let mut tracers = vec![fleet_tracer];
+        for host in &mut self.hosts {
+            if let Some(t) = host.take_tracer() {
+                tracers.push(t);
+            }
+        }
+        Some(Trace::merge(tracers))
     }
 
     /// Number of hosts the placement opened.
@@ -490,6 +567,17 @@ impl Fleet {
                 self.load_series
                     .push(self.elapsed.as_secs_f64(), mean * 100.0);
             }
+            if let Some(tracer) = self.tracer.as_mut() {
+                // The same `mean * 100.0` the series records, so the
+                // trace and the artefacts can never disagree.
+                tracer.record(
+                    self.elapsed.as_secs_f64(),
+                    EventKind::EpochEnd {
+                        epoch: (self.epochs_run - 1) as u64,
+                        mean_load_pct: mean * 100.0,
+                    },
+                );
+            }
 
             if let Some(trigger) = self.cfg.trigger {
                 self.rebalance(&trigger);
@@ -559,7 +647,7 @@ impl Fleet {
             self.host_load[src] = (self.host_load[src] - spec_demand).max(0.0);
             self.host_load[dst] += spec_demand;
 
-            self.migrations.push(MigrationRecord {
+            let rec = MigrationRecord {
                 at_s: now_s,
                 vm: self.specs[vm_idx].name.clone(),
                 from: src,
@@ -568,7 +656,37 @@ impl Fleet {
                 copy_time_s: self.cfg.cost.copy_time_s(spec_mem),
                 downtime_s: self.cfg.cost.downtime_s,
                 energy_j: self.cfg.cost.energy_j(spec_mem),
-            });
+            };
+            if let Some(tracer) = self.tracer.as_mut() {
+                let vm_tag = trace::VmName::from(rec.vm.as_str());
+                tracer.record(
+                    rec.at_s,
+                    EventKind::MigrationStart {
+                        vm: vm_tag.clone(),
+                        from_host: rec.from,
+                        to_host: rec.to,
+                        mem_gib: rec.mem_gib,
+                        copy_s: rec.copy_time_s,
+                    },
+                );
+                tracer.record(
+                    rec.blackout_at_s(),
+                    EventKind::MigrationBlackout {
+                        vm: vm_tag.clone(),
+                        downtime_s: rec.downtime_s,
+                    },
+                );
+                tracer.record(
+                    rec.finish_at_s(),
+                    EventKind::MigrationFinish {
+                        vm: vm_tag,
+                        from_host: rec.from,
+                        to_host: rec.to,
+                        energy_j: rec.energy_j,
+                    },
+                );
+            }
+            self.migrations.push(rec);
         }
     }
 
@@ -828,6 +946,96 @@ mod tests {
             for (a, b) in s.iter().zip(&s1) {
                 assert_eq!(a.1.to_bits(), b.1.to_bits());
             }
+        }
+    }
+
+    fn surge_specs() -> Vec<VmSpec> {
+        vec![
+            VmSpec::new("surger", 5.0, 0.25)
+                .with_credit_frac(0.60)
+                .with_steps(vec![(30.0, 0.60)]),
+            VmSpec::new("steady-a", 5.0, 0.25).with_credit_frac(0.35),
+            VmSpec::new("steady-b", 5.0, 0.25).with_credit_frac(0.35),
+            VmSpec::new("quiet", 5.0, 0.05).with_credit_frac(0.20),
+        ]
+    }
+
+    #[test]
+    fn traced_fleet_records_placement_epochs_and_migration_timeline() {
+        let specs = surge_specs();
+        let cfg = FleetConfig::performance_defaults().with_trigger(MigrationTrigger::default());
+        let mut fleet = Fleet::build(cfg, &specs);
+        fleet.enable_tracing(trace::DEFAULT_CAPACITY);
+        assert!(fleet.is_tracing());
+        fleet.run_epochs(8, 2);
+        let migrations = fleet.migrations().len();
+        assert!(migrations >= 1, "the surge must trip the trigger");
+        let trace = fleet.take_trace().expect("tracing was enabled");
+        assert!(!fleet.is_tracing(), "take_trace uninstalls");
+
+        let count = |name: &str| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.kind.name() == name)
+                .count()
+        };
+        assert_eq!(count("placement"), specs.len(), "one per VM");
+        assert_eq!(count("epoch_end"), 8, "one per epoch");
+        assert_eq!(count("migration_start"), migrations);
+        assert_eq!(count("migration_blackout"), migrations);
+        assert_eq!(count("migration_finish"), migrations);
+        assert!(count("sched_pick") > 0, "host streams are merged in");
+        // Fleet-stream events carry no host tag; host streams do.
+        assert!(trace
+            .events()
+            .iter()
+            .filter(|e| e.stream == 0)
+            .all(|e| e.host.is_none()));
+        assert!(trace
+            .events()
+            .iter()
+            .filter(|e| e.stream > 0)
+            .all(|e| e.host == Some(e.stream - 1)));
+        // And the merge is time-ordered.
+        for pair in trace.events().windows(2) {
+            assert!(pair[0].at_s <= pair[1].at_s);
+        }
+    }
+
+    #[test]
+    fn tracing_never_changes_the_fleet_simulation() {
+        let specs = surge_specs();
+        let run = |traced: bool| {
+            let cfg = FleetConfig::performance_defaults().with_trigger(MigrationTrigger::default());
+            let mut fleet = Fleet::build(cfg, &specs);
+            if traced {
+                fleet.enable_tracing(64);
+            }
+            fleet.run_epochs(6, 2);
+            fleet.totals()
+        };
+        let (plain, traced) = (run(false), run(true));
+        assert_eq!(plain.energy_j.to_bits(), traced.energy_j.to_bits());
+        assert_eq!(plain.sla_ratio.to_bits(), traced.sla_ratio.to_bits());
+        assert_eq!(plain.migration_count, traced.migration_count);
+    }
+
+    #[test]
+    fn trace_jsonl_is_identical_across_jobs_and_shards() {
+        let specs = lazy_fleet(24);
+        let run = |shards: usize, jobs: usize| {
+            let cfg = FleetConfig::pas_defaults().with_sharding(ShardConfig::new(shards));
+            let mut fleet = Fleet::build(cfg, &specs);
+            fleet.enable_tracing(trace::DEFAULT_CAPACITY);
+            fleet.run_epochs(3, jobs);
+            let t = fleet.take_trace().expect("traced");
+            trace::render_jsonl("fleet-test", &[(None, &t)])
+        };
+        let base = run(1, 1);
+        assert!(base.contains("\"event\":\"epoch_end\""));
+        for (shards, jobs) in [(1, 8), (4, 2), (16, 4)] {
+            assert_eq!(base, run(shards, jobs), "shards={shards} jobs={jobs}");
         }
     }
 

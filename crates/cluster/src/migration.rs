@@ -124,6 +124,22 @@ pub struct MigrationRecord {
     pub energy_j: f64,
 }
 
+impl MigrationRecord {
+    /// Fleet time when the pre-copy finishes and the stop-and-copy
+    /// blackout begins, seconds.
+    #[must_use]
+    pub fn blackout_at_s(&self) -> f64 {
+        self.at_s + self.copy_time_s
+    }
+
+    /// Fleet time when the VM resumes on the destination host,
+    /// seconds.
+    #[must_use]
+    pub fn finish_at_s(&self) -> f64 {
+        self.blackout_at_s() + self.downtime_s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +164,22 @@ mod tests {
         let m = MigrationCostModel::gigabit_defaults();
         assert!(m.copy_time_s(8.0) > m.copy_time_s(4.0));
         assert!((m.energy_j(2.0) - 2.0 * m.energy_j_per_gib).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_timeline_orders_start_blackout_finish() {
+        let rec = MigrationRecord {
+            at_s: 100.0,
+            vm: "v".to_owned(),
+            from: 0,
+            to: 1,
+            mem_gib: 4.0,
+            copy_time_s: 32.0,
+            downtime_s: 0.3,
+            energy_j: 80.0,
+        };
+        assert!((rec.blackout_at_s() - 132.0).abs() < 1e-12);
+        assert!((rec.finish_at_s() - 132.3).abs() < 1e-12);
+        assert!(rec.at_s < rec.blackout_at_s() && rec.blackout_at_s() < rec.finish_at_s());
     }
 }

@@ -174,6 +174,24 @@ impl Placement {
     pub fn cpu_used(&self, specs: &[VmSpec], h: usize) -> f64 {
         self.hosts[h].iter().map(|&i| specs[i].cpu_frac).sum()
     }
+
+    /// Iterates `(host, spec_idx)` pairs host-major, in placement
+    /// order — the order the fleet tracer reports `placement` events.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use cluster::placement::Placement;
+    /// let p = Placement { hosts: vec![vec![2, 0], vec![1]] };
+    /// let pairs: Vec<_> = p.assignments().collect();
+    /// assert_eq!(pairs, vec![(0, 2), (0, 0), (1, 1)]);
+    /// ```
+    pub fn assignments(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.hosts
+            .iter()
+            .enumerate()
+            .flat_map(|(h, vms)| vms.iter().map(move |&i| (h, i)))
+    }
 }
 
 impl PlacementPolicy {

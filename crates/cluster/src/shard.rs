@@ -192,6 +192,16 @@ pub struct ShardedPlacement {
     pub spilled: Vec<usize>,
 }
 
+impl ShardedPlacement {
+    /// `true` if spec index `idx` went through the coordinator's spill
+    /// path instead of its home zone (the `spilled` flag on `placement`
+    /// trace events).
+    #[must_use]
+    pub fn is_spilled(&self, idx: usize) -> bool {
+        self.spilled.contains(&idx)
+    }
+}
+
 /// Runs the sharded placement: hash to zones, pack each zone on its
 /// shard controller, spill overflow through the coordinator.
 ///

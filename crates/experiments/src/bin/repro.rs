@@ -19,7 +19,7 @@
 //! to a serial run (reports are emitted in request order, and every
 //! simulation is independently seeded; see `cluster::exec`).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use experiments::{
@@ -32,11 +32,15 @@ struct Args {
     fidelity: Fidelity,
     out: Option<PathBuf>,
     jobs: usize,
+    trace: bool,
+    trace_out: Option<PathBuf>,
 }
 
 const USAGE: &str = "usage: repro <experiment>... [--quick] [--out DIR] [--jobs N]\n\
                             repro all [--quick] [--out DIR] [--jobs N]\n\
-                            repro campaign <spec.json> [--quick] [--out DIR] [--jobs N]\n\
+                            repro run <spec.json> [--quick] [--out DIR] [--trace] [--trace-out DIR]\n\
+                            repro campaign <spec.json> [--quick] [--out DIR] [--jobs N] [--trace] [--trace-out DIR]\n\
+                            repro trace-summary <trace.jsonl>\n\
                             repro bench [--quick] [--out DIR]\n\
                             repro bench-check <BENCH_*.json>\n\
                             repro list\n";
@@ -46,6 +50,8 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut fidelity = Fidelity::Full;
     let mut out = None;
     let mut jobs = 1;
+    let mut trace = false;
+    let mut trace_out = None;
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -58,6 +64,19 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                     return Err(format!("--out needs a directory, but got the flag {dir:?}"));
                 }
                 out = Some(PathBuf::from(dir));
+            }
+            "--trace" => trace = true,
+            "--trace-out" => {
+                let dir = argv
+                    .next()
+                    .ok_or("--trace-out needs a directory, e.g. `--trace-out artefacts/`")?;
+                if dir.starts_with('-') {
+                    return Err(format!(
+                        "--trace-out needs a directory, but got the flag {dir:?}"
+                    ));
+                }
+                trace = true;
+                trace_out = Some(PathBuf::from(dir));
             }
             "--jobs" | "-j" => {
                 let n = argv
@@ -86,7 +105,40 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         fidelity,
         out,
         jobs,
+        trace,
+        trace_out,
     })
+}
+
+/// Directory traced artefacts land in: `--trace-out`, else `--out`,
+/// else the current directory.
+fn trace_dir(args: &Args) -> PathBuf {
+    args.trace_out
+        .clone()
+        .or_else(|| args.out.clone())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Writes the trace JSONL and profile JSON artefacts of a traced run.
+/// The trace is deterministic; the profile is wall-clock and lives in
+/// its own file precisely so byte-identity checks can skip it.
+fn write_trace_artefacts(
+    dir: &Path,
+    name: &str,
+    trace_jsonl: &str,
+    profile: &metrics::profile::ProfileReport,
+) -> Result<(), String> {
+    let trace_path = dir.join(format!("{name}-trace.jsonl"));
+    metrics::export::write_artifact(&trace_path, trace_jsonl)
+        .map_err(|e| format!("failed to write {}: {e}", trace_path.display()))?;
+    println!("wrote {}", trace_path.display());
+    let profile_json = metrics::export::to_json(profile)
+        .map_err(|e| format!("failed to serialize profile: {e}"))?;
+    let profile_path = dir.join(format!("{name}-profile.json"));
+    metrics::export::write_artifact(&profile_path, &profile_json)
+        .map_err(|e| format!("failed to write {}: {e}", profile_path.display()))?;
+    println!("wrote {}", profile_path.display());
+    Ok(())
 }
 
 fn emit(report: &ExperimentReport, out: Option<&PathBuf>) {
@@ -141,11 +193,21 @@ fn run_campaign(args: &Args) -> ExitCode {
         }
     };
     let quick = args.fidelity == Fidelity::Quick;
-    let report = match campaign::run(&spec, quick, args.jobs) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let (report, traced) = if args.trace {
+        match campaign::run_traced(&spec, quick, args.jobs, trace::DEFAULT_CAPACITY) {
+            Ok(t) => (t.report.clone(), Some(t)),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match campaign::run(&spec, quick, args.jobs) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
     print!("{}", report.text());
@@ -175,13 +237,119 @@ fn run_campaign(args: &Args) -> ExitCode {
             }
         }
     }
+    if let Some(t) = traced {
+        if let Err(e) =
+            write_trace_artefacts(&trace_dir(args), &spec.name, &t.trace_jsonl, &t.profile)
+        {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
+/// Runs `repro run <spec.json>`: one simulation of the spec's base
+/// scenario (no sweep, seed = `seeds.base`), printing the scalar
+/// results; with `--trace`, also writes the event-trace JSONL and the
+/// wall-clock profile.
+fn run_single(args: &Args) -> ExitCode {
+    let spec_paths = &args.names[1..];
+    let [path] = spec_paths else {
+        eprintln!(
+            "error: `repro run` takes exactly one spec file, got {}",
+            spec_paths.len()
+        );
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match campaign::CampaignSpec::from_json(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let point = campaign::DesignPoint {
+        label: "base".to_owned(),
+        settings: Vec::new(),
+        scenario: spec.scenario.clone(),
+    };
+    let quick = args.fidelity == Fidelity::Quick;
+    let seed = spec.seeds.base;
+    let mut profiler = metrics::profile::Profiler::new();
+    let (record, trace) = if args.trace {
+        let traced = profiler.span("simulate", || {
+            campaign::run::run_point_traced(&point, seed, quick, trace::DEFAULT_CAPACITY)
+        });
+        (traced.record, Some(traced.trace))
+    } else {
+        (
+            profiler.span("simulate", || campaign::run::run_point(&point, seed, quick)),
+            None,
+        )
+    };
+
+    println!("run: {} (seed {seed})", spec.name);
+    for (name, value) in &record.scalars {
+        println!("  {name} = {}", metrics::export::exact_num(*value));
+    }
+    if let Some(trace) = trace {
+        profiler.count("trace_events", trace.events().len() as u64);
+        profiler.count("trace_dropped", trace.dropped());
+        let jsonl = trace::render_jsonl(&spec.name, &[(None, &trace)]);
+        if let Err(e) =
+            write_trace_artefacts(&trace_dir(args), &spec.name, &jsonl, &profiler.report())
+        {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Runs `repro trace-summary <trace.jsonl>`: parses and validates a
+/// `pas-repro-trace/v1` artefact and prints the analyzer report
+/// (per-host/per-VM event counts, frequency-transition histogram,
+/// migration timeline).
+fn run_trace_summary(args: &Args) -> ExitCode {
+    let paths = &args.names[1..];
+    let [path] = paths else {
+        eprintln!(
+            "error: `repro trace-summary` takes exactly one trace.jsonl file, got {}",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match trace::summary::summarize(&text) {
+        Ok(summary) => {
+            print!("{}", summary.text());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Runs `repro bench`: the fixed macro-benchmark suite from
-/// `pas_bench::harness`, a stdout table plus the idle-skip speedup,
-/// and `BENCH_<date>.json` written to `--out DIR` (default: the
-/// current directory, conventionally the repo root).
+/// `pas_bench::harness`, a stdout table plus the idle-skip speedup
+/// and the tracing-overhead A/B, and `BENCH_<date>.json` written to
+/// `--out DIR` (default: the current directory, conventionally the
+/// repo root).
 fn run_bench(args: &Args) -> ExitCode {
     if args.names.len() > 1 {
         eprintln!("error: `repro bench` takes no positional arguments");
@@ -210,6 +378,22 @@ fn run_bench(args: &Args) -> ExitCode {
                 exact / skip
             );
         }
+    }
+    // Likewise the tracer A/B on the 96-VM fleet: the measured cost
+    // of `--trace`, and the evidence the off path stays untouched.
+    // The pair runs interleaved, so its paired statistic (the median
+    // per-repetition ratio) is the number to read — not the ratio of
+    // the arms' medians, which drift-noise can swing either way.
+    if let Some(p) = report
+        .pairs
+        .iter()
+        .find(|p| p.measured == "fleet_96vms_trace_on")
+    {
+        println!(
+            "tracing overhead on the 96-VM fleet: {:+.2}% \
+             (median over {} interleaved off/on pairs)",
+            p.median_overhead_pct, p.reps
+        );
     }
     let json = report.to_json();
     if let Err(e) = pas_bench::harness::validate(&json) {
@@ -267,9 +451,19 @@ fn main() -> ExitCode {
 
     match args.names.first().map(String::as_str) {
         Some("campaign") => return run_campaign(&args),
+        Some("run") => return run_single(&args),
+        Some("trace-summary") => return run_trace_summary(&args),
         Some("bench") => return run_bench(&args),
         Some("bench-check") => return run_bench_check(&args),
         _ => {}
+    }
+
+    if args.trace {
+        eprintln!(
+            "error: --trace applies to `repro run` and `repro campaign`, \
+             not to registry experiments"
+        );
+        return ExitCode::FAILURE;
     }
 
     let mut to_run: Vec<String> = Vec::new();
@@ -407,5 +601,30 @@ mod tests {
     fn bench_check_takes_a_file_argument() {
         let a = parse(&["bench-check", "BENCH_2026-08-07.json"]).unwrap();
         assert_eq!(a.names, vec!["bench-check", "BENCH_2026-08-07.json"]);
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        let a = parse(&["campaign", "spec.json", "--trace"]).unwrap();
+        assert!(a.trace);
+        assert!(a.trace_out.is_none());
+        let b = parse(&["run", "spec.json", "--trace-out", "d"]).unwrap();
+        assert!(b.trace, "--trace-out implies --trace");
+        assert_eq!(b.trace_out, Some(PathBuf::from("d")));
+        let c = parse(&["campaign", "spec.json"]).unwrap();
+        assert!(!c.trace);
+    }
+
+    #[test]
+    fn trailing_trace_out_without_value_is_rejected() {
+        let err = parse(&["campaign", "spec.json", "--trace-out"]).unwrap_err();
+        assert!(err.contains("--trace-out needs a directory"), "{err}");
+    }
+
+    #[test]
+    fn trace_out_swallowing_a_flag_is_rejected() {
+        let err = parse(&["campaign", "spec.json", "--trace-out", "--quick"]).unwrap_err();
+        assert!(err.contains("--trace-out needs a directory"), "{err}");
+        assert!(err.contains("--quick"), "names the culprit: {err}");
     }
 }

@@ -422,6 +422,142 @@ fn fleet_scale_campaign_quick_point_is_a_bounded_memory_smoke() {
     let _ = std::fs::remove_dir_all(&base);
 }
 
+/// Tracing acceptance: a traced quick campaign writes the trace JSONL
+/// and profile artefacts next to the campaign set, the trace is
+/// byte-identical across `--jobs`, and `repro trace-summary` analyses
+/// the artefact it just produced.
+#[test]
+fn traced_campaign_artefact_is_jobs_invariant_and_summarisable() {
+    let base = std::env::temp_dir().join(format!("repro-trace-test-{}", std::process::id()));
+    let dir1 = base.join("jobs1");
+    let dir2 = base.join("jobs2");
+    let _ = std::fs::remove_dir_all(&base);
+    let spec = example_spec("credit-sweep.json");
+
+    for (dir, jobs) in [(&dir1, "1"), (&dir2, "2")] {
+        let out = repro(&[
+            "campaign",
+            &spec,
+            "--quick",
+            "--jobs",
+            jobs,
+            "--out",
+            dir.to_str().unwrap(),
+            "--trace",
+        ]);
+        assert!(
+            out.status.success(),
+            "jobs={jobs} traced campaign succeeds: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let a1 = artefacts(&dir1);
+    let a2 = artefacts(&dir2);
+    assert_eq!(
+        a1.keys().collect::<Vec<_>>(),
+        vec![
+            "credit-sweep-profile.json",
+            "credit-sweep-runs.csv",
+            "credit-sweep-summary.csv",
+            "credit-sweep-summary.json",
+            "credit-sweep-trace.jsonl",
+        ],
+        "trace + profile artefacts ride alongside the campaign set"
+    );
+    assert_eq!(
+        a1["credit-sweep-trace.jsonl"], a2["credit-sweep-trace.jsonl"],
+        "trace JSONL must be byte-identical across --jobs"
+    );
+    let trace = String::from_utf8(a1["credit-sweep-trace.jsonl"].clone()).expect("utf8");
+    assert!(
+        trace.starts_with("{\"schema\":\"pas-repro-trace/v1\""),
+        "schema header first: {}",
+        trace.lines().next().unwrap_or("")
+    );
+    // The wall-clock profile exists in both runs but is intentionally
+    // outside the byte-identity contract (timings differ).
+    let profile = String::from_utf8(a1["credit-sweep-profile.json"].clone()).expect("utf8");
+    assert!(profile.contains("pas-repro-profile/v1"), "{profile}");
+
+    let trace_path = dir1.join("credit-sweep-trace.jsonl");
+    let out = repro(&["trace-summary", trace_path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "trace-summary reads its own artefact: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("events by kind"), "{stdout}");
+    assert!(stdout.contains("sched_pick"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// `repro run` executes a single spec (no sweep) and `--trace-out`
+/// implies tracing, writing the two trace artefacts into that directory.
+#[test]
+fn run_single_spec_with_trace_out_writes_the_trace_artefacts() {
+    let base = std::env::temp_dir().join(format!("repro-run-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let spec = example_spec("credit-sweep.json");
+
+    let out = repro(&[
+        "run",
+        &spec,
+        "--quick",
+        "--trace-out",
+        base.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("run: credit-sweep (seed 42)"), "{stdout}");
+    assert!(stdout.contains(" = "), "scalar lines present: {stdout}");
+
+    let a = artefacts(&base);
+    assert!(
+        a.get("credit-sweep-trace.jsonl")
+            .is_some_and(|b| !b.is_empty()),
+        "trace artefact written"
+    );
+    assert!(
+        a.get("credit-sweep-profile.json")
+            .is_some_and(|b| !b.is_empty()),
+        "profile artefact written"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn valueless_trace_out_flag_fails_with_a_clear_error() {
+    let out = repro(&["campaign", "spec.json", "--trace-out"]);
+    assert!(
+        !out.status.success(),
+        "trailing --trace-out must be rejected"
+    );
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--trace-out needs a directory"),
+        "clear error, got: {stderr}"
+    );
+}
+
+#[test]
+fn trace_flag_on_a_registry_experiment_is_rejected() {
+    let out = repro(&["fig9", "--quick", "--trace"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stderr.contains("--trace applies to"),
+        "names the restriction: {stderr}"
+    );
+}
+
 #[test]
 fn campaign_with_missing_spec_file_fails_cleanly() {
     let out = repro(&["campaign", "/nonexistent/spec.json"]);

@@ -14,6 +14,7 @@
 use cpumodel::Cpu;
 use governors::{CpuFreq, Governor};
 use simkernel::{SimDuration, SimTime};
+use trace::{EventKind, FreqCause, Record as _, Tracer};
 
 use crate::sched::{
     Credit2Scheduler, CreditScheduler, PasScheduler, SchedCtx, Scheduler, SedfScheduler,
@@ -190,6 +191,9 @@ impl HostConfig {
             next_gov: SimTime::ZERO + gov_period,
             next_sample: SimTime::ZERO + self.sample_period,
             idle_fast_path: self.idle_fast_path,
+            tracer: None,
+            trace_ids: Vec::new(),
+            last_pick: None,
         }
     }
 }
@@ -242,6 +246,15 @@ pub struct Host {
     next_gov: SimTime,
     next_sample: SimTime,
     idle_fast_path: bool,
+    // Tracing is opt-in: `None` (the default) keeps the hot path to a
+    // single branch per site, pinned by the `trace_overhead` bench.
+    tracer: Option<Box<Tracer>>,
+    // Interned tracer name id per VM, indexed by `VmId` — a dense
+    // sidecar so the hot pick-record path reads 4 bytes instead of
+    // paging in the whole `Vm` struct. Populated while a tracer is
+    // installed, empty otherwise.
+    trace_ids: Vec<trace::NameId>,
+    last_pick: Option<VmId>,
 }
 
 impl Host {
@@ -250,7 +263,11 @@ impl Host {
         let id = VmId(self.vms.len());
         self.sched.on_vm_added(id, &config);
         self.stats.register_vm(&config.name);
-        self.vms.push(Vm::new(id, config, work));
+        let vm = Vm::new(id, config, work);
+        if let Some(t) = self.tracer.as_mut() {
+            self.trace_ids.push(t.intern(&vm.name_tag));
+        }
+        self.vms.push(vm);
         id
     }
 
@@ -394,6 +411,42 @@ impl Host {
         self.vms[id.0].work.qos_summary()
     }
 
+    /// Installs a simulation-event tracer: from here on, scheduler
+    /// pick changes, frequency transitions, cap rewrites and VM
+    /// completions are recorded into its bounded ring. Also switches
+    /// the scheduler's own event recording on. Replaces any previous
+    /// tracer.
+    ///
+    /// Events are a pure function of simulation state, so a traced
+    /// run records the identical stream regardless of worker threads
+    /// or shard counts — and tracing never changes the simulation
+    /// itself.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        let mut tracer = tracer;
+        self.trace_ids = self
+            .vms
+            .iter()
+            .map(|vm| tracer.intern(&vm.name_tag))
+            .collect();
+        self.sched.set_event_recording(true);
+        self.last_pick = None;
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// Removes the tracer (switching scheduler event recording back
+    /// off) and returns it with everything recorded so far.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.sched.set_event_recording(false);
+        self.trace_ids.clear();
+        self.tracer.take().map(|t| *t)
+    }
+
+    /// Whether a tracer is currently installed.
+    #[must_use]
+    pub fn is_tracing(&self) -> bool {
+        self.tracer.is_some()
+    }
+
     /// Runs the simulation for `duration`.
     pub fn run_for(&mut self, duration: SimDuration) {
         let end = self.now + duration;
@@ -477,6 +530,7 @@ impl Host {
 
     fn handle_boundaries(&mut self) {
         if self.now >= self.next_acct {
+            let prev_pstate = self.tracer.as_ref().map(|_| self.cpu.pstate());
             let (load, abs) = self.stats.take_acct_window(self.now);
             let mut ctx = SchedCtx {
                 now: self.now,
@@ -485,14 +539,22 @@ impl Host {
                 measured_absolute_pct: abs,
             };
             self.sched.on_accounting(&mut ctx);
+            if let Some(prev) = prev_pstate {
+                self.note_freq_change(prev, FreqCause::Scheduler);
+                self.drain_sched_events();
+            }
             self.next_acct += self.acct_period;
         }
-        if let Some(cpufreq) = self.cpufreq.as_mut() {
-            if self.now >= self.next_gov {
-                let load = self.stats.take_gov_window(self.now);
+        if self.cpufreq.is_some() && self.now >= self.next_gov {
+            let prev_pstate = self.tracer.as_ref().map(|_| self.cpu.pstate());
+            let load = self.stats.take_gov_window(self.now);
+            if let Some(cpufreq) = self.cpufreq.as_mut() {
                 cpufreq.sample(&mut self.cpu, self.now, load);
-                self.next_gov += self.gov_period;
             }
+            if let Some(prev) = prev_pstate {
+                self.note_freq_change(prev, FreqCause::Governor);
+            }
+            self.next_gov += self.gov_period;
         }
         if self.now >= self.next_sample {
             let caps: Vec<Option<f64>> = (0..self.vms.len())
@@ -506,6 +568,44 @@ impl Host {
         }
     }
 
+    /// Records a `freq_change` event if the P-state moved away from
+    /// `prev`. Only called on the traced path.
+    fn note_freq_change(&mut self, prev: cpumodel::PStateIdx, cause: FreqCause) {
+        let cur = self.cpu.pstate();
+        if cur == prev {
+            return;
+        }
+        let table = self.cpu.pstates();
+        let from_mhz = table.state(prev).frequency.as_mhz();
+        let to_mhz = table.state(cur).frequency.as_mhz();
+        let at_s = self.now.as_secs_f64();
+        if let Some(t) = self.tracer.as_mut() {
+            t.record(
+                at_s,
+                EventKind::FreqChange {
+                    cause,
+                    from_mhz,
+                    to_mhz,
+                },
+            );
+        }
+    }
+
+    /// Drains the scheduler's recorded cap rewrites into the tracer.
+    /// Only called on the traced path.
+    fn drain_sched_events(&mut self) {
+        let events = self.sched.take_sched_events();
+        if events.is_empty() {
+            return;
+        }
+        let at_s = self.now.as_secs_f64();
+        if let Some(t) = self.tracer.as_mut() {
+            for e in events {
+                t.record_cap(at_s, self.trace_ids[e.vm.0], e.cap_pct);
+            }
+        }
+    }
+
     fn advance_one_slice(&mut self, boundary: SimTime) {
         let horizon = boundary - self.now;
         let runnable: Vec<VmId> = self
@@ -515,6 +615,22 @@ impl Host {
             .map(|vm| vm.id)
             .collect();
         let pick = self.sched.pick_next(self.now, &runnable);
+        if self.tracer.is_some() && pick != self.last_pick {
+            // A pick *change* is the event; re-picking the same VM
+            // slice after slice is not. `preempt` marks the case where
+            // the displaced VM was still runnable — it lost the CPU
+            // rather than going idle.
+            let preempt = match (self.last_pick, pick) {
+                (Some(prev), Some(_)) => runnable.contains(&prev),
+                _ => false,
+            };
+            let vm = pick.map(|v| self.trace_ids[v.0]);
+            let at_s = self.now.as_secs_f64();
+            if let Some(t) = self.tracer.as_mut() {
+                t.record_pick(at_s, vm, preempt);
+            }
+            self.last_pick = pick;
+        }
 
         let slice = match pick {
             None => horizon,
@@ -559,6 +675,13 @@ impl Host {
                 self.cpu.account(busy_frac, slice);
                 let abs_secs = busy_secs * self.cpu.ratio() * self.cpu.cf();
                 self.stats.on_slice(Some((vm, busy_secs, abs_secs)));
+                if self.tracer.is_some() && done > 0.0 && self.vms[vm.0].is_complete() {
+                    let name = self.vms[vm.0].name_tag.clone();
+                    let at_s = slice_end.as_secs_f64();
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.record(at_s, EventKind::VmComplete { vm: name });
+                    }
+                }
             }
             None => {
                 self.cpu.account(0.0, slice);
@@ -769,6 +892,68 @@ mod tests {
             "exact completion instant, got {t}"
         );
         assert_eq!(host.now().as_secs_f64(), t, "host stops at completion");
+    }
+
+    #[test]
+    fn traced_pas_host_records_picks_caps_freq_and_completion() {
+        let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+        let total = 2.0 * host.fmax_mcps();
+        host.add_vm(
+            VmConfig::new("batch", Credit::percent(20.0)),
+            Box::new(crate::work::test_batch(total)),
+        );
+        host.add_vm(
+            VmConfig::new("lazy", Credit::percent(70.0)),
+            Box::new(crate::work::Idle),
+        );
+        host.set_tracer(trace::Tracer::new(1, trace::DEFAULT_CAPACITY).with_host(0));
+        assert!(host.is_tracing());
+        host.run_for(SimDuration::from_secs(30));
+        let tracer = host.take_tracer().expect("tracer installed");
+        assert!(!host.is_tracing());
+        let trace = trace::Trace::merge(vec![tracer]);
+        let kind_count = |name: &str| {
+            trace
+                .events()
+                .iter()
+                .filter(|e| e.kind.name() == name)
+                .count()
+        };
+        assert!(kind_count("sched_pick") >= 2, "batch runs, then idles");
+        assert!(kind_count("cap_change") >= 2, "PAS rewrote caps");
+        assert!(
+            kind_count("freq_change") >= 1,
+            "underload drops the frequency"
+        );
+        assert_eq!(kind_count("vm_complete"), 1, "the batch finished once");
+        // Host tag flows through to every event.
+        assert!(trace.events().iter().all(|e| e.host == Some(0)));
+        // Events are in simulation-time order.
+        let times: Vec<f64> = trace.events().iter().map(|e| e.at_s).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tracing_never_changes_the_simulation() {
+        let run = |traced: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas).build();
+            let d = demand(&host, 1.0);
+            host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
+            host.add_vm(
+                VmConfig::new("v70", Credit::percent(70.0)),
+                Box::new(crate::work::Idle),
+            );
+            if traced {
+                host.set_tracer(trace::Tracer::new(1, 64));
+            }
+            host.run_for(SimDuration::from_secs(30));
+            (
+                host.cpu().energy().joules().to_bits(),
+                host.stats().global_busy_fraction().to_bits(),
+                host.cpu().pstate(),
+            )
+        };
+        assert_eq!(run(true), run(false), "tracing must be observation-only");
     }
 
     /// The idle-skip fast path must be *bit-identical* to the

@@ -49,6 +49,19 @@ pub struct SchedCtx<'a> {
     pub measured_absolute_pct: f64,
 }
 
+/// A scheduler-internal event drained by the host's tracer through
+/// [`Scheduler::take_sched_events`]: a VM's effective cap was
+/// rewritten at an accounting boundary (PAS credit compensation,
+/// Equation 4). Recording is opt-in and must never change scheduling
+/// decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedEvent {
+    /// The VM whose cap changed.
+    pub vm: VmId,
+    /// The new cap in percent of wall time; `None` = uncapped.
+    pub cap_pct: Option<f64>,
+}
+
 /// A hypervisor VM scheduler.
 ///
 /// The host drives it with this protocol, per scheduling step:
@@ -104,5 +117,19 @@ pub trait Scheduler: Send {
     fn set_cap_external(&mut self, vm: VmId, cap: Option<f64>) -> bool {
         let _ = (vm, cap);
         false
+    }
+
+    /// Turns recording of scheduler-internal events on or off. The
+    /// host enables it when a tracer is installed. Off by default;
+    /// the default implementation records nothing either way.
+    fn set_event_recording(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Drains the [`SchedEvent`]s accumulated since the last call.
+    /// Empty unless recording is enabled *and* the scheduler overrides
+    /// this (only PAS rewrites caps today).
+    fn take_sched_events(&mut self) -> Vec<SchedEvent> {
+        Vec::new()
     }
 }

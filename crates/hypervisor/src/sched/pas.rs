@@ -20,7 +20,7 @@ use pas_core::{Credit, FreqPlanner, MovingAverage};
 use simkernel::{SimDuration, SimTime};
 
 use crate::sched::credit::CreditScheduler;
-use crate::sched::{SchedCtx, Scheduler};
+use crate::sched::{SchedCtx, SchedEvent, Scheduler};
 use crate::vm::{VmConfig, VmId};
 
 /// The DVFS-aware credit scheduler.
@@ -45,6 +45,11 @@ pub struct PasScheduler {
     smoother: MovingAverage,
     initial: Vec<(VmId, Credit)>,
     last_plan_pstate: Option<cpumodel::PStateIdx>,
+    // Event recording (tracing): off by default, and kept strictly
+    // observational — the cap computation below never reads it.
+    record_events: bool,
+    last_caps: Vec<Option<Option<f64>>>,
+    pending_events: Vec<SchedEvent>,
 }
 
 impl PasScheduler {
@@ -59,6 +64,9 @@ impl PasScheduler {
             smoother: MovingAverage::paper_default(),
             initial: Vec::new(),
             last_plan_pstate: None,
+            record_events: false,
+            last_caps: Vec::new(),
+            pending_events: Vec::new(),
         }
     }
 
@@ -118,7 +126,7 @@ impl Scheduler for PasScheduler {
             target = cpumodel::PStateIdx((current.0 + 1).min(table.max_idx().0));
         }
 
-        for (id, init) in &self.initial {
+        for (i, (id, init)) in self.initial.iter().enumerate() {
             let new_credit = self.planner.compensate(*init, target);
             let cap = if new_credit.is_uncapped() {
                 None
@@ -126,6 +134,18 @@ impl Scheduler for PasScheduler {
                 Some(new_credit.as_fraction())
             };
             self.inner.set_cap(*id, cap);
+            if self.record_events {
+                if self.last_caps.len() <= i {
+                    self.last_caps.resize(i + 1, None);
+                }
+                if self.last_caps[i] != Some(cap) {
+                    self.last_caps[i] = Some(cap);
+                    self.pending_events.push(SchedEvent {
+                        vm: *id,
+                        cap_pct: cap.map(|c| c * 100.0),
+                    });
+                }
+            }
         }
         ctx.cpu
             .set_pstate(target)
@@ -147,6 +167,19 @@ impl Scheduler for PasScheduler {
 
     fn effective_cap(&self, vm: VmId) -> Option<f64> {
         self.inner.effective_cap(vm)
+    }
+
+    fn set_event_recording(&mut self, on: bool) {
+        self.record_events = on;
+        // Start from a clean slate either way: enabling mid-run emits
+        // every VM's current cap on the next tick (a self-describing
+        // trace), disabling drops anything not yet drained.
+        self.last_caps.clear();
+        self.pending_events.clear();
+    }
+
+    fn take_sched_events(&mut self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.pending_events)
     }
 }
 
@@ -263,5 +296,50 @@ mod tests {
         assert!(pas.last_planned_pstate().is_none());
         tick(&mut pas, &mut cpu, 20.0);
         assert!(pas.last_planned_pstate().is_some());
+    }
+
+    #[test]
+    fn event_recording_emits_only_cap_changes() {
+        let (mut pas, mut cpu) = setup();
+        // Off by default: ticks accumulate nothing.
+        tick(&mut pas, &mut cpu, 20.0);
+        assert!(pas.take_sched_events().is_empty());
+
+        pas.set_event_recording(true);
+        tick(&mut pas, &mut cpu, 20.0);
+        let first = pas.take_sched_events();
+        // First recorded tick emits every VM's current cap.
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].vm, VmId(0));
+        assert!(first[0].cap_pct.is_some());
+
+        // A stable operating point emits nothing further...
+        let before = cpu.pstate();
+        tick(&mut pas, &mut cpu, 20.0);
+        if cpu.pstate() == before {
+            assert!(pas.take_sched_events().is_empty());
+        }
+        // ...and a load change that moves the frequency re-emits caps.
+        for _ in 0..5 {
+            tick(&mut pas, &mut cpu, 90.0);
+        }
+        assert!(!pas.take_sched_events().is_empty());
+    }
+
+    #[test]
+    fn event_recording_never_changes_decisions() {
+        let run = |record: bool| {
+            let (mut pas, mut cpu) = setup();
+            pas.set_event_recording(record);
+            for target in [20.0, 20.0, 55.0, 90.0, 35.0, 10.0] {
+                tick(&mut pas, &mut cpu, target);
+            }
+            (
+                cpu.pstate(),
+                pas.effective_cap(VmId(0)),
+                pas.effective_cap(VmId(1)),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 }

@@ -133,6 +133,10 @@ pub struct Vm {
     pub config: VmConfig,
     /// The workload running inside the guest.
     pub work: Box<dyn WorkSource>,
+    /// The config name interned for trace recording: cloning this is
+    /// a reference-count bump, so hot scheduling paths can stamp
+    /// events without allocating (see [`trace::VmName`]).
+    pub name_tag: trace::VmName,
     /// Pending demand in mega-cycles (fmax-equivalent work).
     pub backlog_mcycles: f64,
     /// Total mega-cycles completed.
@@ -157,10 +161,12 @@ impl Vm {
     /// Creates a VM with an empty backlog.
     #[must_use]
     pub fn new(id: VmId, config: VmConfig, work: Box<dyn WorkSource>) -> Self {
+        let name_tag = trace::VmName::from(config.name.as_str());
         Vm {
             id,
             config,
             work,
+            name_tag,
             backlog_mcycles: 0.0,
             total_done_mcycles: 0.0,
         }
@@ -202,6 +208,16 @@ impl Vm {
             self.work.on_progress(done, now);
         }
         done
+    }
+
+    /// `true` once the VM has nothing left to do, ever: the workload
+    /// has finished generating demand and the backlog has drained.
+    /// This is the completion edge the tracer reports as
+    /// `vm_complete` (batch jobs only; open-ended workloads never
+    /// reach it).
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.work.is_finished() && !self.is_runnable()
     }
 
     /// Seconds needed to drain the current backlog at `mcps`
@@ -282,6 +298,29 @@ mod tests {
         );
         assert!(!vm.is_runnable());
         assert!((vm.total_done_mcycles - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_edge_needs_finished_work_and_drained_backlog() {
+        let mut vm = Vm::new(
+            VmId(0),
+            VmConfig::new("batch", Credit::percent(50.0)),
+            Box::new(crate::work::test_batch(100.0)),
+        );
+        assert!(!vm.is_complete(), "nothing released yet");
+        vm.refill(SimTime::ZERO, SimDuration::from_secs(1));
+        vm.execute(40.0, SimTime::ZERO);
+        assert!(!vm.is_complete(), "backlog remains");
+        vm.execute(60.0, SimTime::from_secs(1));
+        assert!(vm.is_complete(), "work finished and backlog drained");
+        // An open-ended workload never completes.
+        let mut open = Vm::new(
+            VmId(1),
+            VmConfig::new("open", Credit::percent(50.0)),
+            Box::new(ConstantDemand::new(1000.0)),
+        );
+        open.refill(SimTime::ZERO, SimDuration::from_millis(10));
+        assert!(!open.is_complete());
     }
 
     #[test]

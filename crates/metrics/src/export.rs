@@ -147,6 +147,179 @@ fn trim_float(v: f64) -> String {
     }
 }
 
+/// Quotes a JSON string per RFC 8259 — the JSONL counterpart of
+/// [`csv_field`]: the result includes the surrounding double quotes,
+/// with `"`, `\` and control characters escaped (the two-character
+/// forms where they exist, `\u00XX` otherwise).
+///
+/// # Example
+///
+/// ```
+/// use metrics::export::json_str;
+/// assert_eq!(json_str("plain"), "\"plain\"");
+/// assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+/// assert_eq!(json_str("line\nbreak"), "\"line\\nbreak\"");
+/// ```
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One value in a [`JsonlWriter`] line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer (sequence numbers, counts).
+    UInt(u64),
+    /// A float, rendered through [`exact_num`] so integral values and
+    /// shortest-round-trip decimals never drift between writers;
+    /// non-finite values render as `null` (JSON has no NaN).
+    Num(f64),
+    /// A string, escaped through [`json_str`].
+    Str(String),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::UInt(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::UInt(u64::from(v))
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::UInt(v as u64)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_owned())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+impl JsonValue {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Num(v) if v.is_finite() => {
+                let _ = write!(out, "{}", exact_num(*v));
+            }
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Str(s) => out.push_str(&json_str(s)),
+        }
+    }
+}
+
+/// A line-oriented JSON (JSONL) writer: each [`line`](JsonlWriter::line)
+/// call appends one flat JSON object, one per output line, with the
+/// fields in the given order. Strings go through [`json_str`] and
+/// numbers through [`exact_num`], so the output is deterministic and
+/// parseable by any RFC 8259 consumer. The trace subsystem streams its
+/// event log through this; future artefacts share it.
+///
+/// # Example
+///
+/// ```
+/// use metrics::export::JsonlWriter;
+/// let mut w = JsonlWriter::new();
+/// w.line(&[("event", "boot".into()), ("at_s", 0.5.into())]);
+/// assert_eq!(w.as_str(), "{\"event\":\"boot\",\"at_s\":0.5}\n");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct JsonlWriter {
+    buf: String,
+    lines: usize,
+}
+
+impl JsonlWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonlWriter::default()
+    }
+
+    /// Appends one JSON object line with the fields in order.
+    pub fn line(&mut self, fields: &[(&str, JsonValue)]) {
+        self.buf.push('{');
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&json_str(key));
+            self.buf.push(':');
+            value.render_into(&mut self.buf);
+        }
+        self.buf.push_str("}\n");
+        self.lines += 1;
+    }
+
+    /// Number of lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// The output so far.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the full JSONL document.
+    #[must_use]
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

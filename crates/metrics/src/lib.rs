@@ -17,13 +17,18 @@
 //! * [`sketch`] — a mergeable DDSketch-style quantile sketch: the
 //!   bounded-memory counterpart to [`histogram`] that fleet-scale runs
 //!   stream per-host samples through, with exactly associative merges
-//!   so sharded results stay byte-identical.
+//!   so sharded results stay byte-identical,
+//! * [`profile`] — a wall-clock self-profiling side-channel (phase
+//!   spans + named counters) kept strictly out of the deterministic
+//!   artefacts: it is written to its own `-profile.json` file so
+//!   byte-identity comparisons never see host-dependent timings.
 
 #![deny(missing_docs)]
 
 pub mod ascii;
 pub mod export;
 pub mod histogram;
+pub mod profile;
 mod series;
 pub mod sketch;
 pub mod stats;

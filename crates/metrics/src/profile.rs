@@ -1,0 +1,178 @@
+//! Wall-clock self-profiling: phase spans and a counter registry.
+//!
+//! The simulator's artefacts are byte-identical across `--jobs` and
+//! shard counts, so wall-clock timings can never appear in them. This
+//! module is the escape hatch: a [`Profiler`] collects named spans
+//! (elapsed milliseconds per phase — parse, simulate, reduce, render)
+//! and named counters (events recorded, events dropped, runs
+//! executed), and renders them as a [`ProfileReport`] with schema
+//! `pas-repro-profile/v1`. The report is written to a separate
+//! `<name>-profile.json` file next to the deterministic artefacts, and
+//! every byte-identity test excludes `-profile.json` files from its
+//! comparisons.
+//!
+//! Spans with the same name accumulate (per-run timings under a
+//! shared label sum up); counters add. Registration order is
+//! first-touch, so a serial profiler produces a stable report layout.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Schema identifier written into every profile report.
+pub const SCHEMA: &str = "pas-repro-profile/v1";
+
+/// One named wall-clock span, in milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanRecord {
+    /// Phase name, e.g. `"simulate"`.
+    pub name: String,
+    /// Total elapsed wall-clock milliseconds accumulated under this
+    /// name.
+    pub ms: f64,
+}
+
+/// One named counter.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CounterRecord {
+    /// Counter name, e.g. `"trace_events"`.
+    pub name: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// The self-profile of one CLI invocation: schema tag, phase spans
+/// and counters, serializable with [`crate::export::to_json`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfileReport {
+    /// Always [`SCHEMA`].
+    pub schema: String,
+    /// Phase spans in first-touch order.
+    pub spans: Vec<SpanRecord>,
+    /// Counters in first-touch order.
+    pub counters: Vec<CounterRecord>,
+}
+
+/// Collects spans and counters; see the [module docs](self).
+///
+/// # Example
+///
+/// ```
+/// use metrics::profile::Profiler;
+/// let mut p = Profiler::new();
+/// let answer = p.span("work", || 6 * 7);
+/// p.count("answers", 1);
+/// let report = p.report();
+/// assert_eq!(answer, 42);
+/// assert_eq!(report.schema, metrics::profile::SCHEMA);
+/// assert_eq!(report.spans[0].name, "work");
+/// assert_eq!(report.counters[0].value, 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Profiler {
+    spans: Vec<SpanRecord>,
+    counters: Vec<CounterRecord>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Profiler::default()
+    }
+
+    /// Times `f` with a monotonic clock and accumulates the elapsed
+    /// milliseconds under `name`, returning `f`'s result.
+    pub fn span<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.add_span_ms(name, start.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    /// Accumulates an externally measured duration (milliseconds)
+    /// under `name` — for spans timed inside worker closures where the
+    /// profiler itself cannot travel.
+    pub fn add_span_ms(&mut self, name: &str, ms: f64) {
+        if let Some(s) = self.spans.iter_mut().find(|s| s.name == name) {
+            s.ms += ms;
+        } else {
+            self.spans.push(SpanRecord {
+                name: name.to_owned(),
+                ms,
+            });
+        }
+    }
+
+    /// Adds `n` to the counter `name` (registering it at zero first).
+    pub fn count(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.iter_mut().find(|c| c.name == name) {
+            c.value += n;
+        } else {
+            self.counters.push(CounterRecord {
+                name: name.to_owned(),
+                value: n,
+            });
+        }
+    }
+
+    /// Renders the accumulated spans and counters as a report.
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            schema: SCHEMA.to_owned(),
+            spans: self.spans.clone(),
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_accumulate_under_one_name() {
+        let mut p = Profiler::new();
+        p.add_span_ms("simulate", 10.0);
+        p.add_span_ms("simulate", 5.0);
+        p.add_span_ms("report", 1.0);
+        let r = p.report();
+        assert_eq!(r.spans.len(), 2);
+        assert_eq!(r.spans[0].name, "simulate");
+        assert!((r.spans[0].ms - 15.0).abs() < 1e-12);
+        assert_eq!(r.spans[1].name, "report");
+    }
+
+    #[test]
+    fn counters_add_and_keep_first_touch_order() {
+        let mut p = Profiler::new();
+        p.count("events", 3);
+        p.count("dropped", 0);
+        p.count("events", 2);
+        let r = p.report();
+        assert_eq!(r.counters.len(), 2);
+        assert_eq!(r.counters[0].name, "events");
+        assert_eq!(r.counters[0].value, 5);
+        assert_eq!(r.counters[1].value, 0);
+    }
+
+    #[test]
+    fn span_times_and_returns_the_closure_result() {
+        let mut p = Profiler::new();
+        let v = p.span("work", || 41 + 1);
+        assert_eq!(v, 42);
+        let r = p.report();
+        assert_eq!(r.spans.len(), 1);
+        assert!(r.spans[0].ms >= 0.0);
+    }
+
+    #[test]
+    fn report_serializes_with_schema_tag() {
+        let mut p = Profiler::new();
+        p.add_span_ms("simulate", 1.5);
+        let json = crate::export::to_json(&p.report()).expect("serializes");
+        assert!(json.contains("pas-repro-profile/v1"));
+        assert!(json.contains("simulate"));
+    }
+}

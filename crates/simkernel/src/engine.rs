@@ -11,6 +11,31 @@ use crate::event::{EventId, EventQueue};
 use crate::time::SimTime;
 
 type Handler<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+type Observer = Box<dyn FnMut(EngineEvent)>;
+
+/// A kernel-level lifecycle notification delivered to the observer
+/// installed with [`Engine::set_observer`]: the raw feed a tracing or
+/// profiling layer taps without touching the event handlers
+/// themselves. Purely observational — the engine never changes
+/// behaviour based on whether an observer is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// An event was accepted into the queue, to fire at `at`.
+    Scheduled {
+        /// The requested firing time.
+        at: SimTime,
+    },
+    /// An event fired; the clock now reads `at`.
+    Fired {
+        /// The firing time.
+        at: SimTime,
+    },
+    /// A pending event was cancelled at clock time `now`.
+    Cancelled {
+        /// The clock when the cancellation happened.
+        now: SimTime,
+    },
+}
 
 /// Errors reported by the engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +71,7 @@ pub struct Engine<W> {
     queue: EventQueue<Handler<W>>,
     executed: u64,
     stop_requested: bool,
+    observer: Option<Observer>,
 }
 
 impl<W> Default for Engine<W> {
@@ -63,6 +89,26 @@ impl<W> Engine<W> {
             queue: EventQueue::new(),
             executed: 0,
             stop_requested: false,
+            observer: None,
+        }
+    }
+
+    /// Installs an observer that receives an [`EngineEvent`] for every
+    /// schedule, fire and cancel. At most one observer is installed;
+    /// a second call replaces the first.
+    pub fn set_observer(&mut self, observer: impl FnMut(EngineEvent) + 'static) {
+        self.observer = Some(Box::new(observer));
+    }
+
+    /// Removes the observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    #[inline]
+    fn notify(&mut self, event: EngineEvent) {
+        if let Some(obs) = self.observer.as_mut() {
+            obs(event);
         }
     }
 
@@ -113,12 +159,18 @@ impl<W> Engine<W> {
         if at < self.now {
             return Err(EngineError::ScheduleInPast { now: self.now, at });
         }
-        Ok(self.queue.push(at, Box::new(handler)))
+        let id = self.queue.push(at, Box::new(handler));
+        self.notify(EngineEvent::Scheduled { at });
+        Ok(id)
     }
 
     /// Cancels a pending event. Returns `true` if it had not yet fired.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.queue.cancel(id)
+        let cancelled = self.queue.cancel(id);
+        if cancelled {
+            self.notify(EngineEvent::Cancelled { now: self.now });
+        }
+        cancelled
     }
 
     /// Requests that the run loop stop after the current event handler
@@ -136,6 +188,7 @@ impl<W> Engine<W> {
                 debug_assert!(ev.at >= self.now, "event queue yielded a past event");
                 self.now = ev.at;
                 self.executed += 1;
+                self.notify(EngineEvent::Fired { at: ev.at });
                 (ev.payload)(world, self);
                 true
             }
@@ -288,5 +341,71 @@ mod tests {
         engine.run_until(&mut (), SimTime::from_secs(5));
         // No events: the clock does not jump to the horizon.
         assert_eq!(engine.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn observer_sees_schedule_fire_and_cancel() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let seen: Rc<RefCell<Vec<EngineEvent>>> = Rc::default();
+        let sink = Rc::clone(&seen);
+        let mut engine: Engine<()> = Engine::new();
+        engine.set_observer(move |ev| sink.borrow_mut().push(ev));
+
+        engine.schedule(SimTime::from_millis(1), |_, _| {});
+        let id = engine.schedule(SimTime::from_millis(2), |_, _| {});
+        assert!(engine.cancel(id));
+        assert!(!engine.cancel(id), "second cancel is a no-op");
+        engine.run(&mut ());
+
+        assert_eq!(
+            *seen.borrow(),
+            vec![
+                EngineEvent::Scheduled {
+                    at: SimTime::from_millis(1)
+                },
+                EngineEvent::Scheduled {
+                    at: SimTime::from_millis(2)
+                },
+                EngineEvent::Cancelled { now: SimTime::ZERO },
+                EngineEvent::Fired {
+                    at: SimTime::from_millis(1)
+                },
+            ],
+            "one notification per accepted schedule, real cancel, and fire"
+        );
+    }
+
+    #[test]
+    fn observer_never_changes_execution() {
+        let run = |observed: bool| {
+            let mut engine = Engine::new();
+            if observed {
+                engine.set_observer(|_| {});
+            }
+            let mut log: Vec<u32> = Vec::new();
+            engine.schedule(SimTime::from_millis(5), |w: &mut Vec<u32>, _| w.push(5));
+            engine.schedule(SimTime::from_millis(3), |w: &mut Vec<u32>, _| w.push(3));
+            engine.run(&mut log);
+            (log, engine.now(), engine.executed_events())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn clear_observer_stops_notifications() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let count: Rc<RefCell<usize>> = Rc::default();
+        let sink = Rc::clone(&count);
+        let mut engine: Engine<()> = Engine::new();
+        engine.set_observer(move |_| *sink.borrow_mut() += 1);
+        engine.schedule(SimTime::from_millis(1), |_, _| {});
+        engine.clear_observer();
+        engine.schedule(SimTime::from_millis(2), |_, _| {});
+        engine.run(&mut ());
+        assert_eq!(*count.borrow(), 1, "only the pre-clear schedule was seen");
     }
 }

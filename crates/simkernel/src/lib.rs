@@ -44,7 +44,7 @@ mod event;
 mod rng;
 mod time;
 
-pub use engine::{Engine, EngineError};
+pub use engine::{Engine, EngineError, EngineEvent};
 pub use event::{EventId, EventQueue, QueuedEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

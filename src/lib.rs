@@ -13,6 +13,7 @@
 //! | [`hypervisor`] | the virtualized host: VMs, guest scheduler, Credit / SEDF / PAS |
 //! | [`workloads`] | pi-app, web-app (httperf-like), three-phase profiles |
 //! | [`metrics`] | time series, summaries, CSV/JSON export, ASCII charts |
+//! | [`trace`] | deterministic simulation event log: bounded ring tracer, JSONL schema `pas-repro-trace/v1`, trace-summary analyzer |
 //! | [`enforcer`] | simulator + cgroup-v2 enforcement backends |
 //! | [`cluster`] | the fleet layer: placement, live migration, concurrent multi-host simulation |
 //! | [`campaign`] | declarative campaigns: JSON scenario specs, parameter sweeps, multi-seed statistics |
@@ -67,4 +68,5 @@ pub use hypervisor;
 pub use metrics;
 pub use pas_core;
 pub use simkernel;
+pub use trace;
 pub use workloads;

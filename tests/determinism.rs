@@ -283,6 +283,82 @@ fn sharded_fleet_artifacts_are_byte_identical_across_jobs_and_shards() {
     }
 }
 
+/// The tracing subsystem's acceptance criterion: a traced campaign's
+/// event-trace JSONL — and every deterministic artefact next to it —
+/// must be byte-identical across `--jobs` 1/2/8 and shard counts
+/// 1/4/16. Events are a pure function of simulation state (ordered by
+/// `(sim_time, stream, seq)`), so neither worker scheduling nor
+/// placement partitioning may leak a single byte into the trace. The
+/// wall-clock profile is deliberately NOT compared: it lives in its
+/// own artefact precisely so byte-identity checks can skip it.
+#[test]
+fn traced_campaign_trace_jsonl_is_byte_identical_across_jobs_and_shards() {
+    use pas_repro::campaign;
+
+    let spec_for = |shards: usize| {
+        campaign::CampaignSpec::from_json(&format!(
+            r#"{{
+                "name": "traced-determinism",
+                "scenario": {{
+                    "kind": "fleet",
+                    "scheduler": "pas",
+                    "duration_s": 600,
+                    "size": 24,
+                    "mem_gib_choices": [2, 4, 8],
+                    "cpu_frac_min": 0.05,
+                    "cpu_frac_max": 0.30,
+                    "credit_factor": 1.5,
+                    "epoch_s": 30,
+                    "migration": {{ "high_pct": 85, "target_pct": 70 }},
+                    "shards": {shards}
+                }},
+                "seeds": {{ "base": 2013, "replicates": 2 }}
+            }}"#
+        ))
+        .expect("valid spec")
+    };
+    let run = |shards: usize, jobs: usize| {
+        campaign::run_traced(&spec_for(shards), true, jobs, 8192).expect("traced run")
+    };
+
+    let base = run(1, 1);
+    assert!(
+        base.trace_jsonl
+            .starts_with("{\"schema\":\"pas-repro-trace/v1\""),
+        "trace header carries the schema"
+    );
+    assert!(
+        base.trace_jsonl.contains("\"event\":\"placement\""),
+        "fleet traces record the placement"
+    );
+    for (shards, jobs) in [(1, 2), (1, 8), (4, 1), (4, 2), (16, 8)] {
+        let other = run(shards, jobs);
+        assert_eq!(
+            base.trace_jsonl.as_bytes(),
+            other.trace_jsonl.as_bytes(),
+            "trace JSONL must be byte-identical (shards={shards}, jobs={jobs})"
+        );
+        assert_eq!(
+            base.report.text().as_bytes(),
+            other.report.text().as_bytes(),
+            "report must be byte-identical (shards={shards}, jobs={jobs})"
+        );
+        assert_eq!(
+            base.report.summary_csv().as_bytes(),
+            other.report.summary_csv().as_bytes()
+        );
+        assert_eq!(
+            base.report.runs_csv().as_bytes(),
+            other.report.runs_csv().as_bytes()
+        );
+    }
+
+    // And tracing never perturbs the simulation: the untraced report
+    // is byte-identical too.
+    let untraced = campaign::run(&spec_for(4), true, 2).expect("untraced run");
+    assert_eq!(base.report.text().as_bytes(), untraced.text().as_bytes());
+}
+
 /// Regression for the workspace bootstrap: two runs of the quickstart
 /// scenario with the same simkernel seed must produce byte-identical
 /// CSV and JSON metric exports.
