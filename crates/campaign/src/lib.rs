@@ -81,6 +81,34 @@ pub use sweep::{expand, DesignPoint, Expansion};
 /// Returns a [`CampaignError`] if the spec fails validation or sweep
 /// expansion (see [`sweep::expand`]).
 pub fn run(spec: &CampaignSpec, quick: bool, jobs: usize) -> Result<CampaignReport, CampaignError> {
+    run_with_progress(spec, quick, jobs, &|_, _| {})
+}
+
+/// A progress observer for [`run_with_progress`]: called once per
+/// completed run with `(completed_runs, total_runs)`.
+///
+/// Calls may come from any worker thread (hence `Sync`), but
+/// `completed_runs` is monotone: each call reports a strictly larger
+/// count than any call that happened-before it.
+pub type Progress<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// [`fn@run`] with a per-run progress callback — the entry point resident
+/// services (e.g. `repro serve`) use to surface completed/total run
+/// counts while a campaign executes.
+///
+/// The callback only observes; the report is byte-identical to
+/// [`fn@run`] on the same spec for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns a [`CampaignError`] if the spec fails validation or sweep
+/// expansion (see [`sweep::expand`]).
+pub fn run_with_progress(
+    spec: &CampaignSpec,
+    quick: bool,
+    jobs: usize,
+    progress: Progress<'_>,
+) -> Result<CampaignReport, CampaignError> {
     let expansion = sweep::expand(spec)?;
     let replicates = expansion.replicates;
 
@@ -89,8 +117,13 @@ pub fn run(spec: &CampaignSpec, quick: bool, jobs: usize) -> Result<CampaignRepo
     let plans: Vec<(usize, u64)> = (0..expansion.points.len())
         .flat_map(|p| (0..replicates).map(move |r| (p, spec.seeds.base + r as u64)))
         .collect();
+    let total = plans.len();
+    let done = std::sync::atomic::AtomicUsize::new(0);
     let results = cluster::exec::parallel_map(jobs.max(1), plans, |_, (p, seed)| {
-        run::run_point(&expansion.points[p], seed, quick)
+        let record = run::run_point(&expansion.points[p], seed, quick);
+        let completed = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        progress(completed, total);
+        record
     });
 
     let grouped: Vec<Vec<RunRecord>> = results
@@ -302,6 +335,26 @@ mod tests {
         };
         assert_eq!(counter("runs"), 12);
         assert!(counter("trace_events") > 0);
+    }
+
+    #[test]
+    fn progress_callback_observes_every_run_and_changes_nothing() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let spec = CampaignSpec::from_json(SWEPT).unwrap();
+        let plain = run(&spec, true, 2).unwrap();
+        let calls = AtomicUsize::new(0);
+        let max_seen = AtomicUsize::new(0);
+        let observed = run_with_progress(&spec, true, 2, &|completed, total| {
+            assert_eq!(total, 12, "4 points x 3 seeds");
+            assert!(completed >= 1 && completed <= total);
+            calls.fetch_add(1, Ordering::Relaxed);
+            max_seen.fetch_max(completed, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 12, "one call per run");
+        assert_eq!(max_seen.load(Ordering::Relaxed), 12);
+        assert_eq!(plain.text(), observed.text(), "observer never perturbs");
+        assert_eq!(plain.summary_csv(), observed.summary_csv());
     }
 
     #[test]

@@ -227,6 +227,27 @@ impl CampaignReport {
         out
     }
 
+    /// The campaign artefact set as `(file name, contents)` pairs:
+    /// `<name>-summary.csv`, `<name>-runs.csv` and
+    /// `<name>-summary.json`. `repro campaign --out` and the
+    /// `repro serve` workers both emit exactly this list, so the
+    /// artefacts a service run produces are byte-identical to a CLI
+    /// run of the same spec by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `serde_json` error if the report fails to serialize.
+    pub fn artefact_files(&self) -> Result<Vec<(String, String)>, serde_json::Error> {
+        Ok(vec![
+            (format!("{}-summary.csv", self.name), self.summary_csv()),
+            (format!("{}-runs.csv", self.name), self.runs_csv()),
+            (
+                format!("{}-summary.json", self.name),
+                metrics::export::to_json(self)?,
+            ),
+        ])
+    }
+
     /// The raw-replica artefact: one CSV row per run × metric.
     #[must_use]
     pub fn runs_csv(&self) -> String {
@@ -361,6 +382,21 @@ mod tests {
             vec![vec![record(1, 1.0, 0.0)]],
         );
         assert!(r.summary_csv().contains("\"a=1, b=2\""));
+    }
+
+    #[test]
+    fn artefact_files_match_the_individual_renderers() {
+        let r = two_point_report();
+        let files = r.artefact_files().unwrap();
+        let names: Vec<&str> = files.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["t-summary.csv", "t-runs.csv", "t-summary.json"],
+            "the exact set `repro campaign --out` writes"
+        );
+        assert_eq!(files[0].1, r.summary_csv());
+        assert_eq!(files[1].1, r.runs_csv());
+        assert_eq!(files[2].1, metrics::export::to_json(&r).unwrap());
     }
 
     #[test]

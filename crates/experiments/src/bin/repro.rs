@@ -34,16 +34,41 @@ struct Args {
     jobs: usize,
     trace: bool,
     trace_out: Option<PathBuf>,
+    addr: String,
+    port: u16,
+    token: Option<String>,
+    rate: Option<f64>,
 }
 
 const USAGE: &str = "usage: repro <experiment>... [--quick] [--out DIR] [--jobs N]\n\
                             repro all [--quick] [--out DIR] [--jobs N]\n\
                             repro run <spec.json> [--quick] [--out DIR] [--trace] [--trace-out DIR]\n\
                             repro campaign <spec.json> [--quick] [--out DIR] [--jobs N] [--trace] [--trace-out DIR]\n\
+                            repro serve [--addr A] [--port P] [--jobs N] [--token T] [--rate R] [--quick] [--out DIR]\n\
                             repro trace-summary <trace.jsonl>\n\
                             repro bench [--quick] [--out DIR]\n\
                             repro bench-check <BENCH_*.json>\n\
                             repro list\n";
+
+/// Pulls a value-taking flag's value off the argument stream. Every
+/// such flag shares this one check, so a trailing `--out` and an
+/// `--out --quick` that would swallow the next flag fail the same way
+/// everywhere: naming the flag, what it needs, and (for the swallow
+/// case) the culprit.
+fn flag_value(
+    argv: &mut impl Iterator<Item = String>,
+    flag: &str,
+    what: &str,
+    example: &str,
+) -> Result<String, String> {
+    let value = argv
+        .next()
+        .ok_or_else(|| format!("{flag} needs {what}, e.g. `{flag} {example}`"))?;
+    if value.starts_with('-') {
+        return Err(format!("{flag} needs {what}, but got the flag {value:?}"));
+    }
+    Ok(value)
+}
 
 fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut names = Vec::new();
@@ -52,41 +77,59 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut jobs = 1;
     let mut trace = false;
     let mut trace_out = None;
+    let mut addr = "127.0.0.1".to_owned();
+    let mut port = 7077;
+    let mut token = None;
+    let mut rate = None;
     let mut argv = argv.into_iter();
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--quick" | "-q" => fidelity = Fidelity::Quick,
             "--out" | "-o" => {
-                let dir = argv
-                    .next()
-                    .ok_or("--out needs a directory, e.g. `--out artefacts/`")?;
-                if dir.starts_with('-') {
-                    return Err(format!("--out needs a directory, but got the flag {dir:?}"));
-                }
+                let dir = flag_value(&mut argv, "--out", "a directory", "artefacts/")?;
                 out = Some(PathBuf::from(dir));
             }
             "--trace" => trace = true,
             "--trace-out" => {
-                let dir = argv
-                    .next()
-                    .ok_or("--trace-out needs a directory, e.g. `--trace-out artefacts/`")?;
-                if dir.starts_with('-') {
-                    return Err(format!(
-                        "--trace-out needs a directory, but got the flag {dir:?}"
-                    ));
-                }
+                let dir = flag_value(&mut argv, "--trace-out", "a directory", "artefacts/")?;
                 trace = true;
                 trace_out = Some(PathBuf::from(dir));
             }
             "--jobs" | "-j" => {
-                let n = argv
-                    .next()
-                    .ok_or("--jobs needs a thread count, e.g. `--jobs 4`")?;
+                let n = flag_value(&mut argv, "--jobs", "a thread count", "4")?;
                 jobs = n
                     .parse::<usize>()
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or(format!("--jobs needs a positive integer, got {n:?}"))?;
+            }
+            "--addr" => {
+                addr = flag_value(&mut argv, "--addr", "a bind address", "0.0.0.0")?;
+            }
+            "--port" => {
+                let p = flag_value(&mut argv, "--port", "a port number", "7077")?;
+                port = p
+                    .parse::<u16>()
+                    .map_err(|_| format!("--port needs a port number (0-65535), got {p:?}"))?;
+            }
+            "--token" => {
+                token = Some(flag_value(
+                    &mut argv,
+                    "--token",
+                    "a bearer token",
+                    "s3cret",
+                )?);
+            }
+            "--rate" => {
+                let r = flag_value(&mut argv, "--rate", "requests per second", "10")?;
+                rate = Some(
+                    r.parse::<f64>()
+                        .ok()
+                        .filter(|&r| r.is_finite() && r > 0.0)
+                        .ok_or(format!(
+                            "--rate needs a positive requests/second, got {r:?}"
+                        ))?,
+                );
             }
             "--help" | "-h" => {
                 names.push("help".to_owned());
@@ -107,6 +150,10 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         jobs,
         trace,
         trace_out,
+        addr,
+        port,
+        token,
+        rate,
     })
 }
 
@@ -212,27 +259,19 @@ fn run_campaign(args: &Args) -> ExitCode {
     };
     print!("{}", report.text());
     if let Some(dir) = &args.out {
-        let artefacts = [
-            (format!("{}-summary.csv", spec.name), report.summary_csv()),
-            (format!("{}-runs.csv", spec.name), report.runs_csv()),
-        ];
+        // The one artefact path the HTTP service shares: same names,
+        // same bytes (see `CampaignReport::artefact_files`).
+        let artefacts = match report.artefact_files() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("failed to serialize campaign report: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
         for (name, content) in &artefacts {
             let path = dir.join(name);
             if let Err(e) = metrics::export::write_artifact(&path, content) {
                 eprintln!("failed to write {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        }
-        match metrics::export::to_json(&report) {
-            Ok(json) => {
-                let path = dir.join(format!("{}-summary.json", spec.name));
-                if let Err(e) = metrics::export::write_artifact(&path, &json) {
-                    eprintln!("failed to write {}: {e}", path.display());
-                    return ExitCode::FAILURE;
-                }
-            }
-            Err(e) => {
-                eprintln!("failed to serialize campaign report: {e}");
                 return ExitCode::FAILURE;
             }
         }
@@ -440,6 +479,33 @@ fn run_bench_check(args: &Args) -> ExitCode {
     }
 }
 
+/// Runs `repro serve`: the campaign-as-a-service daemon. Prints the
+/// bound address on stdout (`listening on http://…`) and serves until
+/// `POST /shutdown`, draining accepted jobs before exiting.
+fn run_serve(args: &Args) -> ExitCode {
+    if args.names.len() > 1 {
+        eprintln!("error: `repro serve` takes no positional arguments");
+        return ExitCode::FAILURE;
+    }
+    let cfg = server::ServerConfig {
+        addr: args.addr.clone(),
+        port: args.port,
+        jobs: args.jobs,
+        token: args.token.clone(),
+        rate: args.rate,
+        quick: args.fidelity == Fidelity::Quick,
+        out: args.out.clone(),
+        ..server::ServerConfig::default()
+    };
+    match server::serve(cfg) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -451,6 +517,7 @@ fn main() -> ExitCode {
 
     match args.names.first().map(String::as_str) {
         Some("campaign") => return run_campaign(&args),
+        Some("serve") => return run_serve(&args),
         Some("run") => return run_single(&args),
         Some("trace-summary") => return run_trace_summary(&args),
         Some("bench") => return run_bench(&args),
@@ -626,5 +693,53 @@ mod tests {
         let err = parse(&["campaign", "spec.json", "--trace-out", "--quick"]).unwrap_err();
         assert!(err.contains("--trace-out needs a directory"), "{err}");
         assert!(err.contains("--quick"), "names the culprit: {err}");
+    }
+
+    #[test]
+    fn serve_defaults_and_flags_parse() {
+        let a = parse(&["serve"]).unwrap();
+        assert_eq!((a.addr.as_str(), a.port), ("127.0.0.1", 7077));
+        assert!(a.token.is_none() && a.rate.is_none());
+
+        let a = parse(&[
+            "serve", "--addr", "0.0.0.0", "--port", "8080", "--token", "s3cret", "--rate", "2.5",
+            "--jobs", "4", "--quick",
+        ])
+        .unwrap();
+        assert_eq!((a.addr.as_str(), a.port), ("0.0.0.0", 8080));
+        assert_eq!(a.token.as_deref(), Some("s3cret"));
+        assert_eq!(a.rate, Some(2.5));
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.fidelity, Fidelity::Quick);
+    }
+
+    #[test]
+    fn every_serve_flag_rejects_a_missing_or_swallowed_value() {
+        for flag in ["--addr", "--port", "--token", "--rate"] {
+            let err = parse(&["serve", flag]).unwrap_err();
+            assert!(err.contains(&format!("{flag} needs")), "{flag}: {err}");
+            let err = parse(&["serve", flag, "--quick"]).unwrap_err();
+            assert!(err.contains(&format!("{flag} needs")), "{flag}: {err}");
+            assert!(err.contains("--quick"), "{flag} names the culprit: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_port_and_rate_values_are_rejected() {
+        assert!(parse(&["serve", "--port", "99999"])
+            .unwrap_err()
+            .contains("0-65535"));
+        assert!(parse(&["serve", "--port", "web"])
+            .unwrap_err()
+            .contains("port number"));
+        assert!(parse(&["serve", "--rate", "0"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["serve", "--rate", "fast"])
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse(&["serve", "--rate", "inf"])
+            .unwrap_err()
+            .contains("positive"));
     }
 }

@@ -592,3 +592,157 @@ fn campaign_requires_exactly_one_spec() {
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("exactly one spec file"), "{stderr}");
 }
+
+/// Sends one raw HTTP/1.1 request to `addr`, returning
+/// `(status, body)`. The server closes each connection after the
+/// response, so reading to EOF is the framing.
+fn http_request(addr: &str, raw: &str) -> (u16, String) {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to repro serve");
+    stream.write_all(raw.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response {response:?}"));
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The serve acceptance criterion, end to end against the real
+/// binary: `repro serve` boots on an ephemeral port and prints the
+/// bound address; an unauthenticated request is rejected; a campaign
+/// POSTed over HTTP runs to completion and its served summary — and
+/// the `--out` artefact — are byte-identical to what `repro campaign`
+/// writes for the same spec; `POST /shutdown` exits cleanly.
+#[test]
+fn serve_runs_a_posted_campaign_byte_identical_to_the_cli() {
+    use std::io::BufRead as _;
+    use std::process::Stdio;
+
+    let base = std::env::temp_dir().join(format!("repro-serve-test-{}", std::process::id()));
+    let cli_dir = base.join("cli");
+    let srv_dir = base.join("srv");
+    let _ = std::fs::remove_dir_all(&base);
+    let spec = example_spec("credit-sweep.json");
+
+    // The reference run through the existing subcommand.
+    let out = repro(&[
+        "campaign",
+        &spec,
+        "--quick",
+        "--jobs",
+        "2",
+        "--out",
+        cli_dir.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--port",
+            "0",
+            "--quick",
+            "--jobs",
+            "2",
+            "--token",
+            "s3cret",
+            "--out",
+            srv_dir.to_str().unwrap(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("repro serve spawns");
+    let mut boot_line = String::new();
+    std::io::BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut boot_line)
+        .expect("boot line");
+    let addr = boot_line
+        .trim()
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected boot line {boot_line:?}"))
+        .to_owned();
+
+    let (status, _) = http_request(&addr, "GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n");
+    assert_eq!(status, 401, "the token guards the whole API");
+
+    let auth = "authorization: Bearer s3cret\r\n";
+    let (status, body) = http_request(
+        &addr,
+        &format!("GET /healthz HTTP/1.1\r\nhost: t\r\n{auth}\r\n"),
+    );
+    assert_eq!(status, 200, "{body}");
+
+    let spec_json = std::fs::read_to_string(&spec).expect("readable spec");
+    let (status, body) = http_request(
+        &addr,
+        &format!(
+            "POST /campaigns HTTP/1.1\r\nhost: t\r\n{auth}content-length: {}\r\n\r\n{spec_json}",
+            spec_json.len()
+        ),
+    );
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"id\":1"), "{body}");
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(300);
+    loop {
+        let (status, body) = http_request(
+            &addr,
+            &format!("GET /campaigns/1 HTTP/1.1\r\nhost: t\r\n{auth}\r\n"),
+        );
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"state\":\"done\"") {
+            break;
+        }
+        assert!(
+            !body.contains("\"state\":\"failed\""),
+            "campaign failed: {body}"
+        );
+        assert!(std::time::Instant::now() < deadline, "never finished");
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let (status, served_summary) = http_request(
+        &addr,
+        &format!("GET /campaigns/1/summary HTTP/1.1\r\nhost: t\r\n{auth}\r\n"),
+    );
+    assert_eq!(status, 200);
+    let cli_summary =
+        std::fs::read_to_string(cli_dir.join("credit-sweep-summary.json")).expect("CLI artefact");
+    assert_eq!(
+        served_summary, cli_summary,
+        "the served summary must be byte-identical to `repro campaign`'s"
+    );
+
+    // The server's --out directory holds the same three artefacts.
+    let cli_artefacts = artefacts(&cli_dir);
+    let srv_artefacts = artefacts(&srv_dir);
+    assert_eq!(
+        cli_artefacts.keys().collect::<Vec<_>>(),
+        srv_artefacts.keys().collect::<Vec<_>>()
+    );
+    for (name, bytes) in &cli_artefacts {
+        assert_eq!(bytes, &srv_artefacts[name], "{name} must match the CLI's");
+    }
+
+    let (status, _) = http_request(
+        &addr,
+        &format!("POST /shutdown HTTP/1.1\r\nhost: t\r\n{auth}\r\n"),
+    );
+    assert_eq!(status, 200);
+    let exit = child.wait().expect("serve exits after /shutdown");
+    assert!(exit.success(), "clean exit, got {exit:?}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

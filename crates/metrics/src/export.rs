@@ -380,6 +380,45 @@ mod tests {
     }
 
     #[test]
+    fn json_str_escapes_every_control_character() {
+        // RFC 8259 §7: all of U+0000..U+001F MUST be escaped. Sweep
+        // the whole range rather than spot-checking.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).expect("control chars are chars");
+            let quoted = json_str(&format!("a{c}b"));
+            assert!(
+                !quoted.chars().any(|q| (q as u32) < 0x20),
+                "U+{code:04X} leaked through unescaped: {quoted:?}"
+            );
+            let expected = match c {
+                '\u{08}' => "\\b".to_owned(),
+                '\t' => "\\t".to_owned(),
+                '\n' => "\\n".to_owned(),
+                '\u{0C}' => "\\f".to_owned(),
+                '\r' => "\\r".to_owned(),
+                _ => format!("\\u{code:04x}"),
+            };
+            assert_eq!(quoted, format!("\"a{expected}b\""), "U+{code:04X}");
+            // And the escape round-trips through a real JSON parser.
+            let back: String = serde_json::from_str(&quoted)
+                .unwrap_or_else(|e| panic!("U+{code:04X} does not reparse: {e}"));
+            assert_eq!(back, format!("a{c}b"), "U+{code:04X} round-trip");
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_with_hostile_keys_and_values_reparse() {
+        let hostile = "quote\" slash\\ nul\u{0}\ttab";
+        let mut w = JsonlWriter::new();
+        w.line(&[(hostile, hostile.into())]);
+        let line = w.as_str().trim_end();
+        let v: serde::Value = serde_json::from_str(line).expect("hostile line reparses");
+        let map = v.as_map().expect("an object");
+        assert_eq!(map[0].0, hostile);
+        assert_eq!(map[0].1.as_str(), Some(hostile));
+    }
+
+    #[test]
     fn write_artifact_creates_dirs() {
         let dir = std::env::temp_dir().join("pas-metrics-test");
         let _ = std::fs::remove_dir_all(&dir);

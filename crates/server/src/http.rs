@@ -1,0 +1,350 @@
+//! A minimal, std-only HTTP/1.1 layer.
+//!
+//! The vendored-shim constraint rules out hyper/axum, and the server
+//! only needs a small, well-understood slice of the protocol: one
+//! request per connection (`Connection: close`), a request line,
+//! headers, and an optional `Content-Length` body. This module parses
+//! that slice defensively — bounded head size, bounded body size,
+//! actionable parse errors that map onto 4xx responses — and renders
+//! responses. Everything is generic over [`std::io::BufRead`] /
+//! [`std::io::Write`], so the parser and writer are unit-testable on
+//! in-memory buffers without a socket.
+
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line + headers, in bytes. Oversized
+/// heads are rejected before any allocation proportional to the
+/// claimed size.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default upper bound on a request body (campaign specs are a few
+/// KiB; 1 MiB leaves two orders of magnitude of headroom).
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request: method, path, lower-cased header names, body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method, upper-case as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path, without scheme/authority (`/campaigns/3`).
+    pub path: String,
+    /// `(name, value)` pairs in arrival order; names are lower-cased
+    /// at parse time so lookups are case-insensitive per RFC 9112.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said
+    /// otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with the given (lower-case) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request failed to parse, carrying the HTTP status the
+/// connection handler should answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// The status to answer with (`400` or `413`).
+    pub status: u16,
+    /// A one-line operator-facing reason.
+    pub message: String,
+}
+
+impl ParseError {
+    fn bad(message: impl Into<String>) -> Self {
+        ParseError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn too_large(message: impl Into<String>) -> Self {
+        ParseError {
+            status: 413,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one CRLF- (or LF-) terminated line, charging its bytes
+/// against `budget`.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<String, ParseError> {
+    let mut raw = Vec::new();
+    std::io::Read::take(&mut *r, *budget as u64 + 1)
+        .read_until(b'\n', &mut raw)
+        .map_err(|e| ParseError::bad(format!("read failed: {e}")))?;
+    if raw.len() > *budget {
+        return Err(ParseError::too_large(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
+    *budget -= raw.len();
+    if !raw.ends_with(b"\n") {
+        return Err(ParseError::bad("truncated request head"));
+    }
+    raw.pop();
+    if raw.ends_with(b"\r") {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| ParseError::bad("request head is not UTF-8"))
+}
+
+/// Parses one HTTP/1.1 request from `r`: request line, headers, and a
+/// `Content-Length` body of at most `max_body` bytes.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] carrying status 400 for malformed input
+/// (bad request line, non-numeric length, truncated body, bodies
+/// without a declared length) and 413 when the head or the declared
+/// body length exceeds its bound.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Request, ParseError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = read_line(r, &mut budget)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(ParseError::bad(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::bad(format!(
+            "unsupported protocol version {version:?}"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r, &mut budget)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::bad(format!("malformed header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body: Vec::new(),
+    };
+    let Some(length) = request.header("content-length") else {
+        return Ok(request);
+    };
+    let length: usize = length
+        .parse()
+        .map_err(|_| ParseError::bad(format!("non-numeric content-length {length:?}")))?;
+    if length > max_body {
+        return Err(ParseError::too_large(format!(
+            "body of {length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; length];
+    r.read_exact(&mut body)
+        .map_err(|_| ParseError::bad("body shorter than content-length"))?;
+    Ok(Request { body, ..request })
+}
+
+/// The reason phrase for every status this server emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response: status, extra headers, body. `Content-Length`,
+/// `Connection: close` and the status line are rendered by
+/// [`write_to`](Response::write_to); callers only add
+/// content-type-style headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The HTTP status code.
+    pub status: u16,
+    /// Extra `(name, value)` headers in emission order.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response: the body must already be valid JSON (build it
+    /// with [`metrics::export::json_str`] /
+    /// [`metrics::export::JsonlWriter`] so client-supplied strings —
+    /// control characters included — can never break the encoding).
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            headers: vec![("content-type".to_owned(), "application/json".to_owned())],
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A JSON error envelope `{"error": <message>}`; the message is
+    /// escaped through [`metrics::export::json_str`], so arbitrary
+    /// client-supplied text (spec parse errors echo the spec) stays
+    /// valid JSON.
+    #[must_use]
+    pub fn error(status: u16, message: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\":{}}}\n", metrics::export::json_str(message)),
+        )
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// Renders the response: status line, caller headers,
+    /// `Content-Length`, `Connection: close`, blank line, body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = String::new();
+        let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        for (name, value) in &self.headers {
+            let _ = write!(head, "{name}: {value}\r\n");
+        }
+        let _ = write!(head, "content-length: {}\r\n", self.body.len());
+        head.push_str("connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ParseError> {
+        read_request(&mut io::BufReader::new(bytes), DEFAULT_MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_a_post_with_content_length_body() {
+        let req =
+            parse(b"POST /campaigns HTTP/1.1\r\ncontent-length: 11\r\n\r\n{\"a\": true}").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\": true}");
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse(b"GET / HTTP/1.1\r\nAuthorization: Bearer t\r\n\r\n").unwrap();
+        assert_eq!(req.header("authorization"), Some("Bearer t"));
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in [
+            &b"nonsense\r\n\r\n"[..],
+            b"GET\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET no-slash HTTP/1.1\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert_eq!(err.status, 400, "{bad:?}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn malformed_headers_and_truncated_bodies_are_400() {
+        let err = parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("header"), "{}", err.message);
+
+        let err = parse(b"POST / HTTP/1.1\r\ncontent-length: 50\r\n\r\nshort").unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("shorter"), "{}", err.message);
+
+        let err = parse(b"POST / HTTP/1.1\r\ncontent-length: many\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn oversized_bodies_are_413_before_reading_them() {
+        // The declared length alone triggers the rejection: no body
+        // bytes follow and none are awaited.
+        let req = b"POST /campaigns HTTP/1.1\r\ncontent-length: 999999999\r\n\r\n";
+        let err = read_request(&mut io::BufReader::new(&req[..]), 1024).unwrap_err();
+        assert_eq!(err.status, 413);
+        assert!(err.message.contains("1024"), "{}", err.message);
+    }
+
+    #[test]
+    fn oversized_heads_are_413() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        let err = parse(&raw).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn response_renders_status_headers_length_and_body() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}".to_owned())
+            .with_header("x-extra", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-type: application/json\r\n"));
+        assert!(text.contains("x-extra: 1\r\n"));
+        assert!(text.contains("content-length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"), "{text}");
+    }
+
+    #[test]
+    fn error_envelope_escapes_control_characters() {
+        let resp = Response::error(400, "bad\nname: \u{1}\"quoted\"");
+        let body = String::from_utf8(resp.body).unwrap();
+        assert_eq!(body, "{\"error\":\"bad\\nname: \\u0001\\\"quoted\\\"\"}\n");
+        // And the envelope reparses as the original message.
+        let v: serde::Value = serde_json::from_str(&body).unwrap();
+        let map = v.as_map().unwrap();
+        assert_eq!(map[0].1.as_str(), Some("bad\nname: \u{1}\"quoted\""));
+    }
+}

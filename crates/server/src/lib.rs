@@ -1,0 +1,46 @@
+//! Campaign-as-a-service: `repro serve`.
+//!
+//! A std-only HTTP/1.1 daemon that exposes the campaign engine over
+//! the network through a composable middleware chain — the service
+//! shape of the source paper's argument, where resource management
+//! (admission control, accounting, enforcement) wraps the computation
+//! as separable layers rather than being welded into it.
+//!
+//! ```text
+//!           ┌─────────────────────────────────────────────┐
+//! client ──▶│ RequestLog → TokenAuth → RateLimit →        │
+//!           │   SpecValidation → handler                  │
+//!           └───────────────┬─────────────────────────────┘
+//!                           │ POST /campaigns (bounded queue)
+//!                           ▼
+//!                 drain thread ── campaign::run_with_progress
+//!                                 (the same engine, pool and
+//!                                  artefact path as the CLI, so
+//!                                  results are byte-identical)
+//! ```
+//!
+//! - [`http`] — the minimal HTTP/1.1 reader/writer (no dependencies;
+//!   request-line + headers + `Content-Length` bodies only).
+//! - [`middleware`] — the [`middleware::Middleware`] trait, the four
+//!   layers, and [`middleware::build_chain`] which assembles whatever
+//!   order the config lists.
+//! - [`queue`] — the bounded job queue and registry between the
+//!   accept loop and the drain thread.
+//! - [`server`] — config, routes, accept loop, graceful shutdown.
+//!
+//! Endpoints: `POST /campaigns` (202 + job id), `GET /campaigns/<id>`
+//! (status + progress), `GET /campaigns/<id>/summary` (the
+//! `-summary.json` artefact), `GET /healthz`, `GET /profilez`
+//! (per-layer middleware spans), `POST /shutdown` (drain then exit).
+
+#![deny(missing_docs)]
+
+pub mod http;
+pub mod middleware;
+pub mod queue;
+pub mod server;
+
+pub use http::{Request, Response};
+pub use middleware::{LayerSpec, Middleware};
+pub use queue::{JobQueue, JobState, JobStatus};
+pub use server::{serve, Server, ServerConfig};

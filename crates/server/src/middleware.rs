@@ -1,0 +1,636 @@
+//! The composable middleware chain.
+//!
+//! Cross-cutting request concerns — logging, authentication,
+//! admission control, spec validation — are [`Middleware`] layers
+//! wrapped around the route handler *outside-in*, exactly as the
+//! source paper composes services around a resource-managed core:
+//! the first layer in the chain sees the request first and the
+//! response last. The default chain is
+//!
+//! ```text
+//! RequestLog → TokenAuth → RateLimit → SpecValidation → handler
+//! ```
+//!
+//! but the order is data, not code: [`crate::ServerConfig::chain`]
+//! lists [`LayerSpec`]s and [`build_chain`] instantiates them in that
+//! order, so deployments can reorder or drop layers without touching
+//! the server. Each layer is independently constructible and
+//! unit-tested against an in-memory handler; none touches a socket.
+//!
+//! A layer either *short-circuits* (returns its own response — 401,
+//! 429, 400 — without calling [`Next::run`]) or delegates inward,
+//! optionally rewriting the context on the way in and observing the
+//! response on the way out. Per-layer wall-clock is collected into
+//! [`Ctx::timings`] (inclusive of inner layers) and merged into the
+//! server's [`metrics::profile::Profiler`] after the chain unwinds.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::http::{Request, Response};
+
+/// Per-request context threaded through the chain.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    /// The rate-limiting key: the client's IP address (no port, so
+    /// reconnecting does not reset the bucket).
+    pub client: String,
+    /// The spec parsed by [`SpecValidation`], ready for the handler.
+    pub spec: Option<campaign::CampaignSpec>,
+    /// `(layer name, elapsed ms)` per layer, innermost first, each
+    /// inclusive of the layers inside it.
+    pub timings: Vec<(&'static str, f64)>,
+}
+
+impl Ctx {
+    /// A context for the given client key.
+    #[must_use]
+    pub fn for_client(client: &str) -> Self {
+        Ctx {
+            client: client.to_owned(),
+            ..Ctx::default()
+        }
+    }
+}
+
+/// The route handler at the centre of the chain.
+pub type Handler<'a> = &'a (dyn Fn(&Request, &mut Ctx) -> Response + Sync);
+
+/// One layer of the chain. Layers are shared across requests, so all
+/// mutable state (rate-limit buckets, log sinks) lives behind locks.
+pub trait Middleware: Send + Sync {
+    /// The layer's name, used for profile spans and the chain listing.
+    fn name(&self) -> &'static str;
+
+    /// Handles the request: answer directly (short-circuit) or
+    /// delegate to `next.run(req, ctx)`.
+    fn handle(&self, req: &Request, ctx: &mut Ctx, next: Next<'_>) -> Response;
+}
+
+/// The remainder of the chain, handed to each layer.
+pub struct Next<'a> {
+    layers: &'a [Box<dyn Middleware>],
+    handler: Handler<'a>,
+}
+
+impl Next<'_> {
+    /// Runs the rest of the chain (ending at the handler), timing
+    /// each layer into [`Ctx::timings`].
+    pub fn run(self, req: &Request, ctx: &mut Ctx) -> Response {
+        match self.layers.split_first() {
+            Some((layer, rest)) => {
+                let started = Instant::now();
+                let response = layer.handle(
+                    req,
+                    ctx,
+                    Next {
+                        layers: rest,
+                        handler: self.handler,
+                    },
+                );
+                ctx.timings
+                    .push((layer.name(), started.elapsed().as_secs_f64() * 1e3));
+                response
+            }
+            None => {
+                let started = Instant::now();
+                let response = (self.handler)(req, ctx);
+                ctx.timings
+                    .push(("handler", started.elapsed().as_secs_f64() * 1e3));
+                response
+            }
+        }
+    }
+}
+
+/// Runs `req` through `layers` (outside-in) down to `handler`.
+pub fn run_chain(
+    layers: &[Box<dyn Middleware>],
+    handler: Handler<'_>,
+    req: &Request,
+    ctx: &mut Ctx,
+) -> Response {
+    Next { layers, handler }.run(req, ctx)
+}
+
+/// A chain entry in [`crate::ServerConfig::chain`] — the middleware
+/// composition as data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerSpec {
+    /// [`RequestLog`].
+    RequestLog,
+    /// [`TokenAuth`] (pass-through when no token is configured).
+    TokenAuth,
+    /// [`RateLimit`] (pass-through when no rate is configured).
+    RateLimit,
+    /// [`SpecValidation`].
+    SpecValidation,
+}
+
+/// Instantiates the configured chain in order. `token`/`rate` feed
+/// the auth and admission layers; an unconfigured layer stays in the
+/// chain as an explicit pass-through so the composition is always the
+/// one the config names.
+#[must_use]
+pub fn build_chain(
+    chain: &[LayerSpec],
+    token: Option<&str>,
+    rate: Option<f64>,
+    log: LogSink,
+) -> Vec<Box<dyn Middleware>> {
+    chain
+        .iter()
+        .map(|layer| match layer {
+            LayerSpec::RequestLog => Box::new(RequestLog::new(log.clone())) as Box<dyn Middleware>,
+            LayerSpec::TokenAuth => Box::new(TokenAuth::new(token.map(str::to_owned))),
+            LayerSpec::RateLimit => Box::new(match rate {
+                Some(r) => RateLimit::per_second(r),
+                None => RateLimit::unlimited(),
+            }),
+            LayerSpec::SpecValidation => Box::new(SpecValidation),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// RequestLog.
+// ---------------------------------------------------------------------------
+
+/// Where [`RequestLog`] writes: stderr in production, an in-memory
+/// buffer in tests.
+pub type LogSink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// A [`LogSink`] over stderr.
+#[must_use]
+pub fn stderr_sink() -> LogSink {
+    Arc::new(Mutex::new(Box::new(std::io::stderr())))
+}
+
+/// The outermost layer: one access-log line per request with method,
+/// path, client, status and inclusive latency.
+pub struct RequestLog {
+    sink: LogSink,
+}
+
+impl RequestLog {
+    /// A logger writing to `sink`.
+    #[must_use]
+    pub fn new(sink: LogSink) -> Self {
+        RequestLog { sink }
+    }
+}
+
+impl Middleware for RequestLog {
+    fn name(&self) -> &'static str {
+        "request_log"
+    }
+
+    fn handle(&self, req: &Request, ctx: &mut Ctx, next: Next<'_>) -> Response {
+        let started = Instant::now();
+        let response = next.run(req, ctx);
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        if let Ok(mut sink) = self.sink.lock() {
+            let _ = writeln!(
+                sink,
+                "{} {} -> {} ({ms:.2} ms) client={}",
+                req.method, req.path, response.status, ctx.client
+            );
+        }
+        response
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TokenAuth.
+// ---------------------------------------------------------------------------
+
+/// Bearer-token authentication: with a configured token, every
+/// request must carry `Authorization: Bearer <token>`; without one
+/// the layer passes everything through (an open development server).
+pub struct TokenAuth {
+    token: Option<String>,
+}
+
+impl TokenAuth {
+    /// An auth layer requiring `token` (or pass-through for `None`).
+    #[must_use]
+    pub fn new(token: Option<String>) -> Self {
+        TokenAuth { token }
+    }
+}
+
+impl Middleware for TokenAuth {
+    fn name(&self) -> &'static str {
+        "token_auth"
+    }
+
+    fn handle(&self, req: &Request, ctx: &mut Ctx, next: Next<'_>) -> Response {
+        let Some(expected) = &self.token else {
+            return next.run(req, ctx);
+        };
+        let presented = req
+            .header("authorization")
+            .and_then(|v| v.strip_prefix("Bearer "));
+        if presented == Some(expected.as_str()) {
+            next.run(req, ctx)
+        } else {
+            Response::error(401, "missing or invalid bearer token")
+                .with_header("www-authenticate", "Bearer")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RateLimit.
+// ---------------------------------------------------------------------------
+
+/// One client's token bucket.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    last_s: f64,
+}
+
+/// Per-client token-bucket admission control: each client key (IP)
+/// gets a bucket of capacity `burst` refilled at `rate_per_s`; a
+/// request costs one token, and an empty bucket answers 429 with
+/// `Retry-After`. This is the server-side dual of the simulator's
+/// resource contracts: the config declares the offered request rate
+/// the service admits, and the layer enforces it.
+pub struct RateLimit {
+    rate_per_s: f64,
+    burst: f64,
+    clock: Box<dyn Fn() -> f64 + Send + Sync>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimit {
+    /// A limiter admitting `rate` requests per second per client with
+    /// a burst capacity of `max(rate, 1)`.
+    #[must_use]
+    pub fn per_second(rate: f64) -> Self {
+        let started = Instant::now();
+        RateLimit::with_clock(rate, move || started.elapsed().as_secs_f64())
+    }
+
+    /// A pass-through limiter (no rate configured): requests are
+    /// always admitted, but the layer stays in the chain.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        RateLimit::per_second(f64::INFINITY)
+    }
+
+    /// A limiter reading time from `clock` (seconds from an arbitrary
+    /// epoch) — the hook the refill-math unit tests use.
+    #[must_use]
+    pub fn with_clock(rate: f64, clock: impl Fn() -> f64 + Send + Sync + 'static) -> Self {
+        let rate = rate.max(0.0);
+        RateLimit {
+            rate_per_s: rate,
+            burst: rate.max(1.0),
+            clock: Box::new(clock),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Takes one token from `key`'s bucket, refilling it first;
+    /// `false` means the request must be rejected.
+    pub fn try_admit(&self, key: &str) -> bool {
+        let now = (self.clock)();
+        let mut buckets = self.buckets.lock().expect("no poisoned bucket map");
+        let bucket = buckets.entry(key.to_owned()).or_insert(Bucket {
+            tokens: self.burst,
+            last_s: now,
+        });
+        let elapsed = (now - bucket.last_s).max(0.0);
+        bucket.tokens = (bucket.tokens + elapsed * self.rate_per_s).min(self.burst);
+        bucket.last_s = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Middleware for RateLimit {
+    fn name(&self) -> &'static str {
+        "rate_limit"
+    }
+
+    fn handle(&self, req: &Request, ctx: &mut Ctx, next: Next<'_>) -> Response {
+        if self.try_admit(&ctx.client) {
+            next.run(req, ctx)
+        } else {
+            Response::error(429, "rate limit exceeded; retry later").with_header("retry-after", "1")
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SpecValidation.
+// ---------------------------------------------------------------------------
+
+/// Validates `POST /campaigns` bodies at the door: the body must
+/// parse as a [`campaign::CampaignSpec`] *and* expand within its
+/// `max_runs` cap, otherwise the request dies here with a 400 naming
+/// the problem and the handler never sees it. The parsed spec rides
+/// in [`Ctx::spec`] so the handler does not parse twice. Requests to
+/// other routes pass through untouched.
+pub struct SpecValidation;
+
+impl Middleware for SpecValidation {
+    fn name(&self) -> &'static str {
+        "spec_validation"
+    }
+
+    fn handle(&self, req: &Request, ctx: &mut Ctx, next: Next<'_>) -> Response {
+        if !(req.method == "POST" && req.path == "/campaigns") {
+            return next.run(req, ctx);
+        }
+        let Ok(text) = std::str::from_utf8(&req.body) else {
+            return Response::error(400, "campaign spec body is not UTF-8");
+        };
+        let spec = match campaign::CampaignSpec::from_json(text) {
+            Ok(spec) => spec,
+            Err(e) => return Response::error(400, &format!("invalid campaign spec: {e}")),
+        };
+        // Expansion errors (an over-cap sweep, zero replicates) are
+        // client errors too: surface them at submission, not from a
+        // failed job the client has to poll for.
+        if let Err(e) = campaign::expand(&spec) {
+            return Response::error(400, &format!("invalid campaign spec: {e}"));
+        }
+        ctx.spec = Some(spec);
+        next.run(req, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn ok_handler() -> impl Fn(&Request, &mut Ctx) -> Response + Sync {
+        |_req, _ctx| Response::json(200, "{\"ok\":true}".to_owned())
+    }
+
+    #[test]
+    fn empty_chain_reaches_the_handler_and_times_it() {
+        let mut ctx = Ctx::for_client("10.0.0.1");
+        let handler = ok_handler();
+        let resp = run_chain(&[], &handler, &get("/healthz"), &mut ctx);
+        assert_eq!(resp.status, 200);
+        assert_eq!(ctx.timings.len(), 1);
+        assert_eq!(ctx.timings[0].0, "handler");
+    }
+
+    #[test]
+    fn layers_run_outside_in_and_unwind_inside_out() {
+        struct Tag(&'static str, Arc<Mutex<Vec<String>>>);
+        impl Middleware for Tag {
+            fn name(&self) -> &'static str {
+                self.0
+            }
+            fn handle(&self, req: &Request, ctx: &mut Ctx, next: Next<'_>) -> Response {
+                self.1.lock().unwrap().push(format!("enter {}", self.0));
+                let resp = next.run(req, ctx);
+                self.1.lock().unwrap().push(format!("leave {}", self.0));
+                resp
+            }
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let chain: Vec<Box<dyn Middleware>> = vec![
+            Box::new(Tag("outer", order.clone())),
+            Box::new(Tag("inner", order.clone())),
+        ];
+        let mut ctx = Ctx::default();
+        let handler = ok_handler();
+        run_chain(&chain, &handler, &get("/"), &mut ctx);
+        assert_eq!(
+            *order.lock().unwrap(),
+            ["enter outer", "enter inner", "leave inner", "leave outer"]
+        );
+        // Timings unwind innermost-first, ending at the outermost.
+        let names: Vec<&str> = ctx.timings.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["handler", "inner", "outer"]);
+    }
+
+    #[test]
+    fn token_auth_rejects_missing_and_wrong_tokens() {
+        let auth = TokenAuth::new(Some("s3cret".to_owned()));
+        let chain: Vec<Box<dyn Middleware>> = vec![Box::new(auth)];
+        let handler = ok_handler();
+
+        let mut ctx = Ctx::default();
+        let resp = run_chain(&chain, &handler, &get("/healthz"), &mut ctx);
+        assert_eq!(resp.status, 401, "no credentials");
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(n, v)| n == "www-authenticate" && v == "Bearer"));
+
+        let mut wrong = get("/healthz");
+        wrong
+            .headers
+            .push(("authorization".to_owned(), "Bearer nope".to_owned()));
+        assert_eq!(run_chain(&chain, &handler, &wrong, &mut ctx).status, 401);
+
+        let mut basic = get("/healthz");
+        basic
+            .headers
+            .push(("authorization".to_owned(), "Basic s3cret".to_owned()));
+        assert_eq!(
+            run_chain(&chain, &handler, &basic, &mut ctx).status,
+            401,
+            "only the Bearer scheme is accepted"
+        );
+    }
+
+    #[test]
+    fn token_auth_accepts_the_right_token_and_passes_through_unconfigured() {
+        let handler = ok_handler();
+        let chain: Vec<Box<dyn Middleware>> =
+            vec![Box::new(TokenAuth::new(Some("s3cret".to_owned())))];
+        let mut ok = get("/healthz");
+        ok.headers
+            .push(("authorization".to_owned(), "Bearer s3cret".to_owned()));
+        let mut ctx = Ctx::default();
+        assert_eq!(run_chain(&chain, &handler, &ok, &mut ctx).status, 200);
+
+        let open: Vec<Box<dyn Middleware>> = vec![Box::new(TokenAuth::new(None))];
+        assert_eq!(
+            run_chain(&open, &handler, &get("/healthz"), &mut ctx).status,
+            200,
+            "no configured token means an open server"
+        );
+    }
+
+    #[test]
+    fn rate_limit_refill_math_is_exact_under_a_manual_clock() {
+        let now = Arc::new(Mutex::new(0.0f64));
+        let clock = {
+            let now = now.clone();
+            move || *now.lock().unwrap()
+        };
+        // 2 tokens/s, burst 2.
+        let limit = RateLimit::with_clock(2.0, clock);
+        assert!(limit.try_admit("a"), "bucket starts full");
+        assert!(limit.try_admit("a"));
+        assert!(!limit.try_admit("a"), "burst of 2 exhausted");
+        // 0.25 s refills 0.5 tokens: still under one.
+        *now.lock().unwrap() = 0.25;
+        assert!(!limit.try_admit("a"));
+        // 0.5 s total refills a full token.
+        *now.lock().unwrap() = 0.5;
+        assert!(limit.try_admit("a"));
+        assert!(!limit.try_admit("a"), "and only the one");
+        // Idle long enough to cap at burst, not accumulate beyond it.
+        *now.lock().unwrap() = 60.0;
+        assert!(limit.try_admit("a"));
+        assert!(limit.try_admit("a"));
+        assert!(!limit.try_admit("a"), "refill saturates at burst=2");
+    }
+
+    #[test]
+    fn rate_limit_buckets_are_per_client() {
+        let limit = RateLimit::with_clock(1.0, || 0.0);
+        assert!(limit.try_admit("alice"));
+        assert!(!limit.try_admit("alice"), "alice's bucket is empty");
+        assert!(limit.try_admit("bob"), "bob's bucket is untouched");
+    }
+
+    #[test]
+    fn rate_limit_layer_maps_rejection_to_429_with_retry_after() {
+        let chain: Vec<Box<dyn Middleware>> = vec![Box::new(RateLimit::with_clock(1.0, || 0.0))];
+        let handler = ok_handler();
+        let mut ctx = Ctx::for_client("10.0.0.9");
+        assert_eq!(run_chain(&chain, &handler, &get("/"), &mut ctx).status, 200);
+        let rejected = run_chain(&chain, &handler, &get("/"), &mut ctx);
+        assert_eq!(rejected.status, 429);
+        assert!(rejected.headers.iter().any(|(n, _)| n == "retry-after"));
+
+        let open: Vec<Box<dyn Middleware>> = vec![Box::new(RateLimit::unlimited())];
+        for _ in 0..100 {
+            assert_eq!(run_chain(&open, &handler, &get("/"), &mut ctx).status, 200);
+        }
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_bodies_and_parses_good_ones() {
+        let chain: Vec<Box<dyn Middleware>> = vec![Box::new(SpecValidation)];
+        let handler = |_req: &Request, ctx: &mut Ctx| {
+            assert!(ctx.spec.is_some(), "handler sees the parsed spec");
+            Response::json(202, "{}".to_owned())
+        };
+
+        let post = |body: &[u8]| Request {
+            method: "POST".to_owned(),
+            path: "/campaigns".to_owned(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        };
+
+        let mut ctx = Ctx::default();
+        let resp = run_chain(&chain, &handler, &post(b"not json"), &mut ctx);
+        assert_eq!(resp.status, 400);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("invalid campaign spec"), "{body}");
+
+        let resp = run_chain(&chain, &handler, &post(&[0xff, 0xfe]), &mut ctx);
+        assert_eq!(resp.status, 400);
+
+        // A structurally valid spec that fails expansion (replicates
+        // of zero) dies at the door too.
+        let zero_reps = br#"{
+            "name": "zero",
+            "scenario": { "kind": "host", "scheduler": "credit", "duration_s": 300,
+                "vms": [ { "name": "v", "credit_pct": 20,
+                           "workload": { "kind": "fluid", "load_pct": 50 } } ] },
+            "seeds": { "base": 1, "replicates": 0 }
+        }"#;
+        let resp = run_chain(&chain, &handler, &post(zero_reps), &mut ctx);
+        assert_eq!(resp.status, 400);
+
+        let good = br#"{
+            "name": "mini",
+            "scenario": { "kind": "host", "scheduler": "credit", "duration_s": 300,
+                "vms": [ { "name": "v", "credit_pct": 20,
+                           "workload": { "kind": "fluid", "load_pct": 50 } } ] },
+            "seeds": { "base": 1, "replicates": 1 }
+        }"#;
+        let resp = run_chain(&chain, &handler, &post(good), &mut ctx);
+        assert_eq!(resp.status, 202);
+
+        // Other routes pass through without a body requirement.
+        let resp = run_chain(&chain, &ok_handler(), &get("/healthz"), &mut ctx);
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn request_log_writes_one_line_per_request() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink: LogSink = Arc::new(Mutex::new(Box::new(SharedBuf(buf.clone()))));
+        let chain: Vec<Box<dyn Middleware>> = vec![Box::new(RequestLog::new(sink))];
+        let handler = ok_handler();
+        let mut ctx = Ctx::for_client("10.1.2.3");
+        run_chain(&chain, &handler, &get("/healthz"), &mut ctx);
+        let log = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        assert!(
+            log.contains("GET /healthz -> 200") && log.contains("client=10.1.2.3"),
+            "{log}"
+        );
+    }
+
+    #[test]
+    fn build_chain_follows_the_configured_order() {
+        let chain = build_chain(
+            &[
+                LayerSpec::RequestLog,
+                LayerSpec::TokenAuth,
+                LayerSpec::RateLimit,
+                LayerSpec::SpecValidation,
+            ],
+            Some("t"),
+            Some(5.0),
+            stderr_sink(),
+        );
+        let names: Vec<&str> = chain.iter().map(|l| l.name()).collect();
+        assert_eq!(
+            names,
+            ["request_log", "token_auth", "rate_limit", "spec_validation"]
+        );
+
+        // Reordering the config reorders the chain: auth inside the
+        // rate limiter instead of outside it.
+        let chain = build_chain(
+            &[LayerSpec::RateLimit, LayerSpec::TokenAuth],
+            Some("t"),
+            None,
+            stderr_sink(),
+        );
+        let names: Vec<&str> = chain.iter().map(|l| l.name()).collect();
+        assert_eq!(names, ["rate_limit", "token_auth"]);
+    }
+}

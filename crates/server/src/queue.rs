@@ -1,0 +1,330 @@
+//! The bounded in-process job queue and its worker.
+//!
+//! `POST /campaigns` enqueues an accepted spec; a dedicated drain
+//! thread pops jobs FIFO and runs each through
+//! [`campaign::run_with_progress`] on the server's `--jobs` worker
+//! pool (one campaign at a time, each fanning its design-point runs
+//! across the full pool — the same parallelism shape as
+//! `repro campaign --jobs N`, which is what keeps the artefacts
+//! byte-identical to a CLI run). The queue is bounded: submissions
+//! beyond `capacity` waiting jobs answer 503 instead of growing
+//! memory without limit.
+//!
+//! Job state lives in a registry the HTTP handlers read: queued →
+//! running (with completed/total run counts fed by the progress
+//! callback) → done (artefact set retained in memory and optionally
+//! written to the `--out` directory) or failed.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use campaign::CampaignSpec;
+
+/// A job's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for the drain thread.
+    Queued,
+    /// Currently simulating.
+    Running,
+    /// Finished; artefacts are available.
+    Done,
+    /// The campaign errored (the spec passed validation but the run
+    /// failed); `error` holds the message.
+    Failed,
+}
+
+impl JobState {
+    /// The lower-case wire name (`"queued"`, `"running"`, …).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// One submitted campaign's status, as the handlers see it.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job id (`1`-based, in submission order).
+    pub id: u64,
+    /// The campaign name from the spec.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Runs completed so far (monotone; equals `total_runs` on
+    /// completion).
+    pub completed_runs: usize,
+    /// `design points × replicates`, known at submission.
+    pub total_runs: usize,
+    /// The error message, for [`JobState::Failed`].
+    pub error: Option<String>,
+    /// The artefact set `(file name, contents)` once done — exactly
+    /// what `repro campaign --out` would have written.
+    pub artefacts: Vec<(String, String)>,
+}
+
+struct State {
+    /// Waiting job ids, FIFO.
+    queue: VecDeque<u64>,
+    /// Every job ever submitted, indexed by `id - 1`.
+    jobs: Vec<JobStatus>,
+    /// The accepted specs, parallel to `jobs` — what the drain thread
+    /// actually runs.
+    specs: Vec<CampaignSpec>,
+    /// Closed queues reject submissions and wake the drain thread to
+    /// finish what is left and exit.
+    closed: bool,
+}
+
+/// The bounded queue plus the job registry; shared between the accept
+/// loop (submit/status) and the drain thread (pop/update).
+pub struct JobQueue {
+    state: Mutex<State>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// `capacity` jobs are already waiting.
+    Full,
+    /// The server is shutting down.
+    Closed,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `capacity` waiting jobs.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                jobs: Vec::new(),
+                specs: Vec::new(),
+                closed: false,
+            }),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a validated spec, returning the new job's id.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when `capacity` jobs are already waiting,
+    /// [`SubmitError::Closed`] after [`close`](JobQueue::close).
+    pub fn submit(&self, spec: &CampaignSpec, total_runs: usize) -> Result<u64, SubmitError> {
+        let mut state = self.state.lock().expect("no poisoned queue");
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        if state.queue.len() >= self.capacity {
+            return Err(SubmitError::Full);
+        }
+        let id = state.jobs.len() as u64 + 1;
+        state.jobs.push(JobStatus {
+            id,
+            name: spec.name.clone(),
+            state: JobState::Queued,
+            completed_runs: 0,
+            total_runs,
+            error: None,
+            artefacts: Vec::new(),
+        });
+        state.specs.push(spec.clone());
+        state.queue.push_back(id);
+        self.wake.notify_one();
+        Ok(id)
+    }
+
+    /// A snapshot of job `id`'s status.
+    #[must_use]
+    pub fn status(&self, id: u64) -> Option<JobStatus> {
+        let state = self.state.lock().expect("no poisoned queue");
+        state.jobs.get(id.checked_sub(1)? as usize).cloned()
+    }
+
+    /// Jobs submitted so far (any state).
+    #[must_use]
+    pub fn submitted(&self) -> usize {
+        self.state.lock().expect("no poisoned queue").jobs.len()
+    }
+
+    /// Jobs waiting or running (i.e. not yet drained).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        let state = self.state.lock().expect("no poisoned queue");
+        state
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.state, JobState::Queued | JobState::Running))
+            .count()
+    }
+
+    /// Blocks until a job is available (marking it running) or the
+    /// queue is closed *and* empty (`None`: the drain thread exits).
+    /// Closing never drops queued work — every accepted job runs.
+    #[must_use]
+    pub fn pop_for_run(&self) -> Option<u64> {
+        let mut state = self.state.lock().expect("no poisoned queue");
+        loop {
+            if let Some(id) = state.queue.pop_front() {
+                state.jobs[id as usize - 1].state = JobState::Running;
+                return Some(id);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.wake.wait(state).expect("no poisoned queue");
+        }
+    }
+
+    /// Progress-callback hook: records `completed` of `total` runs
+    /// for job `id`.
+    pub fn record_progress(&self, id: u64, completed: usize, total: usize) {
+        let mut state = self.state.lock().expect("no poisoned queue");
+        let job = &mut state.jobs[id as usize - 1];
+        // Worker threads race on the callback; keep the counter
+        // monotone.
+        job.completed_runs = job.completed_runs.max(completed);
+        job.total_runs = total;
+    }
+
+    /// Marks job `id` done with its artefact set.
+    pub fn record_done(&self, id: u64, artefacts: Vec<(String, String)>) {
+        let mut state = self.state.lock().expect("no poisoned queue");
+        let job = &mut state.jobs[id as usize - 1];
+        job.state = JobState::Done;
+        job.completed_runs = job.total_runs;
+        job.artefacts = artefacts;
+    }
+
+    /// Marks job `id` failed.
+    pub fn record_failed(&self, id: u64, error: String) {
+        let mut state = self.state.lock().expect("no poisoned queue");
+        let job = &mut state.jobs[id as usize - 1];
+        job.state = JobState::Failed;
+        job.error = Some(error);
+    }
+
+    /// Closes the queue: rejects further submissions and lets the
+    /// drain thread exit once the backlog is empty.
+    pub fn close(&self) {
+        self.state.lock().expect("no poisoned queue").closed = true;
+        self.wake.notify_all();
+    }
+
+    /// The accepted spec of job `id` — what the drain thread runs.
+    #[must_use]
+    pub fn spec(&self, id: u64) -> Option<CampaignSpec> {
+        let state = self.state.lock().expect("no poisoned queue");
+        state.specs.get(id.checked_sub(1)? as usize).cloned()
+    }
+
+    /// The waiting-job bound this queue admits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_spec(name: &str) -> CampaignSpec {
+        CampaignSpec::from_json(&format!(
+            r#"{{
+                "name": "{name}",
+                "scenario": {{ "kind": "host", "scheduler": "credit", "duration_s": 300,
+                    "vms": [ {{ "name": "v", "credit_pct": 20,
+                               "workload": {{ "kind": "fluid", "load_pct": 50 }} }} ] }},
+                "seeds": {{ "base": 1, "replicates": 1 }}
+            }}"#
+        ))
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn submit_assigns_sequential_ids_and_bounds_the_backlog() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.submit(&mini_spec("a"), 4), Ok(1));
+        assert_eq!(q.submit(&mini_spec("b"), 4), Ok(2));
+        assert_eq!(q.submit(&mini_spec("c"), 4), Err(SubmitError::Full));
+        assert_eq!(q.submitted(), 2, "the rejected job is not registered");
+        assert_eq!(q.outstanding(), 2);
+        let s = q.status(1).unwrap();
+        assert_eq!(
+            (s.state, s.completed_runs, s.total_runs),
+            (JobState::Queued, 0, 4)
+        );
+        assert!(q.status(0).is_none());
+        assert!(q.status(99).is_none());
+    }
+
+    #[test]
+    fn pop_marks_running_and_freeing_a_slot_readmits() {
+        let q = JobQueue::new(1);
+        q.submit(&mini_spec("a"), 1).unwrap();
+        assert_eq!(q.submit(&mini_spec("b"), 1), Err(SubmitError::Full));
+        assert_eq!(q.pop_for_run(), Some(1));
+        assert_eq!(q.status(1).unwrap().state, JobState::Running);
+        // The waiting slot freed up even though the job still runs.
+        assert_eq!(q.submit(&mini_spec("b"), 1), Ok(2));
+    }
+
+    #[test]
+    fn lifecycle_progress_done_and_failed() {
+        let q = JobQueue::new(4);
+        q.submit(&mini_spec("a"), 6).unwrap();
+        q.submit(&mini_spec("b"), 2).unwrap();
+        assert_eq!(q.pop_for_run(), Some(1));
+        q.record_progress(1, 2, 6);
+        q.record_progress(1, 1, 6); // a racing, older update
+        let s = q.status(1).unwrap();
+        assert_eq!(s.completed_runs, 2, "progress is monotone");
+        q.record_done(1, vec![("a-summary.json".to_owned(), "{}".to_owned())]);
+        let s = q.status(1).unwrap();
+        assert_eq!(s.state, JobState::Done);
+        assert_eq!(s.completed_runs, 6, "done implies all runs");
+        assert_eq!(s.artefacts.len(), 1);
+
+        assert_eq!(q.pop_for_run(), Some(2));
+        q.record_failed(2, "boom".to_owned());
+        let s = q.status(2).unwrap();
+        assert_eq!(s.state, JobState::Failed);
+        assert_eq!(s.error.as_deref(), Some("boom"));
+        assert_eq!(q.outstanding(), 0);
+    }
+
+    #[test]
+    fn close_rejects_submissions_but_drains_the_backlog() {
+        let q = JobQueue::new(4);
+        q.submit(&mini_spec("a"), 1).unwrap();
+        q.close();
+        assert_eq!(q.submit(&mini_spec("b"), 1), Err(SubmitError::Closed));
+        // The already-accepted job still comes out...
+        assert_eq!(q.pop_for_run(), Some(1));
+        // ...and only then does the drain thread get its exit signal.
+        assert_eq!(q.pop_for_run(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_submit_from_another_thread() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let popper = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop_for_run())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(&mini_spec("a"), 1).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(1));
+    }
+}

@@ -1,0 +1,394 @@
+//! The daemon: config, routes, accept loop, drain thread, shutdown.
+
+use std::io::{BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use metrics::export::{JsonValue, JsonlWriter};
+use metrics::profile::Profiler;
+
+use crate::http::{self, Request, Response};
+use crate::middleware::{self, Ctx, LayerSpec, LogSink, Middleware};
+use crate::queue::{JobQueue, JobState, SubmitError};
+
+/// Everything `repro serve` configures, with the same defaults.
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1` by default; `0.0.0.0` to expose).
+    pub addr: String,
+    /// Bind port; `0` asks the OS for an ephemeral port (tests).
+    pub port: u16,
+    /// Worker threads each campaign's runs fan out across.
+    pub jobs: usize,
+    /// The bearer token `TokenAuth` requires (`None`: open server).
+    pub token: Option<String>,
+    /// Requests/second/client `RateLimit` admits (`None`: unlimited).
+    pub rate: Option<f64>,
+    /// Run campaigns at `--quick` fidelity.
+    pub quick: bool,
+    /// Also write each finished job's artefacts to this directory
+    /// (the same three files `repro campaign --out` writes).
+    pub out: Option<PathBuf>,
+    /// Waiting-job bound of the submission queue.
+    pub queue_depth: usize,
+    /// Request-body bound in bytes.
+    pub max_body_bytes: usize,
+    /// The middleware composition, outside-in.
+    pub chain: Vec<LayerSpec>,
+    /// Where the access log goes.
+    pub log: LogSink,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1".to_owned(),
+            port: 7077,
+            jobs: 1,
+            token: None,
+            rate: None,
+            quick: false,
+            out: None,
+            queue_depth: 64,
+            max_body_bytes: http::DEFAULT_MAX_BODY_BYTES,
+            chain: vec![
+                LayerSpec::RequestLog,
+                LayerSpec::TokenAuth,
+                LayerSpec::RateLimit,
+                LayerSpec::SpecValidation,
+            ],
+            log: middleware::stderr_sink(),
+        }
+    }
+}
+
+/// State shared by the accept loop, the handlers and the drain
+/// thread.
+struct Shared {
+    queue: JobQueue,
+    profiler: Mutex<Profiler>,
+    shutdown: AtomicBool,
+    quick: bool,
+    jobs: usize,
+    out: Option<PathBuf>,
+}
+
+/// A bound, not-yet-serving server. [`Server::bind`] then
+/// [`Server::run`]; [`Server::local_addr`] in between is how tests
+/// learn the ephemeral port.
+pub struct Server {
+    listener: TcpListener,
+    chain: Vec<Box<dyn Middleware>>,
+    shared: Arc<Shared>,
+    max_body_bytes: usize,
+}
+
+impl Server {
+    /// Binds the configured address/port and assembles the middleware
+    /// chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, no permission).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((cfg.addr.as_str(), cfg.port))?;
+        let chain =
+            middleware::build_chain(&cfg.chain, cfg.token.as_deref(), cfg.rate, cfg.log.clone());
+        Ok(Server {
+            listener,
+            chain,
+            shared: Arc::new(Shared {
+                queue: JobQueue::new(cfg.queue_depth),
+                profiler: Mutex::new(Profiler::new()),
+                shutdown: AtomicBool::new(false),
+                quick: cfg.quick,
+                jobs: cfg.jobs.max(1),
+                out: cfg.out,
+            }),
+            max_body_bytes: cfg.max_body_bytes,
+        })
+    }
+
+    /// The address actually bound (the ephemeral port, for `port: 0`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown`: accepts connections one at a
+    /// time (campaigns run on the drain thread's worker pool, so
+    /// request handling stays cheap), then drains the queue and
+    /// returns. Every accepted campaign completes before this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O failures. Per-connection errors
+    /// (parse failures, client disconnects) are answered or dropped
+    /// without taking the server down.
+    pub fn run(self) -> std::io::Result<()> {
+        let shared = self.shared.clone();
+        std::thread::scope(|scope| {
+            let drain = scope.spawn(|| drain_loop(&shared));
+            for stream in self.listener.incoming() {
+                match stream {
+                    Ok(stream) => self.handle_connection(stream),
+                    Err(e) => {
+                        eprintln!("accept failed: {e}");
+                        continue;
+                    }
+                }
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            self.shared.queue.close();
+            drain.join().expect("drain thread never panics");
+            Ok(())
+        })
+    }
+
+    /// One connection: parse, run the chain, write the response,
+    /// merge the per-layer timings into the profiler.
+    fn handle_connection(&self, stream: TcpStream) {
+        // A stuck client must not wedge the (serial) accept loop.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let client = stream
+            .peer_addr()
+            .map(|a| a.ip().to_string())
+            .unwrap_or_else(|_| "unknown".to_owned());
+        let mut reader = BufReader::new(stream);
+        let response = match http::read_request(&mut reader, self.max_body_bytes) {
+            Ok(request) => {
+                let mut ctx = Ctx::for_client(&client);
+                let shared = self.shared.clone();
+                let handler = move |req: &Request, ctx: &mut Ctx| route(&shared, req, ctx);
+                let response = middleware::run_chain(&self.chain, &handler, &request, &mut ctx);
+                let mut profiler = self.shared.profiler.lock().expect("no poisoned profiler");
+                profiler.count("requests", 1);
+                profiler.count(&format!("responses_{}xx", response.status / 100), 1);
+                for (layer, ms) in &ctx.timings {
+                    profiler.add_span_ms(&format!("mw:{layer}"), *ms);
+                }
+                response
+            }
+            Err(e) => {
+                let mut profiler = self.shared.profiler.lock().expect("no poisoned profiler");
+                profiler.count("requests", 1);
+                profiler.count("parse_errors", 1);
+                Response::error(e.status, &e.message)
+            }
+        };
+        let mut stream = reader.into_inner();
+        if let Err(e) = response.write_to(&mut stream) {
+            eprintln!("response write failed: {e}");
+        }
+    }
+}
+
+/// The drain thread: pop jobs FIFO, run each campaign on the worker
+/// pool, record the outcome (and write artefacts to `--out`).
+fn drain_loop(shared: &Shared) {
+    while let Some(id) = shared.queue.pop_for_run() {
+        let spec = shared.queue.spec(id).expect("popped jobs have specs");
+        let started = std::time::Instant::now();
+        let outcome =
+            campaign::run_with_progress(&spec, shared.quick, shared.jobs, &|completed, total| {
+                shared.queue.record_progress(id, completed, total)
+            });
+        let ms = started.elapsed().as_secs_f64() * 1e3;
+        {
+            let mut profiler = shared.profiler.lock().expect("no poisoned profiler");
+            profiler.add_span_ms("campaign_run", ms);
+            profiler.count("campaigns_run", 1);
+        }
+        match outcome.map_err(|e| e.to_string()).and_then(|report| {
+            report
+                .artefact_files()
+                .map_err(|e| format!("artefact serialization failed: {e}"))
+        }) {
+            Ok(artefacts) => {
+                if let Some(dir) = &shared.out {
+                    for (name, content) in &artefacts {
+                        let path = dir.join(name);
+                        if let Err(e) = metrics::export::write_artifact(&path, content) {
+                            eprintln!("failed to write {}: {e}", path.display());
+                        }
+                    }
+                }
+                shared.queue.record_done(id, artefacts);
+            }
+            Err(message) => shared.queue.record_failed(id, message),
+        }
+    }
+}
+
+/// The innermost chain layer: route dispatch.
+fn route(shared: &Shared, req: &Request, ctx: &mut Ctx) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => {
+            let mut w = JsonlWriter::new();
+            w.line(&[
+                ("status", "ok".into()),
+                ("jobs", shared.jobs.into()),
+                ("quick", shared.quick.into()),
+                ("submitted", shared.queue.submitted().into()),
+                ("outstanding", shared.queue.outstanding().into()),
+            ]);
+            Response::json(200, w.into_string())
+        }
+        ("GET", "/profilez") => {
+            let report = shared
+                .profiler
+                .lock()
+                .expect("no poisoned profiler")
+                .report();
+            match metrics::export::to_json(&report) {
+                Ok(json) => Response::json(200, json),
+                Err(e) => Response::error(500, &format!("profile serialization failed: {e}")),
+            }
+        }
+        ("POST", "/campaigns") => submit_campaign(shared, req, ctx),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let mut w = JsonlWriter::new();
+            w.line(&[
+                ("status", "shutting down".into()),
+                ("draining", shared.queue.outstanding().into()),
+            ]);
+            Response::json(200, w.into_string())
+        }
+        ("GET", path) => campaign_get(shared, path),
+        (_, "/healthz" | "/profilez" | "/campaigns" | "/shutdown") => {
+            Response::error(405, "method not allowed on this path")
+        }
+        _ => Response::error(404, "no such path"),
+    }
+}
+
+/// `POST /campaigns`: the spec was parsed and expanded by
+/// [`middleware::SpecValidation`]; re-validate here anyway so a
+/// config that drops that layer still cannot crash the handler.
+fn submit_campaign(shared: &Shared, req: &Request, ctx: &mut Ctx) -> Response {
+    let spec = match ctx.spec.take() {
+        Some(spec) => spec,
+        None => {
+            let Ok(text) = std::str::from_utf8(&req.body) else {
+                return Response::error(400, "campaign spec body is not UTF-8");
+            };
+            match campaign::CampaignSpec::from_json(text) {
+                Ok(spec) => spec,
+                Err(e) => return Response::error(400, &format!("invalid campaign spec: {e}")),
+            }
+        }
+    };
+    let total_runs = match campaign::expand(&spec) {
+        Ok(expansion) => expansion.points.len() * expansion.replicates,
+        Err(e) => return Response::error(400, &format!("invalid campaign spec: {e}")),
+    };
+    match shared.queue.submit(&spec, total_runs) {
+        Ok(id) => {
+            let mut w = JsonlWriter::new();
+            w.line(&[
+                ("id", id.into()),
+                ("name", spec.name.as_str().into()),
+                ("total_runs", total_runs.into()),
+                ("status_url", format!("/campaigns/{id}").into()),
+                ("summary_url", format!("/campaigns/{id}/summary").into()),
+            ]);
+            Response::json(202, w.into_string())
+        }
+        Err(SubmitError::Full) => Response::error(
+            503,
+            &format!(
+                "queue full ({} waiting jobs); retry later",
+                shared.queue.capacity()
+            ),
+        )
+        .with_header("retry-after", "5"),
+        Err(SubmitError::Closed) => Response::error(503, "server is shutting down"),
+    }
+}
+
+/// `GET /campaigns/<id>` and `GET /campaigns/<id>/summary`.
+fn campaign_get(shared: &Shared, path: &str) -> Response {
+    let Some(rest) = path.strip_prefix("/campaigns/") else {
+        return Response::error(404, "no such path");
+    };
+    let (id_part, want_summary) = match rest.strip_suffix("/summary") {
+        Some(id_part) => (id_part, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_part.parse::<u64>() else {
+        return Response::error(404, &format!("malformed campaign id {id_part:?}"));
+    };
+    let Some(status) = shared.queue.status(id) else {
+        return Response::error(404, &format!("no campaign {id}"));
+    };
+    if !want_summary {
+        let mut w = JsonlWriter::new();
+        let mut fields: Vec<(&str, JsonValue)> = vec![
+            ("id", status.id.into()),
+            ("name", status.name.as_str().into()),
+            ("state", status.state.name().into()),
+            ("completed_runs", status.completed_runs.into()),
+            ("total_runs", status.total_runs.into()),
+        ];
+        if let Some(error) = &status.error {
+            fields.push(("error", error.as_str().into()));
+        }
+        w.line(&fields);
+        return Response::json(200, w.into_string());
+    }
+    match status.state {
+        JobState::Done => {
+            let summary = status
+                .artefacts
+                .iter()
+                .find(|(name, _)| name.ends_with("-summary.json"))
+                .map(|(_, content)| content.clone());
+            match summary {
+                Some(content) => Response::json(200, content),
+                None => Response::error(500, "finished job lost its summary artefact"),
+            }
+        }
+        JobState::Failed => Response::error(
+            409,
+            &format!(
+                "campaign {id} failed: {}",
+                status.error.as_deref().unwrap_or("unknown error")
+            ),
+        ),
+        JobState::Queued | JobState::Running => Response::error(
+            409,
+            &format!(
+                "campaign {id} is {} ({}/{} runs); retry when done",
+                status.state.name(),
+                status.completed_runs,
+                status.total_runs
+            ),
+        ),
+    }
+}
+
+/// A convenience used by `repro serve`: bind, print the bound
+/// address, serve until shutdown.
+///
+/// # Errors
+///
+/// Propagates bind and accept-loop failures.
+pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
+    let server = Server::bind(cfg)?;
+    let addr = server.local_addr()?;
+    let mut stdout = std::io::stdout();
+    // The parseable boot line tests and scripts wait for.
+    let _ = writeln!(stdout, "listening on http://{addr}");
+    let _ = stdout.flush();
+    server.run()
+}

@@ -18,6 +18,7 @@
 //! | [`cluster`] | the fleet layer: placement, live migration, concurrent multi-host simulation |
 //! | [`campaign`] | declarative campaigns: JSON scenario specs, parameter sweeps, multi-seed statistics |
 //! | [`experiments`] | one module per paper table/figure + extensions; the `repro` binary |
+//! | [`server`] | campaign-as-a-service: std-only HTTP/1.1 daemon + composable middleware chain (`repro serve`) |
 //! | `pas-bench` | criterion bench targets: figures/tables at quick fidelity + hot-path micros (not re-exported; run via `cargo bench`) |
 //!
 //! Third-party crates (`serde`, `serde_json`, `rand`, `proptest`,
@@ -67,6 +68,7 @@ pub use governors;
 pub use hypervisor;
 pub use metrics;
 pub use pas_core;
+pub use server;
 pub use simkernel;
 pub use trace;
 pub use workloads;
