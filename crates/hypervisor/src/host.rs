@@ -194,6 +194,7 @@ impl HostConfig {
             tracer: None,
             trace_ids: Vec::new(),
             last_pick: None,
+            runnable_scratch: Vec::new(),
         }
     }
 }
@@ -255,6 +256,12 @@ pub struct Host {
     // installed, empty otherwise.
     trace_ids: Vec<trace::NameId>,
     last_pick: Option<VmId>,
+    // Reusable runnable-scan buffer: `advance_one_slice` runs a few
+    // hundred thousand times per simulated fleet-minute, so the
+    // per-slice `Vec<VmId>` collect was a heap allocation on the
+    // hottest path in the workspace. Capacity is retained across
+    // slices; contents are rebuilt each slice.
+    runnable_scratch: Vec<VmId>,
 }
 
 impl Host {
@@ -608,12 +615,14 @@ impl Host {
 
     fn advance_one_slice(&mut self, boundary: SimTime) {
         let horizon = boundary - self.now;
-        let runnable: Vec<VmId> = self
-            .vms
-            .iter()
-            .filter(|vm| vm.is_runnable())
-            .map(|vm| vm.id)
-            .collect();
+        let mut runnable = std::mem::take(&mut self.runnable_scratch);
+        runnable.clear();
+        runnable.extend(
+            self.vms
+                .iter()
+                .filter(|vm| vm.is_runnable())
+                .map(|vm| vm.id),
+        );
         let pick = self.sched.pick_next(self.now, &runnable);
         if self.tracer.is_some() && pick != self.last_pick {
             // A pick *change* is the event; re-picking the same VM
@@ -631,6 +640,7 @@ impl Host {
             }
             self.last_pick = pick;
         }
+        self.runnable_scratch = runnable;
 
         let slice = match pick {
             None => horizon,
