@@ -14,8 +14,6 @@
 //!   special case);
 //! * Dom0 runs at the highest priority.
 
-use std::collections::HashMap;
-
 use simkernel::{SimDuration, SimTime};
 
 use crate::sched::{SchedCtx, Scheduler};
@@ -54,8 +52,12 @@ struct VmCredit {
 #[derive(Debug)]
 pub struct CreditScheduler {
     period: SimDuration,
-    vms: HashMap<VmId, VmCredit>,
-    order: Vec<VmId>,
+    // Per-VM state indexed by `VmId.0`: the host hands out small
+    // dense ids, and `pick_next` runs once per slice, so a flat `Vec`
+    // beats hashing on the hot path. `None` marks ids this scheduler
+    // was never given (per-core schedulers on a multicore host each
+    // see a sparse subset of the global id space).
+    vms: Vec<Option<VmCredit>>,
     rr_cursor: usize,
 }
 
@@ -82,8 +84,7 @@ impl CreditScheduler {
         assert!(!period.is_zero(), "accounting period must be non-zero");
         CreditScheduler {
             period,
-            vms: HashMap::new(),
-            order: Vec::new(),
+            vms: Vec::new(),
             rr_cursor: 0,
         }
     }
@@ -98,7 +99,11 @@ impl CreditScheduler {
     ///
     /// Panics if the VM is unknown or the fraction is negative/NaN.
     pub fn set_cap(&mut self, vm: VmId, cap: Option<f64>) {
-        let entry = self.vms.get_mut(&vm).expect("set_cap on unknown VM");
+        let entry = self
+            .vms
+            .get_mut(vm.0)
+            .and_then(Option::as_mut)
+            .expect("set_cap on unknown VM");
         entry.cap = cap.map(|c| {
             assert!(c.is_finite() && c >= 0.0, "invalid cap {c}");
             c.min(1.0)
@@ -111,8 +116,13 @@ impl CreditScheduler {
         self.period
     }
 
+    #[inline]
+    fn entry(&self, id: VmId) -> &VmCredit {
+        self.vms[id.0].as_ref().expect("unknown VM")
+    }
+
     fn eligible(&self, id: VmId) -> bool {
-        let vm = &self.vms[&id];
+        let vm = self.entry(id);
         match vm.cap {
             None => true,
             Some(cap) => {
@@ -123,7 +133,7 @@ impl CreditScheduler {
     }
 
     fn total_weight(&self) -> u64 {
-        self.vms.values().map(|v| u64::from(v.weight)).sum()
+        self.vms.iter().flatten().map(|v| u64::from(v.weight)).sum()
     }
 }
 
@@ -142,23 +152,22 @@ impl Scheduler for CreditScheduler {
         } else {
             Some(cfg.credit.as_fraction())
         };
-        self.vms.insert(
-            id,
-            VmCredit {
-                weight: cfg.weight,
-                priority: cfg.priority,
-                cap,
-                used: SimDuration::ZERO,
-                credit_us: 0,
-            },
-        );
-        self.order.push(id);
+        if id.0 >= self.vms.len() {
+            self.vms.resize_with(id.0 + 1, || None);
+        }
+        self.vms[id.0] = Some(VmCredit {
+            weight: cfg.weight,
+            priority: cfg.priority,
+            cap,
+            used: SimDuration::ZERO,
+            credit_us: 0,
+        });
     }
 
     fn on_accounting(&mut self, _ctx: &mut SchedCtx<'_>) {
         let total_weight = self.total_weight().max(1);
         let period_us = self.period.as_micros() as i64;
-        for vm in self.vms.values_mut() {
+        for vm in self.vms.iter_mut().flatten() {
             vm.used = SimDuration::ZERO;
             let share = period_us * i64::from(vm.weight) / total_weight as i64;
             // Refill and clamp, as Xen does, so an idle VM cannot hoard
@@ -170,44 +179,51 @@ impl Scheduler for CreditScheduler {
     fn pick_next(&mut self, _now: SimTime, runnable: &[VmId]) -> Option<VmId> {
         // Dom0 first, then UNDER before OVER; round-robin within a
         // class via a rotating cursor for deterministic fairness.
-        let candidates: Vec<VmId> = runnable
-            .iter()
-            .copied()
-            .filter(|&id| self.eligible(id))
-            .collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        if let Some(&dom0) = candidates
-            .iter()
-            .find(|&&id| self.vms[&id].priority == Priority::Dom0)
-        {
-            return Some(dom0);
-        }
-        let class_of = |id: VmId| -> u8 {
-            if self.vms[&id].credit_us > 0 {
-                0 // UNDER
-            } else {
-                1 // OVER
+        // Two passes over `runnable` keep this allocation-free: the
+        // first classifies every eligible candidate (returning the
+        // first Dom0 outright, as before), the second re-walks the
+        // winning class to the rotated pick.
+        let mut n_under = 0usize;
+        let mut n_over = 0usize;
+        for &id in runnable {
+            if !self.eligible(id) {
+                continue;
             }
+            let vm = self.entry(id);
+            if vm.priority == Priority::Dom0 {
+                return Some(id);
+            }
+            if vm.credit_us > 0 {
+                n_under += 1; // UNDER
+            } else {
+                n_over += 1; // OVER
+            }
+        }
+        let (best_is_under, n_best) = if n_under > 0 {
+            (true, n_under)
+        } else if n_over > 0 {
+            (false, n_over)
+        } else {
+            return None;
         };
-        let best_class = candidates
-            .iter()
-            .map(|&id| class_of(id))
-            .min()
-            .expect("non-empty");
-        let in_class: Vec<VmId> = candidates
-            .into_iter()
-            .filter(|&id| class_of(id) == best_class)
-            .collect();
         // Rotate through the class so equal-priority VMs interleave.
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
-        let pick = in_class[self.rr_cursor % in_class.len()];
-        Some(pick)
+        let k = self.rr_cursor % n_best;
+        let mut seen = 0usize;
+        for &id in runnable {
+            if !self.eligible(id) || (self.entry(id).credit_us > 0) != best_is_under {
+                continue;
+            }
+            if seen == k {
+                return Some(id);
+            }
+            seen += 1;
+        }
+        unreachable!("pick_next: candidate counted in the first pass vanished")
     }
 
     fn max_slice(&self, vm: VmId, _now: SimTime) -> SimDuration {
-        let entry = &self.vms[&vm];
+        let entry = self.entry(vm);
         match entry.cap {
             None => self.period,
             Some(cap) => self.period.mul_f64(cap).saturating_sub(entry.used),
@@ -215,17 +231,21 @@ impl Scheduler for CreditScheduler {
     }
 
     fn charge(&mut self, vm: VmId, busy: SimDuration) {
-        let entry = self.vms.get_mut(&vm).expect("charge on unknown VM");
+        let entry = self
+            .vms
+            .get_mut(vm.0)
+            .and_then(Option::as_mut)
+            .expect("charge on unknown VM");
         entry.used += busy;
         entry.credit_us -= busy.as_micros() as i64;
     }
 
     fn effective_cap(&self, vm: VmId) -> Option<f64> {
-        self.vms[&vm].cap
+        self.entry(vm).cap
     }
 
     fn set_cap_external(&mut self, vm: VmId, cap: Option<f64>) -> bool {
-        if self.vms.contains_key(&vm) {
+        if self.vms.get(vm.0).is_some_and(Option::is_some) {
             self.set_cap(vm, cap);
             true
         } else {
@@ -328,7 +348,7 @@ mod tests {
                                    // Burn v70 into OVER.
         s.charge(VmId(1), SimDuration::from_millis(25));
         // Reset usage so caps don't interfere, keep credit burned.
-        for vm in s.vms.values_mut() {
+        for vm in s.vms.iter_mut().flatten() {
             vm.used = SimDuration::ZERO;
         }
         for _ in 0..4 {
@@ -376,7 +396,7 @@ mod tests {
             s.on_accounting(&mut ctx);
         }
         let period_us = s.period().as_micros() as i64;
-        for vm in s.vms.values() {
+        for vm in s.vms.iter().flatten() {
             assert!(vm.credit_us <= period_us, "idle credit cannot hoard");
         }
     }

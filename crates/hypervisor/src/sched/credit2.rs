@@ -14,8 +14,6 @@
 //! everyone's credit is reset. That yields long-run CPU shares
 //! proportional to weights, work-conservingly.
 
-use std::collections::HashMap;
-
 use simkernel::{SimDuration, SimTime};
 
 use crate::sched::{SchedCtx, Scheduler};
@@ -47,7 +45,9 @@ struct VmCredit2 {
 /// ```
 #[derive(Debug, Default)]
 pub struct Credit2Scheduler {
-    vms: HashMap<VmId, VmCredit2>,
+    // Indexed by `VmId.0`; `None` marks ids never added here (see
+    // `CreditScheduler::vms`).
+    vms: Vec<Option<VmCredit2>>,
     max_weight: u32,
 }
 
@@ -58,8 +58,13 @@ impl Credit2Scheduler {
         Credit2Scheduler::default()
     }
 
+    #[inline]
+    fn entry(&self, id: VmId) -> &VmCredit2 {
+        self.vms[id.0].as_ref().expect("unknown VM")
+    }
+
     fn reset_credits(&mut self) {
-        for vm in self.vms.values_mut() {
+        for vm in self.vms.iter_mut().flatten() {
             vm.credit_us = (vm.credit_us + CREDIT_INIT_US).min(CREDIT_INIT_US);
         }
     }
@@ -75,15 +80,15 @@ impl Scheduler for Credit2Scheduler {
     }
 
     fn on_vm_added(&mut self, id: VmId, cfg: &VmConfig) {
+        if id.0 >= self.vms.len() {
+            self.vms.resize_with(id.0 + 1, || None);
+        }
         self.max_weight = self.max_weight.max(cfg.weight);
-        self.vms.insert(
-            id,
-            VmCredit2 {
-                weight: cfg.weight,
-                priority: cfg.priority,
-                credit_us: CREDIT_INIT_US,
-            },
-        );
+        self.vms[id.0] = Some(VmCredit2 {
+            weight: cfg.weight,
+            priority: cfg.priority,
+            credit_us: CREDIT_INIT_US,
+        });
     }
 
     fn on_accounting(&mut self, _ctx: &mut SchedCtx<'_>) {
@@ -97,15 +102,15 @@ impl Scheduler for Credit2Scheduler {
         }
         if let Some(&dom0) = runnable
             .iter()
-            .find(|&&id| self.vms[&id].priority == Priority::Dom0)
+            .find(|&&id| self.entry(id).priority == Priority::Dom0)
         {
             return Some(dom0);
         }
         let best = runnable
             .iter()
             .copied()
-            .max_by_key(|id| (self.vms[id].credit_us, std::cmp::Reverse(id.0)))?;
-        if self.vms[&best].credit_us <= 0 {
+            .max_by_key(|&id| (self.entry(id).credit_us, std::cmp::Reverse(id.0)))?;
+        if self.entry(best).credit_us <= 0 {
             self.reset_credits();
         }
         Some(best)
@@ -120,7 +125,11 @@ impl Scheduler for Credit2Scheduler {
 
     fn charge(&mut self, vm: VmId, busy: SimDuration) {
         let max_weight = i64::from(self.max_weight.max(1));
-        let entry = self.vms.get_mut(&vm).expect("charge on unknown VM");
+        let entry = self
+            .vms
+            .get_mut(vm.0)
+            .and_then(Option::as_mut)
+            .expect("charge on unknown VM");
         // Burn inversely to weight: heavier VMs drain slower, so they
         // hold the "most credit" slot proportionally longer.
         let scaled = busy.as_micros() as i64 * max_weight / i64::from(entry.weight.max(1));

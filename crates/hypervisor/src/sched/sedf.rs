@@ -8,8 +8,6 @@
 //! variable credit** scheduler — the configuration of the paper's
 //! Figures 6–8.
 
-use std::collections::HashMap;
-
 use simkernel::{SimDuration, SimTime};
 
 use crate::sched::{SchedCtx, Scheduler};
@@ -53,8 +51,10 @@ enum PickMode {
 pub struct SedfScheduler {
     period: SimDuration,
     extra_default: bool,
-    vms: HashMap<VmId, VmSedf>,
-    last_mode: HashMap<VmId, PickMode>,
+    // Both indexed by `VmId.0`; `None` marks ids never added here
+    // (see `CreditScheduler::vms`).
+    vms: Vec<Option<VmSedf>>,
+    last_mode: Vec<Option<PickMode>>,
     rr_cursor: usize,
 }
 
@@ -79,14 +79,19 @@ impl SedfScheduler {
         SedfScheduler {
             period,
             extra_default,
-            vms: HashMap::new(),
-            last_mode: HashMap::new(),
+            vms: Vec::new(),
+            last_mode: Vec::new(),
             rr_cursor: 0,
         }
     }
 
+    #[inline]
+    fn entry(&self, id: VmId) -> &VmSedf {
+        self.vms[id.0].as_ref().expect("unknown VM")
+    }
+
     fn refresh(&mut self, now: SimTime) {
-        for vm in self.vms.values_mut() {
+        for vm in self.vms.iter_mut().flatten() {
             while now >= vm.deadline {
                 vm.deadline += vm.params.period;
                 vm.remaining = vm.params.slice;
@@ -108,15 +113,17 @@ impl Scheduler for SedfScheduler {
         let params = cfg.sedf.unwrap_or_else(|| {
             SedfParams::from_credit(cfg.credit, self.period, self.extra_default)
         });
-        self.vms.insert(
-            id,
-            VmSedf {
-                params,
-                priority: cfg.priority,
-                deadline: SimTime::ZERO + params.period,
-                remaining: params.slice,
-            },
-        );
+        if id.0 >= self.vms.len() {
+            self.vms.resize_with(id.0 + 1, || None);
+            self.last_mode.resize(id.0 + 1, None);
+        }
+        self.vms[id.0] = Some(VmSedf {
+            params,
+            priority: cfg.priority,
+            deadline: SimTime::ZERO + params.period,
+            remaining: params.slice,
+        });
+        self.last_mode[id.0] = None;
     }
 
     fn on_accounting(&mut self, ctx: &mut SchedCtx<'_>) {
@@ -131,40 +138,46 @@ impl Scheduler for SedfScheduler {
         // Dom0 runs first if it has guaranteed time (matching its
         // highest-priority configuration in the paper).
         if let Some(&dom0) = runnable.iter().find(|&&id| {
-            self.vms[&id].priority == Priority::Dom0 && !self.vms[&id].remaining.is_zero()
+            let vm = self.entry(id);
+            vm.priority == Priority::Dom0 && !vm.remaining.is_zero()
         }) {
-            self.last_mode.insert(dom0, PickMode::Guaranteed);
+            self.last_mode[dom0.0] = Some(PickMode::Guaranteed);
             return Some(dom0);
         }
         // EDF over VMs with guaranteed time left.
         let guaranteed = runnable
             .iter()
             .copied()
-            .filter(|id| !self.vms[id].remaining.is_zero())
-            .min_by_key(|id| (self.vms[id].deadline, id.0));
+            .filter(|&id| !self.entry(id).remaining.is_zero())
+            .min_by_key(|&id| (self.entry(id).deadline, id.0));
         if let Some(pick) = guaranteed {
-            self.last_mode.insert(pick, PickMode::Guaranteed);
+            self.last_mode[pick.0] = Some(PickMode::Guaranteed);
             return Some(pick);
         }
         // Extra time: round-robin over runnable extra-eligible VMs.
-        let extras: Vec<VmId> = runnable
+        // Count-then-select keeps the scan allocation-free.
+        let n_extra = runnable
             .iter()
-            .copied()
-            .filter(|id| self.vms[id].params.extra)
-            .collect();
-        if extras.is_empty() {
+            .filter(|&&id| self.entry(id).params.extra)
+            .count();
+        if n_extra == 0 {
             return None;
         }
         self.rr_cursor = self.rr_cursor.wrapping_add(1);
-        let pick = extras[self.rr_cursor % extras.len()];
-        self.last_mode.insert(pick, PickMode::Extra);
+        let pick = runnable
+            .iter()
+            .copied()
+            .filter(|&id| self.entry(id).params.extra)
+            .nth(self.rr_cursor % n_extra)
+            .expect("extra candidate counted above");
+        self.last_mode[pick.0] = Some(PickMode::Extra);
         Some(pick)
     }
 
     fn max_slice(&self, vm: VmId, now: SimTime) -> SimDuration {
-        let entry = &self.vms[&vm];
+        let entry = self.entry(vm);
         let to_deadline = entry.deadline.duration_since(now);
-        match self.last_mode.get(&vm) {
+        match self.last_mode.get(vm.0).copied().flatten() {
             Some(PickMode::Guaranteed) => entry.remaining.min(to_deadline),
             // Extra time runs in small grains so guaranteed VMs can
             // preempt at the next decision point.
@@ -173,15 +186,24 @@ impl Scheduler for SedfScheduler {
     }
 
     fn charge(&mut self, vm: VmId, busy: SimDuration) {
-        let mode = *self.last_mode.get(&vm).unwrap_or(&PickMode::Extra);
-        let entry = self.vms.get_mut(&vm).expect("charge on unknown VM");
+        let mode = self
+            .last_mode
+            .get(vm.0)
+            .copied()
+            .flatten()
+            .unwrap_or(PickMode::Extra);
+        let entry = self
+            .vms
+            .get_mut(vm.0)
+            .and_then(Option::as_mut)
+            .expect("charge on unknown VM");
         if mode == PickMode::Guaranteed {
             entry.remaining = entry.remaining.saturating_sub(busy);
         }
     }
 
     fn effective_cap(&self, vm: VmId) -> Option<f64> {
-        let entry = &self.vms[&vm];
+        let entry = self.entry(vm);
         if entry.params.extra {
             None // work conserving: no hard ceiling
         } else {
@@ -206,8 +228,8 @@ mod tests {
     fn guaranteed_time_respects_credit() {
         let s = setup(true);
         // After a fresh period, v20 may run 20 ms of the 100 ms period.
-        assert_eq!(s.vms[&VmId(0)].params.slice, SimDuration::from_millis(20));
-        assert_eq!(s.vms[&VmId(1)].params.slice, SimDuration::from_millis(70));
+        assert_eq!(s.entry(VmId(0)).params.slice, SimDuration::from_millis(20));
+        assert_eq!(s.entry(VmId(1)).params.slice, SimDuration::from_millis(70));
     }
 
     #[test]
@@ -282,8 +304,8 @@ mod tests {
         let mut s = setup(true);
         let p = s.pick_next(SimTime::from_secs(10), &[VmId(0)]);
         assert_eq!(p, Some(VmId(0)));
-        assert!(!s.vms[&VmId(0)].remaining.is_zero());
-        assert!(s.vms[&VmId(0)].deadline > SimTime::from_secs(10));
+        assert!(!s.entry(VmId(0)).remaining.is_zero());
+        assert!(s.entry(VmId(0)).deadline > SimTime::from_secs(10));
     }
 
     #[test]
