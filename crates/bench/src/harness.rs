@@ -470,6 +470,19 @@ fn fleet_traced(n: usize, quick: bool, traced: bool) {
     }
 }
 
+/// The 96-VM fleet from `fleet_epochs`, run with the event-driven
+/// simulation core off or on — the A/B pair measuring what the fused
+/// steady-window replay and the next-event epoch skip buy on a mixed
+/// fleet. Results are bit-identical either way (the determinism suites
+/// enforce it); only wall-clock may differ.
+fn fleet_event_core(n: usize, quick: bool, on: bool) {
+    let specs = fleet_population(n);
+    let cfg = FleetConfig::pas_defaults().with_event_core(on);
+    let mut fleet = Fleet::build(cfg, &specs);
+    fleet.run_epochs(if quick { 3 } else { 10 }, 4);
+    assert!(fleet.totals().energy_j > 0.0);
+}
+
 /// A datacenter-scale fleet pass: a `hosts`-host population (four VMs
 /// per Optiplex host), 16 shard controllers, and short 10 s control
 /// epochs so a repetition stays affordable. `bounded` selects the
@@ -549,6 +562,19 @@ pub fn suite(quick: bool) -> Vec<Benchmark> {
         .interleaved_with_next(),
         Benchmark::new("fleet_96vms_trace_on", "trace_overhead", move || {
             fleet_traced(96, quick, true);
+        }),
+        // Event-driven core A/B on the 96-VM fleet: off first, so the
+        // pair reads top-to-bottom as exact → event-driven and the
+        // pair statistic's sign matches the other pairs (negative =
+        // the event core is faster). Interleaved for the same reason
+        // as the tracing pair: the delta is small against sequential
+        // run-to-run drift.
+        Benchmark::new("fleet_96vms_event_off", "event_core", move || {
+            fleet_event_core(96, quick, false);
+        })
+        .interleaved_with_next(),
+        Benchmark::new("fleet_96vms_event_on", "event_core", move || {
+            fleet_event_core(96, quick, true);
         }),
         // Datacenter scale: wall-clock + RSS at 1k and 10k hosts.
         // Sketch variants first — see `fleet_scale` on why order
@@ -674,6 +700,198 @@ pub fn validate(json: &str) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Artefact comparison (the `repro bench-check --compare` regression gate).
+// ---------------------------------------------------------------------------
+
+/// The group-level regression threshold `repro bench-check --compare`
+/// enforces: a benchmark *group* whose summed median wall-clock grew
+/// by more than this fraction fails the check. Group-level (not
+/// per-benchmark) so a single noisy micro-entry cannot fail CI while a
+/// real across-the-board slowdown still does.
+pub const REGRESSION_THRESHOLD_PCT: f64 = 20.0;
+
+/// One benchmark's medians across two artefacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Benchmark name.
+    pub name: String,
+    /// Benchmark group (as in the *new* artefact).
+    pub group: String,
+    /// Median in the old artefact, milliseconds.
+    pub old_ms: f64,
+    /// Median in the new artefact, milliseconds.
+    pub new_ms: f64,
+    /// `(new - old) / old`, percent. Positive = slower.
+    pub delta_pct: f64,
+}
+
+/// One group's summed medians across two artefacts (over the
+/// benchmarks present in both).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupDelta {
+    /// Group name.
+    pub group: String,
+    /// Summed old medians, milliseconds.
+    pub old_ms: f64,
+    /// Summed new medians, milliseconds.
+    pub new_ms: f64,
+    /// `(new - old) / old`, percent. Positive = slower.
+    pub delta_pct: f64,
+}
+
+/// The result of comparing two `BENCH_*.json` artefacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Per-benchmark deltas, in the new artefact's order.
+    pub deltas: Vec<BenchDelta>,
+    /// Per-group deltas, in first-appearance order.
+    pub groups: Vec<GroupDelta>,
+    /// Benchmarks only in the old artefact (removed since).
+    pub only_old: Vec<String>,
+    /// Benchmarks only in the new artefact (added since) — a fresh
+    /// benchmark has no baseline and cannot regress.
+    pub only_new: Vec<String>,
+}
+
+impl Comparison {
+    /// The groups whose summed median grew by more than
+    /// `threshold_pct` percent.
+    #[must_use]
+    pub fn regressions(&self, threshold_pct: f64) -> Vec<&GroupDelta> {
+        self.groups
+            .iter()
+            .filter(|g| g.delta_pct > threshold_pct)
+            .collect()
+    }
+
+    /// A plain-text report: one line per benchmark, then per group.
+    #[must_use]
+    pub fn table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>9}",
+            "benchmark", "old (ms)", "new (ms)", "delta"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>12.2} {:>12.2} {:>+8.1}%",
+                d.name, d.old_ms, d.new_ms, d.delta_pct
+            );
+        }
+        let _ = writeln!(out, "---");
+        for g in &self.groups {
+            let _ = writeln!(
+                out,
+                "group {:<22} {:>12.2} {:>12.2} {:>+8.1}%",
+                g.group, g.old_ms, g.new_ms, g.delta_pct
+            );
+        }
+        for n in &self.only_old {
+            let _ = writeln!(out, "removed: {n}");
+        }
+        for n in &self.only_new {
+            let _ = writeln!(out, "added:   {n} (no baseline, not compared)");
+        }
+        out
+    }
+}
+
+/// Extracts `(name, group, median_ms)` per benchmark from a validated
+/// artefact.
+fn medians(json: &str) -> Result<Vec<(String, String, f64)>, String> {
+    validate(json)?;
+    let v: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let map = v.as_map().ok_or("top level must be an object")?;
+    let benches = field(map, "benchmarks")?
+        .as_seq()
+        .ok_or("benchmarks must be an array")?;
+    let mut out = Vec::with_capacity(benches.len());
+    for b in benches {
+        let b = b.as_map().ok_or("benchmark must be an object")?;
+        out.push((
+            str_of(field(b, "name")?, "name")?.to_owned(),
+            str_of(field(b, "group")?, "group")?.to_owned(),
+            num_of(field(b, "median_ms")?, "median_ms")?,
+        ));
+    }
+    Ok(out)
+}
+
+/// Compares two `BENCH_*.json` artefacts benchmark by benchmark and
+/// group by group. Both must validate against the schema first.
+/// Benchmarks present in only one artefact are listed but not
+/// compared; groups are aggregated over the common benchmarks only, so
+/// adding or removing a benchmark never shows up as a spurious
+/// regression.
+///
+/// # Errors
+///
+/// Returns a message naming the first schema violation, or the absence
+/// of any benchmark common to both artefacts.
+pub fn compare(old_json: &str, new_json: &str) -> Result<Comparison, String> {
+    let old = medians(old_json).map_err(|e| format!("old artefact: {e}"))?;
+    let new = medians(new_json).map_err(|e| format!("new artefact: {e}"))?;
+
+    let mut deltas = Vec::new();
+    let mut only_new = Vec::new();
+    let mut groups: Vec<GroupDelta> = Vec::new();
+    for (name, group, new_ms) in &new {
+        let Some((_, _, old_ms)) = old.iter().find(|(n, _, _)| n == name) else {
+            only_new.push(name.clone());
+            continue;
+        };
+        let delta_pct = if *old_ms > 0.0 {
+            (new_ms - old_ms) / old_ms * 100.0
+        } else {
+            0.0
+        };
+        deltas.push(BenchDelta {
+            name: name.clone(),
+            group: group.clone(),
+            old_ms: *old_ms,
+            new_ms: *new_ms,
+            delta_pct,
+        });
+        match groups.iter_mut().find(|g| &g.group == group) {
+            Some(g) => {
+                g.old_ms += old_ms;
+                g.new_ms += new_ms;
+            }
+            None => groups.push(GroupDelta {
+                group: group.clone(),
+                old_ms: *old_ms,
+                new_ms: *new_ms,
+                delta_pct: 0.0,
+            }),
+        }
+    }
+    if deltas.is_empty() {
+        return Err("the artefacts share no benchmark to compare".to_owned());
+    }
+    for g in &mut groups {
+        g.delta_pct = if g.old_ms > 0.0 {
+            (g.new_ms - g.old_ms) / g.old_ms * 100.0
+        } else {
+            0.0
+        };
+    }
+    let only_old = old
+        .iter()
+        .filter(|(n, _, _)| !new.iter().any(|(m, _, _)| m == n))
+        .map(|(n, _, _)| n.clone())
+        .collect();
+    Ok(Comparison {
+        deltas,
+        groups,
+        only_old,
+        only_new,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -727,6 +945,97 @@ mod tests {
         for b in &report.benchmarks {
             assert!(b.min_ms <= b.median_ms && b.median_ms <= b.max_ms);
         }
+    }
+
+    /// A minimal valid artefact with the given `(name, group, median)`
+    /// rows — the fixture generator for the comparison tests.
+    fn fixture(rows: &[(&str, &str, f64)]) -> String {
+        let benches: Vec<String> = rows
+            .iter()
+            .map(|(name, group, median)| {
+                format!(
+                    r#"{{"name":"{name}","group":"{group}","reps":5,
+                        "median_ms":{median},"min_ms":{},"max_ms":{},
+                        "rss_peak_kb":1000}}"#,
+                    median * 0.9,
+                    median * 1.1
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"schema":"{SCHEMA}","created_utc":"2026-08-07",
+                "quick":false,"warmup":1,"repetitions":5,
+                "benchmarks":[{}]}}"#,
+            benches.join(",")
+        )
+    }
+
+    #[test]
+    fn compare_reports_per_benchmark_and_group_deltas() {
+        let old = fixture(&[
+            ("a", "host", 100.0),
+            ("b", "host", 50.0),
+            ("c", "fleet", 200.0),
+        ]);
+        let new = fixture(&[
+            ("a", "host", 110.0),
+            ("b", "host", 40.0),
+            ("c", "fleet", 210.0),
+        ]);
+        let cmp = compare(&old, &new).expect("comparable");
+        assert_eq!(cmp.deltas.len(), 3);
+        let a = &cmp.deltas[0];
+        assert!((a.delta_pct - 10.0).abs() < 1e-9, "{}", a.delta_pct);
+        // host group: 150 -> 150, 0%; fleet: 200 -> 210, +5%.
+        assert_eq!(cmp.groups.len(), 2);
+        assert!(cmp.groups[0].delta_pct.abs() < 1e-9);
+        assert!((cmp.groups[1].delta_pct - 5.0).abs() < 1e-9);
+        assert!(cmp.regressions(REGRESSION_THRESHOLD_PCT).is_empty());
+        let table = cmp.table();
+        assert!(table.contains("group host"), "{table}");
+    }
+
+    #[test]
+    fn compare_flags_group_regressions_over_threshold() {
+        let old = fixture(&[("a", "fleet", 100.0), ("b", "fleet", 100.0)]);
+        // +25% summed across the group: over the 20% gate.
+        let new = fixture(&[("a", "fleet", 130.0), ("b", "fleet", 120.0)]);
+        let cmp = compare(&old, &new).expect("comparable");
+        let bad = cmp.regressions(REGRESSION_THRESHOLD_PCT);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].group, "fleet");
+        assert!((bad[0].delta_pct - 25.0).abs() < 1e-9);
+        // A *faster* new artefact never regresses, however large the
+        // delta magnitude.
+        let faster = fixture(&[("a", "fleet", 10.0), ("b", "fleet", 10.0)]);
+        let cmp = compare(&old, &faster).expect("comparable");
+        assert!(cmp.regressions(REGRESSION_THRESHOLD_PCT).is_empty());
+    }
+
+    #[test]
+    fn compare_ignores_added_and_removed_benchmarks() {
+        let old = fixture(&[("a", "host", 100.0), ("gone", "host", 400.0)]);
+        let new = fixture(&[("a", "host", 105.0), ("fresh", "host", 900.0)]);
+        let cmp = compare(&old, &new).expect("comparable");
+        // Only `a` is compared: the group delta is 5%, not polluted by
+        // the 400 ms removal or the 900 ms addition.
+        assert_eq!(cmp.deltas.len(), 1);
+        assert!((cmp.groups[0].delta_pct - 5.0).abs() < 1e-9);
+        assert_eq!(cmp.only_old, vec!["gone".to_owned()]);
+        assert_eq!(cmp.only_new, vec!["fresh".to_owned()]);
+        assert!(cmp.regressions(REGRESSION_THRESHOLD_PCT).is_empty());
+    }
+
+    #[test]
+    fn compare_rejects_disjoint_or_invalid_artefacts() {
+        let old = fixture(&[("a", "host", 100.0)]);
+        let new = fixture(&[("b", "host", 100.0)]);
+        let err = compare(&old, &new).unwrap_err();
+        assert!(err.contains("no benchmark"), "{err}");
+        let err = compare("{}", &old).unwrap_err();
+        assert!(err.contains("old artefact"), "{err}");
+        let err = compare(&old, "not json").unwrap_err();
+        assert!(err.contains("new artefact"), "{err}");
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod spec;
 pub mod sweep;
 
 pub use report::{CampaignReport, PointReport};
-pub use run::{RunRecord, TracedRun};
+pub use run::{PerfTotals, RunRecord, TracedRun};
 pub use spec::{CampaignError, CampaignSpec, ScenarioSpec};
 pub use sweep::{expand, DesignPoint, Expansion};
 
@@ -161,7 +161,11 @@ pub struct TracedCampaign {
     pub trace_jsonl: String,
     /// Phase spans (`expand` / `simulate` / `reduce`, plus `runs_cpu`
     /// — the summed per-run worker time, whose ratio to `simulate`
-    /// shows the parallel speedup) and counters.
+    /// shows the parallel speedup — and the host hot-path phases
+    /// `host_slice` / `sched_acct` / `governor` / `snapshot`, slices
+    /// of `runs_cpu` summed across every simulated host) and counters
+    /// (including `fused_slices`, the event core's fast-path
+    /// coverage).
     pub profile: metrics::profile::ProfileReport,
 }
 
@@ -203,6 +207,19 @@ pub fn run_traced(
         })
     });
     profiler.add_span_ms("runs_cpu", results.iter().map(|(_, ms)| ms).sum());
+    // Host hot-path phase timings, summed across every run's hosts
+    // (see `run::PerfTotals`). These are slices of `runs_cpu`: how
+    // much of the worker time went to advancing VM slices versus each
+    // boundary kind, plus the event core's fused-slice coverage.
+    let mut perf = run::PerfTotals::default();
+    for (r, _) in &results {
+        perf.merge(r.perf);
+    }
+    profiler.add_span_ms("host_slice", perf.host_slice_ns as f64 / 1e6);
+    profiler.add_span_ms("sched_acct", perf.sched_acct_ns as f64 / 1e6);
+    profiler.add_span_ms("governor", perf.governor_ns as f64 / 1e6);
+    profiler.add_span_ms("snapshot", perf.snapshot_ns as f64 / 1e6);
+    profiler.count("fused_slices", perf.fused_slices);
     profiler.count("runs", results.len() as u64);
     profiler.count(
         "trace_events",
@@ -324,7 +341,31 @@ mod tests {
         assert!(t1.trace_jsonl.trim_end().ends_with("\"runs\":12}"));
         // The profile is wall-clock (non-deterministic) but complete.
         let span_names: Vec<&str> = t1.profile.spans.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(span_names, ["expand", "simulate", "runs_cpu", "reduce"]);
+        assert_eq!(
+            span_names,
+            [
+                "expand",
+                "simulate",
+                "runs_cpu",
+                "host_slice",
+                "sched_acct",
+                "governor",
+                "snapshot",
+                "reduce"
+            ]
+        );
+        // The host phases are real measurements, not placeholders:
+        // every run advances slices and fires accounting boundaries.
+        let span_ms = |name: &str| {
+            t1.profile
+                .spans
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.ms)
+                .unwrap()
+        };
+        assert!(span_ms("host_slice") > 0.0);
+        assert!(span_ms("sched_acct") > 0.0);
         let counter = |name: &str| {
             t1.profile
                 .counters

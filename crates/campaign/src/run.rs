@@ -45,6 +45,46 @@ pub struct TracedRun {
     pub record: RunRecord,
     /// The run's merged, time-ordered event trace.
     pub trace: trace::Trace,
+    /// Host hot-path wall-clock timings, summed over the run's hosts.
+    /// Measured, not simulated — keep out of byte-compared artefacts.
+    pub perf: PerfTotals,
+}
+
+/// Host hot-path phase timings for one run, summed over its hosts
+/// (see [`hypervisor::HostPerf`]), plus the number of slices the
+/// event core committed through its fused replay loop. The campaign
+/// folds these into its `<name>-profile.json` report.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PerfTotals {
+    /// Time advancing VM slices, in nanoseconds.
+    pub host_slice_ns: u64,
+    /// Time in scheduler accounting boundaries, in nanoseconds.
+    pub sched_acct_ns: u64,
+    /// Time in DVFS governor boundaries, in nanoseconds.
+    pub governor_ns: u64,
+    /// Time taking statistics snapshots, in nanoseconds.
+    pub snapshot_ns: u64,
+    /// Slices committed by the fused replay loop (coverage counter).
+    pub fused_slices: u64,
+}
+
+impl PerfTotals {
+    fn absorb(&mut self, perf: hypervisor::HostPerf, fused_slices: u64) {
+        self.host_slice_ns += perf.host_slice_ns;
+        self.sched_acct_ns += perf.sched_acct_ns;
+        self.governor_ns += perf.governor_ns;
+        self.snapshot_ns += perf.snapshot_ns;
+        self.fused_slices += fused_slices;
+    }
+
+    /// Adds another run's totals into this one (campaign totals).
+    pub fn merge(&mut self, other: PerfTotals) {
+        self.host_slice_ns += other.host_slice_ns;
+        self.sched_acct_ns += other.sched_acct_ns;
+        self.governor_ns += other.governor_ns;
+        self.snapshot_ns += other.snapshot_ns;
+        self.fused_slices += other.fused_slices;
+    }
 }
 
 /// The time-scale factor: `--quick` runs are 10× shorter (floored at
@@ -61,24 +101,27 @@ fn time_factor(duration_s: f64, quick: bool) -> f64 {
 #[must_use]
 pub fn run_point(point: &DesignPoint, seed: u64, quick: bool) -> RunRecord {
     let scalars = match &point.scenario {
-        ScenarioSpec::Host(h) => run_host(h, seed, quick, None).0,
-        ScenarioSpec::Fleet(f) => run_fleet(f, seed, quick, None).0,
+        ScenarioSpec::Host(h) => run_host(h, seed, quick, None, false).0,
+        ScenarioSpec::Fleet(f) => run_fleet(f, seed, quick, None, false).0,
     };
     RunRecord { seed, scalars }
 }
 
-/// Runs one design point under one seed with tracing enabled: every
-/// host carries a bounded ring of `capacity` events. The scalar
-/// results are bit-identical to [`run_point`] — tracing only observes.
+/// Runs one design point under one seed with tracing and host phase
+/// profiling enabled: every host carries a bounded ring of `capacity`
+/// events and times its hot-path phases. The scalar results are
+/// bit-identical to [`run_point`] — tracing and profiling only
+/// observe.
 #[must_use]
 pub fn run_point_traced(point: &DesignPoint, seed: u64, quick: bool, capacity: usize) -> TracedRun {
-    let (scalars, trace) = match &point.scenario {
-        ScenarioSpec::Host(h) => run_host(h, seed, quick, Some(capacity)),
-        ScenarioSpec::Fleet(f) => run_fleet(f, seed, quick, Some(capacity)),
+    let (scalars, trace, perf) = match &point.scenario {
+        ScenarioSpec::Host(h) => run_host(h, seed, quick, Some(capacity), true),
+        ScenarioSpec::Fleet(f) => run_fleet(f, seed, quick, Some(capacity), true),
     };
     TracedRun {
         record: RunRecord { seed, scalars },
         trace: trace.expect("tracing was requested"),
+        perf,
     }
 }
 
@@ -190,7 +233,8 @@ fn run_host(
     seed: u64,
     quick: bool,
     trace_capacity: Option<usize>,
-) -> (Vec<(String, f64)>, Option<trace::Trace>) {
+    profile: bool,
+) -> (Vec<(String, f64)>, Option<trace::Trace>, PerfTotals) {
     let scale = time_factor(sc.duration_s, quick);
     let total_s = sc.duration_s * scale;
     let mut cfg = HostConfig::optiplex_defaults(sc.scheduler.kind())
@@ -207,6 +251,7 @@ fn run_host(
     if let Some(cap) = trace_capacity {
         host.set_tracer(trace::Tracer::new(1, cap).with_host(0));
     }
+    host.set_profiling(profile);
     let fmax = host.fmax_mcps();
     let base_rng = SimRng::seed_from(seed);
 
@@ -263,10 +308,12 @@ fn run_host(
         ("mean_freq_mhz".to_owned(), mean_freq),
     ];
     scalars.extend(per_vm);
+    let mut perf = PerfTotals::default();
+    perf.absorb(host.perf(), host.fused_slices());
     let trace = host
         .take_tracer()
         .map(|tracer| trace::Trace::merge(vec![tracer]));
-    (scalars, trace)
+    (scalars, trace, perf)
 }
 
 // ---------------------------------------------------------------------------
@@ -291,7 +338,8 @@ fn run_fleet(
     seed: u64,
     quick: bool,
     trace_capacity: Option<usize>,
-) -> (Vec<(String, f64)>, Option<trace::Trace>) {
+    profile: bool,
+) -> (Vec<(String, f64)>, Option<trace::Trace>, PerfTotals) {
     let scale = time_factor(sc.duration_s, quick);
     let total_s = sc.duration_s * scale;
     let epochs = ((total_s / sc.epoch_s).round() as usize).max(1);
@@ -312,6 +360,7 @@ fn run_fleet(
         epoch: SimDuration::from_secs_f64(sc.epoch_s),
         spare_hosts: sc.spare_hosts,
         idle_fast_path: true,
+        event_core: true,
         sharding: sc.shards.map(cluster::ShardConfig::new),
         // Campaigns only consume scalar reductions, so every fleet
         // run takes the bounded-statistics path: mean load from the
@@ -325,10 +374,16 @@ fn run_fleet(
     if let Some(cap) = trace_capacity {
         fleet.enable_tracing(cap);
     }
+    if profile {
+        fleet.enable_profiling();
+    }
     // Inner jobs stay at 1: campaign parallelism fans out across
     // replicas and design points, which is both simpler and fuller.
     fleet.run_epochs(epochs, 1);
     let totals = fleet.totals();
+    let (host_perf, fused) = fleet.perf_totals();
+    let mut perf = PerfTotals::default();
+    perf.absorb(host_perf, fused);
     let trace = fleet.take_trace();
     let sketch = fleet.load_sketch();
 
@@ -355,7 +410,7 @@ fn run_fleet(
             sketch.percentile(99.0).unwrap_or(0.0),
         ),
     ];
-    (scalars, trace)
+    (scalars, trace, perf)
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //! index order.
 
 use governors::{Governor, Ondemand, Performance, StableOndemand};
-use hypervisor::host::{Host, HostConfig, SchedulerKind};
+use hypervisor::host::{Host, HostConfig, HostPerf, SchedulerKind};
 use hypervisor::vm::{VmConfig, VmId};
 use hypervisor::work::{ConstantDemand, WorkSource};
 use metrics::sketch::{Sketch, DEFAULT_ALPHA};
@@ -80,6 +80,14 @@ pub struct FleetConfig {
     /// pool. Bit-identical either way; the switch exists for the
     /// fast-vs-exact benchmarks and regression tests.
     pub idle_fast_path: bool,
+    /// Whether hosts run the event-driven core (fused steady-window
+    /// replay, see `hypervisor`'s `HostConfig::event_core`) and
+    /// [`Fleet::run_epochs`] uses next-event forecasts to keep
+    /// *dormant* hosts — quiescent or merely eventless until the next
+    /// epoch boundary — off the worker pool. Bit-identical either
+    /// way; the switch exists for the fast-vs-exact benchmarks and
+    /// regression tests.
+    pub event_core: bool,
     /// Sharded placement (see [`crate::shard`]): `None` keeps the
     /// global single-controller pass. The shard *count* inside the
     /// config is pure worker partitioning — it never changes the
@@ -111,6 +119,7 @@ impl FleetConfig {
             epoch: SimDuration::from_secs(30),
             spare_hosts: 0,
             idle_fast_path: true,
+            event_core: true,
             sharding: None,
             bounded_stats: false,
         }
@@ -155,6 +164,13 @@ impl FleetConfig {
         self
     }
 
+    /// Enables or disables the event-driven core (on by default).
+    #[must_use]
+    pub fn with_event_core(mut self, on: bool) -> Self {
+        self.event_core = on;
+        self
+    }
+
     /// Enables sharded placement (see [`crate::shard`]).
     #[must_use]
     pub fn with_sharding(mut self, sharding: ShardConfig) -> Self {
@@ -182,8 +198,9 @@ impl FleetConfig {
     }
 
     fn build_host(&self) -> Host {
-        let mut cfg =
-            HostConfig::optiplex_defaults(self.scheduler).with_idle_fast_path(self.idle_fast_path);
+        let mut cfg = HostConfig::optiplex_defaults(self.scheduler)
+            .with_idle_fast_path(self.idle_fast_path)
+            .with_event_core(self.event_core);
         if self.bounded_stats {
             // Push the snapshot boundary past any realistic run so
             // hosts retain no periodic snapshots: per-host state stays
@@ -405,6 +422,31 @@ impl Fleet {
         }
     }
 
+    /// Turns wall-clock phase profiling on for every host (see
+    /// [`hypervisor::HostPerf`]). Profiling measures real time and is
+    /// **not** deterministic — its output must stay out of every
+    /// byte-compared artefact; the campaign layer writes it to the
+    /// separate `<name>-profile.json`.
+    pub fn enable_profiling(&mut self) {
+        for host in &mut self.hosts {
+            host.set_profiling(true);
+        }
+    }
+
+    /// Fleet-wide phase timings and fused-slice count: the sum of
+    /// every host's [`Host::perf`] counters, plus the total number of
+    /// slices the event core committed through its fused replay loop.
+    #[must_use]
+    pub fn perf_totals(&self) -> (HostPerf, u64) {
+        let mut perf = HostPerf::default();
+        let mut fused = 0;
+        for host in &self.hosts {
+            perf.absorb(host.perf());
+            fused += host.fused_slices();
+        }
+        (perf, fused)
+    }
+
     /// `true` once [`Fleet::enable_tracing`] has installed tracers.
     #[must_use]
     pub fn is_tracing(&self) -> bool {
@@ -519,15 +561,28 @@ impl Fleet {
         for _ in 0..epochs {
             let epoch = self.cfg.epoch;
             if self.cfg.idle_fast_path {
-                // Fully-idle hosts (spares, drained batch hosts) take
-                // the hypervisor's idle-skip path and cost next to
-                // nothing — advance them inline and spend the worker
-                // pool on the hosts that actually simulate work. Each
-                // host is independent, so the split cannot change
-                // results.
+                // Dormant hosts cost next to nothing to simulate —
+                // advance them inline and spend the worker pool on the
+                // hosts that actually execute work. With the event
+                // core on, "dormant" is next-event-driven: no VM on
+                // the host can run before the epoch ends (this covers
+                // quiescent hosts, spares, *and* hosts whose sources
+                // trickle demand too slowly to wake a VM this epoch).
+                // Without it, only provably-dead quiescent hosts stay
+                // inline. The forecast routes *where* a host runs,
+                // never what it computes — each host is independent
+                // and runs the same `run_for` either way, so the
+                // split cannot change results.
+                let event_core = self.cfg.event_core;
                 let mut busy: Vec<&mut Host> = Vec::new();
                 for host in &mut self.hosts {
-                    if host.is_quiescent() {
+                    let dormant = if event_core {
+                        let end = host.now() + epoch;
+                        host.next_vm_wake(end) >= end
+                    } else {
+                        host.is_quiescent()
+                    };
+                    if dormant {
                         host.run_for(epoch);
                     } else {
                         busy.push(host);
@@ -892,6 +947,40 @@ mod tests {
             for (a, b) in s.iter().zip(&s_exact) {
                 assert_eq!(a.0.to_bits(), b.0.to_bits());
                 assert_eq!(a.1.to_bits(), b.1.to_bits(), "fast={fast} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn event_core_is_bit_exact_and_jobs_invariant() {
+        // Mixed fleet: steady constant-demand workers (fusable), one
+        // stepped VM (unfusable — exercises the conservative
+        // wake-now forecast) and quiescent spares (dormant — advanced
+        // inline by the next-event skip). The event core must match
+        // the slice-exact core bit for bit, at every job count.
+        let mut specs = lazy_fleet(8);
+        specs.push(VmSpec::new("surge", 4.0, 0.05).with_steps(vec![(60.0, 0.40), (90.0, 0.05)]));
+        let run = |on: bool, jobs: usize| {
+            let cfg = FleetConfig::pas_defaults()
+                .with_spares(3)
+                .with_event_core(on);
+            let mut fleet = Fleet::build(cfg, &specs);
+            fleet.run_epochs(5, jobs);
+            (fleet.totals(), fleet.load_series().points().to_vec())
+        };
+        let (t_exact, s_exact) = run(false, 1);
+        for (on, jobs) in [(true, 1), (true, 4), (false, 4)] {
+            let (t, s) = run(on, jobs);
+            assert_eq!(
+                t.energy_j.to_bits(),
+                t_exact.energy_j.to_bits(),
+                "energy, event_core={on} jobs={jobs}"
+            );
+            assert_eq!(t.sla_ratio.to_bits(), t_exact.sla_ratio.to_bits());
+            assert_eq!(s.len(), s_exact.len());
+            for (a, b) in s.iter().zip(&s_exact) {
+                assert_eq!(a.0.to_bits(), b.0.to_bits());
+                assert_eq!(a.1.to_bits(), b.1.to_bits(), "event_core={on} jobs={jobs}");
             }
         }
     }

@@ -8,6 +8,8 @@
 //! repro campaign spec.json [--quick] [--jobs N] [--out D]
 //! repro bench [--quick] [--out D]     # perf baseline → BENCH_<date>.json
 //! repro bench-check BENCH_x.json      # validate an artefact's schema
+//! repro bench-check --compare OLD NEW # per-benchmark deltas, exit 1 on
+//!                                     # a >20% group regression
 //! ```
 //!
 //! With `--out DIR`, each experiment writes `DIR/<id>.csv` (series)
@@ -34,6 +36,7 @@ struct Args {
     jobs: usize,
     trace: bool,
     trace_out: Option<PathBuf>,
+    compare: bool,
     addr: String,
     port: u16,
     token: Option<String>,
@@ -48,6 +51,7 @@ const USAGE: &str = "usage: repro <experiment>... [--quick] [--out DIR] [--jobs 
                             repro trace-summary <trace.jsonl>\n\
                             repro bench [--quick] [--out DIR]\n\
                             repro bench-check <BENCH_*.json>\n\
+                            repro bench-check --compare <old.json> <new.json>\n\
                             repro list\n";
 
 /// Pulls a value-taking flag's value off the argument stream. Every
@@ -77,6 +81,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
     let mut jobs = 1;
     let mut trace = false;
     let mut trace_out = None;
+    let mut compare = false;
     let mut addr = "127.0.0.1".to_owned();
     let mut port = 7077;
     let mut token = None;
@@ -90,6 +95,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
                 out = Some(PathBuf::from(dir));
             }
             "--trace" => trace = true,
+            "--compare" => compare = true,
             "--trace-out" => {
                 let dir = flag_value(&mut argv, "--trace-out", "a directory", "artefacts/")?;
                 trace = true;
@@ -150,6 +156,7 @@ fn parse_args(argv: impl IntoIterator<Item = String>) -> Result<Args, String> {
         jobs,
         trace,
         trace_out,
+        compare,
         addr,
         port,
         token,
@@ -450,9 +457,17 @@ fn run_bench(args: &Args) -> ExitCode {
 }
 
 /// Runs `repro bench-check <file>`: validates an emitted artefact
-/// against the `pas-repro-bench/v1` schema (the CI gate).
+/// against the `pas-repro-bench/v1` schema (the CI gate). With
+/// `--compare <old> <new>`, additionally prints the per-benchmark and
+/// per-group median deltas and fails when any group's summed median
+/// grew by more than
+/// [`REGRESSION_THRESHOLD_PCT`](pas_bench::harness::REGRESSION_THRESHOLD_PCT)
+/// percent.
 fn run_bench_check(args: &Args) -> ExitCode {
     let paths = &args.names[1..];
+    if args.compare {
+        return run_bench_compare(paths);
+    }
     let [path] = paths else {
         eprintln!(
             "error: `repro bench-check` takes exactly one BENCH_*.json file, got {}",
@@ -476,6 +491,51 @@ fn run_bench_check(args: &Args) -> ExitCode {
             eprintln!("error: {path}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The `--compare` arm of `repro bench-check`: old artefact vs new.
+fn run_bench_compare(paths: &[String]) -> ExitCode {
+    let [old_path, new_path] = paths else {
+        eprintln!(
+            "error: `repro bench-check --compare` takes exactly two \
+             BENCH_*.json files (old, new), got {}",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &String| match std::fs::read_to_string(path) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(old), Some(new)) = (read(old_path), read(new_path)) else {
+        return ExitCode::FAILURE;
+    };
+    let cmp = match pas_bench::harness::compare(&old, &new) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", cmp.table());
+    let threshold = pas_bench::harness::REGRESSION_THRESHOLD_PCT;
+    let bad = cmp.regressions(threshold);
+    if bad.is_empty() {
+        println!("no group regressed by more than {threshold:.0}%");
+        ExitCode::SUCCESS
+    } else {
+        for g in bad {
+            eprintln!(
+                "error: group `{}` regressed {:+.1}% ({:.2} ms -> {:.2} ms), \
+                 over the {threshold:.0}% threshold",
+                g.group, g.delta_pct, g.old_ms, g.new_ms
+            );
+        }
+        ExitCode::FAILURE
     }
 }
 
@@ -668,6 +728,14 @@ mod tests {
     fn bench_check_takes_a_file_argument() {
         let a = parse(&["bench-check", "BENCH_2026-08-07.json"]).unwrap();
         assert_eq!(a.names, vec!["bench-check", "BENCH_2026-08-07.json"]);
+        assert!(!a.compare);
+    }
+
+    #[test]
+    fn bench_check_compare_takes_two_files() {
+        let a = parse(&["bench-check", "--compare", "old.json", "new.json"]).unwrap();
+        assert!(a.compare);
+        assert_eq!(a.names, vec!["bench-check", "old.json", "new.json"]);
     }
 
     #[test]

@@ -13,14 +13,14 @@
 
 use cpumodel::Cpu;
 use governors::{CpuFreq, Governor};
-use simkernel::{SimDuration, SimTime};
+use simkernel::{SimDuration, SimTime, WakeHeap, WakeKind};
 use trace::{EventKind, FreqCause, Record as _, Tracer};
 
 use crate::sched::{
     Credit2Scheduler, CreditScheduler, PasScheduler, SchedCtx, Scheduler, SedfScheduler,
 };
 use crate::stats::HostStats;
-use crate::vm::{Vm, VmConfig, VmId};
+use crate::vm::{Vm, VmConfig, VmId, MIN_RUNNABLE_MCYCLES};
 use crate::work::WorkSource;
 
 /// Which hypervisor scheduler the host runs.
@@ -70,6 +70,15 @@ pub struct HostConfig {
     /// jump is bit-identical to the slice-exact path; the switch
     /// exists so tests and benchmarks can compare the two.
     pub idle_fast_path: bool,
+    /// Whether the host advances boundary windows through the
+    /// event-driven core: the window loop hoists the per-slice
+    /// quiescence scan and, when the scheduler exposes a Credit core
+    /// and the pick provably cannot change, replays repeated identical
+    /// quantum slices without re-running the scan
+    /// (see `Host::run_fused`). Bit-identical to the per-slice path by
+    /// construction; the switch exists for the A/B benchmarks and
+    /// equivalence tests.
+    pub event_core: bool,
 }
 
 impl HostConfig {
@@ -88,6 +97,7 @@ impl HostConfig {
             pas_smoothing_window: None,
             pas_headroom_pct: None,
             idle_fast_path: true,
+            event_core: true,
         }
     }
 
@@ -95,6 +105,13 @@ impl HostConfig {
     #[must_use]
     pub fn with_idle_fast_path(mut self, on: bool) -> Self {
         self.idle_fast_path = on;
+        self
+    }
+
+    /// Enables or disables the event-driven core (on by default).
+    #[must_use]
+    pub fn with_event_core(mut self, on: bool) -> Self {
+        self.event_core = on;
         self
     }
 
@@ -191,10 +208,17 @@ impl HostConfig {
             next_gov: SimTime::ZERO + gov_period,
             next_sample: SimTime::ZERO + self.sample_period,
             idle_fast_path: self.idle_fast_path,
+            event_core: self.event_core,
             tracer: None,
             trace_ids: Vec::new(),
             last_pick: None,
             runnable_scratch: Vec::new(),
+            hot: HotVms::default(),
+            wakes: WakeHeap::new(),
+            fused_slices: 0,
+            fuse_backoff: 0,
+            profiling: false,
+            perf: HostPerf::default(),
         }
     }
 }
@@ -262,6 +286,105 @@ pub struct Host {
     // hottest path in the workspace. Capacity is retained across
     // slices; contents are rebuilt each slice.
     runnable_scratch: Vec<VmId>,
+    event_core: bool,
+    // Per-window flattened demand model (see `HotVms`); rebuilt at
+    // each boundary window, allocation retained across windows.
+    hot: HotVms,
+    // Per-forecast wake heap (see `Host::next_event`); rebuilt on
+    // demand, allocation retained across rebuilds.
+    wakes: WakeHeap,
+    // Slices committed by the fused replay loop, cumulative. Purely
+    // observational (tests prove the fast path engages; profiling
+    // reports coverage) — never consulted by the simulation.
+    fused_slices: u64,
+    // Windows left before the fused loop probes again after a probe
+    // that committed nothing (see `FUSE_PROBE_BACKOFF`). Pure pacing
+    // state: it decides when the fast path is *attempted*, never what
+    // any slice computes, so results are unaffected.
+    fuse_backoff: u16,
+    // Wall-clock self-profiling (see `HostPerf`). Off by default so
+    // the hot path pays one branch, never a clock read.
+    profiling: bool,
+    perf: HostPerf,
+}
+
+/// Wall-clock time spent in each host hot-path phase, in nanoseconds.
+/// Collected only while [`Host::set_profiling`] is on; purely
+/// observational and **not** deterministic — it must stay out of every
+/// artefact that is compared byte-for-byte (the campaign layer writes
+/// it to the separate `<name>-profile.json`).
+///
+/// The hypervisor crate deliberately has no dependency on the metrics
+/// crate, so these are raw counters; callers convert to profile spans.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostPerf {
+    /// Time advancing VM slices (both the fused window replay and the
+    /// exact slice loop). Timed per boundary window on the event core,
+    /// per slice on the legacy loop.
+    pub host_slice_ns: u64,
+    /// Time in the scheduler's accounting boundary (credit refill, PAS
+    /// cap/frequency decisions).
+    pub sched_acct_ns: u64,
+    /// Time in the DVFS governor boundary.
+    pub governor_ns: u64,
+    /// Time taking statistics snapshots.
+    pub snapshot_ns: u64,
+}
+
+impl HostPerf {
+    /// Adds another host's counters into this one (fleet totals).
+    pub fn absorb(&mut self, other: HostPerf) {
+        self.host_slice_ns += other.host_slice_ns;
+        self.sched_acct_ns += other.sched_acct_ns;
+        self.governor_ns += other.governor_ns;
+        self.snapshot_ns += other.snapshot_ns;
+    }
+}
+
+/// How many boundary windows the fused loop sits out after a probe
+/// that committed no slices. Hosts where fusing cannot apply (several
+/// concurrently runnable VMs, caps below the quantum) would otherwise
+/// pay an extra runnable scan per slice for nothing; with backoff the
+/// probe cost is amortised to ~one scan per this many windows, while
+/// hosts that do fuse keep probing every window (a successful probe
+/// resets the pacing).
+const FUSE_PROBE_BACKOFF: u16 = 8;
+
+/// Struct-of-arrays sidecar for the fused window loop: the per-VM
+/// demand model flattened into plain floats for one boundary window.
+/// Valid for a whole window because every input is pinned between
+/// boundaries: steady rates are constant by the
+/// [`WorkSource::steady_rate_mcps`] contract, and exhaustion is
+/// absorbing by the [`WorkSource::demand_exhausted`] contract.
+/// Backlogs deliberately stay authoritative in the [`Vm`] structs —
+/// the fused loop reads and writes `Vm::backlog_mcycles` directly, so
+/// there is no state to re-synchronise on fallback.
+#[derive(Default)]
+struct HotVms {
+    /// Per VM: demand added per quantum (`rate · quantum`), `0.0` for
+    /// exhausted sources.
+    add: Vec<f64>,
+    /// Per VM: `demand_exhausted()` at window start — selects which
+    /// runnability threshold `Vm::is_runnable` applies.
+    exhausted: Vec<bool>,
+    /// Indices of VMs with `add > 0`: the only VMs whose backlog (and
+    /// hence runnability) can change during a window without running.
+    growers: Vec<u32>,
+    /// `false` if any VM is neither steady nor exhausted — its
+    /// `generate` must be called per slice, so the window cannot be
+    /// replayed.
+    fusable: bool,
+    /// `work_capacity(quantum)` at the window's P-state.
+    cap_mc: f64,
+    /// Effective mega-cycles per second at the window's P-state.
+    mcps: f64,
+    /// The quantum in seconds.
+    qs: f64,
+    /// The quantum re-rounded through `from_secs_f64`, as `charge`
+    /// receives it on the exact path.
+    busy_q: SimDuration,
+    /// Absolute-load contribution of one fully-busy quantum.
+    abs_q: f64,
 }
 
 impl Host {
@@ -294,6 +417,30 @@ impl Host {
     #[must_use]
     pub fn stats(&self) -> &HostStats {
         &self.stats
+    }
+
+    /// Cumulative count of scheduling slices committed by the fused
+    /// replay loop (see `HostConfig::event_core`). Observational only:
+    /// tests use it to prove the fast path engages, and profiling
+    /// reports it as coverage. Zero when the event core is off.
+    #[must_use]
+    pub fn fused_slices(&self) -> u64 {
+        self.fused_slices
+    }
+
+    /// Turns wall-clock phase profiling on or off (see [`HostPerf`]).
+    /// Profiling only reads the clock around already-scheduled work —
+    /// it cannot change any simulation result, only how long the
+    /// simulation takes to run.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiling = on;
+    }
+
+    /// The accumulated phase timings (zeros unless
+    /// [`Host::set_profiling`] was turned on).
+    #[must_use]
+    pub fn perf(&self) -> HostPerf {
+        self.perf
     }
 
     /// The scheduler's name ("credit", "sedf", "pas").
@@ -494,7 +641,15 @@ impl Host {
                 self.cpu.account(0.0, boundary - self.now);
                 self.now = boundary;
             } else {
-                self.advance_one_slice(boundary);
+                let t0 = self.profiling.then(std::time::Instant::now);
+                if self.event_core {
+                    self.advance_window(boundary);
+                } else {
+                    self.advance_one_slice(boundary);
+                }
+                if let Some(t0) = t0 {
+                    self.perf.host_slice_ns += t0.elapsed().as_nanos() as u64;
+                }
             }
         }
         self.handle_boundaries();
@@ -537,6 +692,7 @@ impl Host {
 
     fn handle_boundaries(&mut self) {
         if self.now >= self.next_acct {
+            let t0 = self.profiling.then(std::time::Instant::now);
             let prev_pstate = self.tracer.as_ref().map(|_| self.cpu.pstate());
             let (load, abs) = self.stats.take_acct_window(self.now);
             let mut ctx = SchedCtx {
@@ -551,8 +707,12 @@ impl Host {
                 self.drain_sched_events();
             }
             self.next_acct += self.acct_period;
+            if let Some(t0) = t0 {
+                self.perf.sched_acct_ns += t0.elapsed().as_nanos() as u64;
+            }
         }
         if self.cpufreq.is_some() && self.now >= self.next_gov {
+            let t0 = self.profiling.then(std::time::Instant::now);
             let prev_pstate = self.tracer.as_ref().map(|_| self.cpu.pstate());
             let load = self.stats.take_gov_window(self.now);
             if let Some(cpufreq) = self.cpufreq.as_mut() {
@@ -562,8 +722,12 @@ impl Host {
                 self.note_freq_change(prev, FreqCause::Governor);
             }
             self.next_gov += self.gov_period;
+            if let Some(t0) = t0 {
+                self.perf.governor_ns += t0.elapsed().as_nanos() as u64;
+            }
         }
         if self.now >= self.next_sample {
+            let t0 = self.profiling.then(std::time::Instant::now);
             let caps: Vec<Option<f64>> = (0..self.vms.len())
                 .map(|i| self.sched.effective_cap(VmId(i)))
                 .collect();
@@ -572,6 +736,9 @@ impl Host {
             self.stats
                 .take_snapshot(self.now, &self.cpu, &caps, &backlogs);
             self.next_sample += self.sample_period;
+            if let Some(t0) = t0 {
+                self.perf.snapshot_ns += t0.elapsed().as_nanos() as u64;
+            }
         }
     }
 
@@ -699,6 +866,289 @@ impl Host {
             }
         }
         self.now = slice_end;
+    }
+
+    /// Rebuilds the [`HotVms`] sidecar for the window starting at
+    /// `self.now`. One pass of virtual calls per window instead of
+    /// several per slice.
+    fn refresh_hot(&mut self) {
+        let hot = &mut self.hot;
+        hot.add.clear();
+        hot.exhausted.clear();
+        hot.growers.clear();
+        hot.fusable = true;
+        let qs = self.quantum.as_secs_f64();
+        hot.cap_mc = self.cpu.work_capacity(self.quantum);
+        hot.mcps = self.cpu.pstates().state(self.cpu.pstate()).effective_mcps();
+        hot.qs = qs;
+        hot.busy_q = SimDuration::from_secs_f64(qs);
+        hot.abs_q = qs * self.cpu.ratio() * self.cpu.cf();
+        for (i, vm) in self.vms.iter().enumerate() {
+            if let Some(rate) = vm.work.steady_rate_mcps() {
+                let add = rate * qs;
+                hot.add.push(add);
+                hot.exhausted.push(vm.work.demand_exhausted());
+                if add > 0.0 {
+                    hot.growers.push(i as u32);
+                }
+            } else if vm.work.demand_exhausted() {
+                hot.add.push(0.0);
+                hot.exhausted.push(true);
+            } else {
+                // A source whose generate() must run every slice
+                // (stepped demand, open-loop injectors): the window
+                // cannot be replayed. Stop classifying — the sidecar
+                // is not consulted on the unfusable path.
+                hot.fusable = false;
+                return;
+            }
+        }
+    }
+
+    /// Advances one whole boundary window `[self.now, boundary)`
+    /// through the event-driven core: replay fused steady stretches
+    /// where provably equivalent, fall back to the exact per-slice
+    /// loop the moment equivalence cannot be shown. Every observable
+    /// effect is bit-identical to calling [`Host::advance_one_slice`]
+    /// in a loop.
+    fn advance_window(&mut self, boundary: SimTime) {
+        // Probe pacing: attempting to fuse costs a sidecar rebuild and
+        // a runnable scan, so the probe runs once per window — at the
+        // window's start, where a steady stretch begins with fresh
+        // credit — and a host whose probe found nothing to fuse sits
+        // out a few windows before trying again. Purely a matter of
+        // *when* the fast path is attempted — per-host and
+        // deterministic, so results stay invariant across jobs and
+        // shards.
+        if self.sched.credit_core().is_some() {
+            if self.fuse_backoff == 0 {
+                self.refresh_hot();
+                if self.hot.fusable {
+                    let before = self.fused_slices;
+                    self.run_fused(boundary);
+                    if self.fused_slices == before {
+                        self.fuse_backoff = FUSE_PROBE_BACKOFF;
+                    }
+                }
+            } else {
+                self.fuse_backoff -= 1;
+            }
+        }
+        // Whatever the probe could not cover runs through the exact
+        // per-slice loop below, replicating `run_until`'s legacy body.
+        loop {
+            if self.now >= boundary {
+                return;
+            }
+            // Replicate `run_until`'s between-slice idle skip: a host
+            // that turns quiescent mid-window (a batch completing)
+            // must cover the gap without the per-slice machinery —
+            // crucially, without the traced pick-change record a
+            // `None` pick would emit.
+            if self.idle_fast_path && self.is_quiescent() {
+                self.cpu.account(0.0, boundary - self.now);
+                self.now = boundary;
+                return;
+            }
+            // Exact slice for anything the fused loop could not prove:
+            // pick changes, partial slices, cap exhaustion, drains.
+            // State may be steady again afterwards, so re-try fusing.
+            self.advance_one_slice(boundary);
+        }
+    }
+
+    /// Replays consecutive *identical* quantum slices without
+    /// re-running the runnable scan, the scheduler pick or the per-VM
+    /// refill calls. Commits zero or more slices and returns as soon
+    /// as any precondition fails.
+    ///
+    /// Bit-exactness argument: a committed iteration performs exactly
+    /// the operations `advance_one_slice` would, in the same order, on
+    /// the same values:
+    /// * the pick is forced — exactly one VM is runnable, its
+    ///   `max_slice ≥ quantum > 0` implies cap eligibility, so
+    ///   Credit's `pick_next` must return it; `repick_commit` replays
+    ///   the cursor advance;
+    /// * the slice is *computed* per iteration with the legacy
+    ///   expression (horizon / quantum / cap / drain minimum, including
+    ///   `from_secs_f64` rounding) and required to equal the quantum —
+    ///   equality is checked, never derived;
+    /// * refills are replayed as `backlog += rate · quantum`, the
+    ///   bit-exact value `generate` must return for steady sources;
+    ///   exhausted sources add exactly `0.0`, and `x + 0.0` preserves
+    ///   bits for the non-negative backlogs the host maintains, so
+    ///   zero-add refills are skipped outright;
+    /// * the picked VM executes through the real [`Vm::execute`] with
+    ///   `capacity = work_capacity(quantum)`; requiring
+    ///   `backlog ≥ capacity` beforehand makes `done == capacity`
+    ///   bitwise, hence `busy_frac == 1.0` exactly and the hoisted
+    ///   charge/energy/stats values equal the per-slice computation;
+    /// * with a tracer installed, fusing additionally requires the
+    ///   recorded pick to already be this VM, so the steady stretch
+    ///   emits the same (empty) record stream as the exact path; the
+    ///   completion edge is re-checked per iteration.
+    fn run_fused(&mut self, boundary: SimTime) {
+        debug_assert!(self.hot.fusable);
+        let cap_mc = self.hot.cap_mc;
+        if cap_mc <= 0.0 {
+            return;
+        }
+        let mcps = self.hot.mcps;
+        let qs = self.hot.qs;
+        let busy_q = self.hot.busy_q;
+        let abs_q = self.hot.abs_q;
+        // Exactly one runnable VM; the comparisons are bit-equivalent
+        // to `Vm::is_runnable` via the per-window exhaustion flags.
+        let mut pick = None;
+        for (i, vm) in self.vms.iter().enumerate() {
+            let runnable = if self.hot.exhausted[i] {
+                vm.backlog_mcycles > 1e-9
+            } else {
+                vm.backlog_mcycles >= MIN_RUNNABLE_MCYCLES
+            };
+            if runnable {
+                if pick.is_some() {
+                    return; // two runnable VMs: the pick can alternate
+                }
+                pick = Some(i);
+            }
+        }
+        let Some(p) = pick else { return };
+        let p_id = VmId(p);
+        if self.tracer.is_some() && self.last_pick != Some(p_id) {
+            return; // the exact path emits a pick record first
+        }
+        // Borrows split per field: the leased core only holds
+        // `self.sched`, leaving vms/cpu/stats/tracer/now free.
+        let Some(core) = self.sched.credit_core() else {
+            return;
+        };
+        loop {
+            let horizon = boundary - self.now;
+            if self.quantum > horizon {
+                return; // the window tail is shorter than a quantum
+            }
+            // Growers must stay below the runnable threshold through
+            // this slice's scan; every other VM's backlog is unchanged
+            // since the entry scan.
+            for &g in &self.hot.growers {
+                let g = g as usize;
+                if g != p && self.vms[g].backlog_mcycles >= MIN_RUNNABLE_MCYCLES {
+                    return;
+                }
+            }
+            let b_p = self.vms[p].backlog_mcycles;
+            let p_runnable = if self.hot.exhausted[p] {
+                b_p > 1e-9
+            } else {
+                b_p >= MIN_RUNNABLE_MCYCLES
+            };
+            if !p_runnable {
+                return;
+            }
+            // The slice the exact path would take, computed with its
+            // exact float operations, must be one full quantum.
+            let cap_slice = core.max_slice(p_id, self.now);
+            let drain_secs = b_p / mcps;
+            let drain = if drain_secs.is_finite() {
+                SimDuration::from_secs_f64(drain_secs.min(horizon.as_secs_f64()))
+            } else {
+                horizon
+            };
+            if horizon.min(self.quantum).min(cap_slice).min(drain) != self.quantum {
+                return;
+            }
+            // The refilled backlog must cover the quantum's capacity
+            // so `execute` runs the VM fully busy.
+            let b_new = b_p + self.hot.add[p];
+            if b_new < cap_mc {
+                return;
+            }
+
+            // Commit: the legacy slice's operations in its order.
+            self.fused_slices += 1;
+            let slice_end = self.now + self.quantum;
+            core.repick_commit(p_id);
+            for &g in &self.hot.growers {
+                let g = g as usize;
+                if g != p {
+                    self.vms[g].backlog_mcycles += self.hot.add[g];
+                }
+            }
+            self.vms[p].backlog_mcycles = b_new;
+            let done = self.vms[p].execute(cap_mc, slice_end);
+            debug_assert_eq!(done.to_bits(), cap_mc.to_bits());
+            core.charge(p_id, busy_q);
+            self.cpu.account(1.0, self.quantum);
+            self.stats.on_slice(Some((p_id, qs, abs_q)));
+            if self.tracer.is_some() && self.vms[p].is_complete() {
+                let name = self.vms[p].name_tag.clone();
+                let at_s = slice_end.as_secs_f64();
+                if let Some(t) = self.tracer.as_mut() {
+                    t.record(at_s, EventKind::VmComplete { vm: name });
+                }
+            }
+            self.now = slice_end;
+        }
+    }
+
+    /// Rebuilds the wake heap with one entry per pending wake —
+    /// optionally the control boundaries (accounting, governor,
+    /// snapshot), plus per VM the instant it can next hold the CPU:
+    /// a runnable VM drains from now; a dormant steady source becomes
+    /// runnable once `(threshold − backlog) / rate` elapses; an
+    /// exhausted source never wakes again; an unpredictable source
+    /// wakes conservatively now. Returns the earliest wake, capped at
+    /// `horizon`.
+    fn rebuild_wakes(&mut self, horizon: SimTime, with_boundaries: bool) -> SimTime {
+        self.wakes.clear();
+        if with_boundaries {
+            self.wakes.push(self.next_acct, WakeKind::Acct);
+            if self.cpufreq.is_some() {
+                self.wakes.push(self.next_gov, WakeKind::Governor);
+            }
+            self.wakes.push(self.next_sample, WakeKind::Sample);
+        }
+        let span_s = (horizon - self.now.min(horizon)).as_secs_f64();
+        for (i, vm) in self.vms.iter().enumerate() {
+            let idx = i as u32;
+            if vm.is_runnable() {
+                self.wakes.push(self.now, WakeKind::VmDrain(idx));
+            } else if vm.work.demand_exhausted() {
+                // Exhaustion is absorbing and the backlog is below the
+                // runnable threshold: this VM never wakes again.
+            } else {
+                match vm.work.steady_rate_mcps() {
+                    Some(rate) if rate > 0.0 => {
+                        let deficit = (MIN_RUNNABLE_MCYCLES - vm.backlog_mcycles).max(0.0);
+                        let dt = SimDuration::from_secs_f64((deficit / rate).min(span_s));
+                        self.wakes.push(self.now + dt, WakeKind::VmArrival(idx));
+                    }
+                    Some(_) => {} // zero rate: never generates demand
+                    None => self.wakes.push(self.now, WakeKind::VmArrival(idx)),
+                }
+            }
+        }
+        self.wakes.peek_time().map_or(horizon, |t| t.min(horizon))
+    }
+
+    /// The earliest instant at which anything can happen on this host
+    /// — a control boundary or VM activity — capped at `horizon`.
+    /// A deterministic forecast over current state; computing it does
+    /// not advance or otherwise change the simulation.
+    pub fn next_event(&mut self, horizon: SimTime) -> SimTime {
+        self.rebuild_wakes(horizon, true)
+    }
+
+    /// The earliest instant at which any VM can execute work, capped
+    /// at `horizon`; `horizon` itself means "no VM activity before
+    /// then". Control boundaries are excluded — they fire regardless
+    /// but are cheap to process. The fleet's next-event epoch runner
+    /// uses this to keep dormant hosts off the worker pool; the
+    /// forecast only routes *where* a host simulates, never what it
+    /// computes, so a conservative estimate cannot change results.
+    pub fn next_vm_wake(&mut self, horizon: SimTime) -> SimTime {
+        self.rebuild_wakes(horizon, false)
     }
 }
 
@@ -1003,5 +1453,236 @@ mod tests {
             exact.stats().global_busy_fraction().to_bits()
         );
         assert_eq!(fast.stats().snapshots(), exact.stats().snapshots());
+    }
+
+    /// Everything externally observable about a finished run, with the
+    /// floats as raw bits: equality here means *bit*-identity, not
+    /// tolerance.
+    fn fingerprint(host: &Host) -> (u64, u64, usize, SimTime, Vec<(u64, u64)>, usize) {
+        let per_vm: Vec<(u64, u64)> = (0..host.vm_count())
+            .map(|i| {
+                let id = VmId(i);
+                (
+                    host.stats().vm_busy_fraction(id).to_bits(),
+                    host.vm(id).total_done_mcycles.to_bits(),
+                )
+            })
+            .collect();
+        (
+            host.cpu().energy().joules().to_bits(),
+            host.stats().global_busy_fraction().to_bits(),
+            host.cpu().pstate().0,
+            host.now(),
+            per_vm,
+            host.stats().snapshots().len(),
+        )
+    }
+
+    /// The fused replay's sweet spot — one saturating uncapped VM
+    /// under Credit (a capped VM's per-period allowance sits below the
+    /// quantum, so caps force partial slices) — must be bit-identical
+    /// to the slice-exact path, and the fast path must actually
+    /// engage.
+    #[test]
+    fn event_core_is_bit_exact_for_thrashing_credit_vm() {
+        let run = |on: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+                .with_event_core(on)
+                .build();
+            let d = demand(&host, 1.0);
+            host.add_vm(VmConfig::new("hog", Credit::ZERO), d);
+            host.run_for(SimDuration::from_secs(60));
+            host
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(on.fused_slices() > 0, "fused path never engaged");
+        assert_eq!(off.fused_slices(), 0);
+        assert_eq!(fingerprint(&on), fingerprint(&off));
+        assert_eq!(on.stats().snapshots(), off.stats().snapshots());
+    }
+
+    /// Profiling only reads the clock around already-scheduled work:
+    /// a profiled run must be bit-identical to an unprofiled one, and
+    /// the phase counters must actually accumulate.
+    #[test]
+    fn profiling_is_bit_exact_and_counters_accumulate() {
+        let run = |profiled: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas)
+                .with_event_core(true)
+                .build();
+            host.set_profiling(profiled);
+            let d = demand(&host, 1.0);
+            host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d);
+            host.run_for(SimDuration::from_secs(60));
+            host
+        };
+        let profiled = run(true);
+        let plain = run(false);
+        assert_eq!(fingerprint(&profiled), fingerprint(&plain));
+        assert_eq!(profiled.stats().snapshots(), plain.stats().snapshots());
+        let perf = profiled.perf();
+        assert!(perf.host_slice_ns > 0, "slice phase was timed");
+        assert!(perf.sched_acct_ns > 0, "accounting phase was timed");
+        assert!(perf.snapshot_ns > 0, "snapshot phase was timed");
+        let off = plain.perf();
+        assert_eq!(
+            (
+                off.host_slice_ns,
+                off.sched_acct_ns,
+                off.governor_ns,
+                off.snapshot_ns
+            ),
+            (0, 0, 0, 0),
+            "profiling off must not read the clock"
+        );
+    }
+
+    /// PAS rewrites caps and the frequency at every accounting
+    /// boundary; the fused loop must replay identically between those
+    /// boundaries. The trickle VM stays dormant for ~12 windows at a
+    /// time, then crosses the runnable threshold *mid-window* — the
+    /// grower re-check must bail the fused loop out at exactly the
+    /// slice where the exact path would schedule it.
+    #[test]
+    fn event_core_is_bit_exact_under_pas_with_mixed_vms() {
+        let run = |on: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas)
+                .with_event_core(on)
+                .build();
+            let d1 = demand(&host, 1.0);
+            let d2 = Box::new(ConstantDemand::new(0.008));
+            host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d1);
+            host.add_vm(VmConfig::new("trickle", Credit::percent(30.0)), d2);
+            host.add_vm(
+                VmConfig::new("lazy", Credit::percent(70.0)),
+                Box::new(crate::work::Idle),
+            );
+            host.run_for(SimDuration::from_secs(60));
+            host
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(on.fused_slices() > 0, "fused path never engaged");
+        assert_eq!(fingerprint(&on), fingerprint(&off));
+        assert_eq!(on.stats().snapshots(), off.stats().snapshots());
+    }
+
+    /// A batch source is unfusable until its work is released (its
+    /// `generate` has state), then fuses as an exhausted drain; the
+    /// host later turns quiescent under a downscaling governor. All
+    /// three regimes must agree with the exact path bit-for-bit.
+    #[test]
+    fn event_core_is_bit_exact_for_batch_drain() {
+        let run = |on: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Credit)
+                .with_governor(Box::new(StableOndemand::new()))
+                .with_event_core(on)
+                .build();
+            let total = 5.0 * host.fmax_mcps();
+            host.add_vm(
+                VmConfig::new("batch", Credit::percent(50.0)),
+                Box::new(crate::work::test_batch(total)),
+            );
+            host.add_vm(
+                VmConfig::new("spare", Credit::percent(20.0)),
+                Box::new(crate::work::Idle),
+            );
+            host.run_for(SimDuration::from_secs(60));
+            host
+        };
+        let on = run(true);
+        let off = run(false);
+        assert!(on.fused_slices() > 0, "fused path never engaged");
+        assert_eq!(fingerprint(&on), fingerprint(&off));
+        assert_eq!(on.stats().snapshots(), off.stats().snapshots());
+    }
+
+    /// With a tracer installed the event core must emit the *same
+    /// event stream*, not merely the same aggregates — fusing is only
+    /// allowed on stretches that provably record nothing.
+    #[test]
+    fn event_core_is_bit_exact_when_traced() {
+        let run = |on: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Pas)
+                .with_event_core(on)
+                .build();
+            let total = 8.0 * host.fmax_mcps();
+            host.add_vm(
+                VmConfig::new("batch", Credit::percent(20.0)),
+                Box::new(crate::work::test_batch(total)),
+            );
+            host.add_vm(
+                VmConfig::new("lazy", Credit::percent(70.0)),
+                Box::new(crate::work::Idle),
+            );
+            host.set_tracer(trace::Tracer::new(1, trace::DEFAULT_CAPACITY).with_host(0));
+            host.run_for(SimDuration::from_secs(60));
+            let tracer = host.take_tracer().expect("tracer installed");
+            (fingerprint(&host), trace::Trace::merge(vec![tracer]))
+        };
+        let (fp_on, trace_on) = run(true);
+        let (fp_off, trace_off) = run(false);
+        assert_eq!(fp_on, fp_off);
+        assert!(!trace_on.events().is_empty());
+        assert_eq!(trace_on.events(), trace_off.events());
+    }
+
+    /// SEDF has no Credit core to lease, so the event core must fall
+    /// back to the exact loop throughout — and still match.
+    #[test]
+    fn event_core_is_inert_for_sedf() {
+        let run = |on: bool| {
+            let mut host = HostConfig::optiplex_defaults(SchedulerKind::Sedf { extra: true })
+                .with_event_core(on)
+                .build();
+            let d1 = demand(&host, 1.0);
+            host.add_vm(VmConfig::new("v20", Credit::percent(20.0)), d1);
+            host.add_vm(
+                VmConfig::new("v70", Credit::percent(70.0)),
+                Box::new(crate::work::Idle),
+            );
+            host.run_for(SimDuration::from_secs(30));
+            host
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.fused_slices(), 0, "no Credit core, nothing fuses");
+        assert_eq!(fingerprint(&on), fingerprint(&off));
+    }
+
+    /// The wake forecast: runnable VMs wake now, dormant fluid sources
+    /// wake when their backlog reaches the runnable threshold, and
+    /// exhausted VMs never wake.
+    #[test]
+    fn next_vm_wake_forecasts_arrivals() {
+        let horizon = SimTime::from_secs(100);
+
+        // Idle-only host: no VM ever wakes.
+        let mut idle = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        idle.add_vm(
+            VmConfig::new("idle", Credit::percent(50.0)),
+            Box::new(crate::work::Idle),
+        );
+        assert_eq!(idle.next_vm_wake(horizon), horizon);
+        // Control boundaries still fire: the first accounting tick.
+        assert_eq!(idle.next_event(horizon), SimTime::from_millis(30));
+
+        // A dormant trickle source crosses the runnable threshold
+        // after threshold / rate seconds.
+        let mut slow = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        slow.add_vm(
+            VmConfig::new("trickle", Credit::percent(50.0)),
+            Box::new(ConstantDemand::new(MIN_RUNNABLE_MCYCLES)),
+        );
+        let wake = slow.next_vm_wake(horizon).as_secs_f64();
+        assert!((wake - 1.0).abs() < 1e-9, "wake at {wake}, expected 1 s");
+
+        // A runnable VM wakes immediately.
+        let mut busy = HostConfig::optiplex_defaults(SchedulerKind::Credit).build();
+        let d = demand(&busy, 0.5);
+        busy.add_vm(VmConfig::new("busy", Credit::percent(50.0)), d);
+        busy.run_for(SimDuration::from_millis(90));
+        assert_eq!(busy.next_vm_wake(horizon), busy.now());
     }
 }

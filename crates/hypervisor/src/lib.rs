@@ -60,6 +60,6 @@ pub mod stats;
 pub mod vm;
 pub mod work;
 
-pub use host::{Host, HostConfig, SchedulerKind};
+pub use host::{Host, HostConfig, HostPerf, SchedulerKind};
 pub use vm::{VmConfig, VmId};
 pub use work::WorkSource;

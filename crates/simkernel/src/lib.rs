@@ -6,6 +6,8 @@
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time,
 //! * [`EventQueue`] — a total-ordered pending-event set with stable
 //!   FIFO tie-breaking and O(log n) cancellation,
+//! * [`WakeHeap`] — a rebuildable per-host wake-instant heap ordered
+//!   by `(time, stream, sequence)` for the event-driven host loop,
 //! * [`Engine`] — the event loop, generic over a user-supplied world type,
 //! * [`SimRng`] — a seeded, reproducible random number generator.
 //!
@@ -43,8 +45,10 @@ mod engine;
 mod event;
 mod rng;
 mod time;
+mod wake;
 
 pub use engine::{Engine, EngineError, EngineEvent};
 pub use event::{EventId, EventQueue, QueuedEvent};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use wake::{Wake, WakeHeap, WakeKind};

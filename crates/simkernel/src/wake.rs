@@ -1,0 +1,232 @@
+//! Per-host wake-event heap for the event-driven host loop.
+//!
+//! A host's future is a small set of *wake instants*: the next
+//! accounting / governor / snapshot boundary plus, per VM, the instant
+//! its backlog drains or enough demand arrives to make it runnable.
+//! [`WakeHeap`] keeps those instants totally ordered by
+//! `(time, stream, sequence)` — the same scheme the trace merge uses —
+//! so "what happens next on this host?" is a deterministic O(1) peek
+//! regardless of how the wakes were inserted.
+//!
+//! Unlike [`EventQueue`](crate::EventQueue) there is no cancellation:
+//! the host rebuilds its heap from current state whenever it needs a
+//! forecast (entries are cheap, counts are tiny), and [`WakeHeap::clear`]
+//! retains the allocation across rebuilds.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// What a wake instant means to the host loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeKind {
+    /// Scheduler accounting boundary (credit refill, PAS replanning).
+    Acct,
+    /// Governor sampling boundary (DVFS decision point).
+    Governor,
+    /// Telemetry snapshot boundary.
+    Sample,
+    /// The VM at this host-local index drains its backlog and may go
+    /// idle (the pick can change).
+    VmDrain(u32),
+    /// The VM at this host-local index accumulates enough demand to
+    /// become runnable (the pick can change).
+    VmArrival(u32),
+}
+
+impl WakeKind {
+    /// The stream rank used as the first-level tie-break between wakes
+    /// scheduled for the same instant: control boundaries fire before
+    /// per-VM wakes, mirroring the host loop's boundary-first order.
+    #[must_use]
+    pub fn stream(self) -> u8 {
+        match self {
+            WakeKind::Acct => 0,
+            WakeKind::Governor => 1,
+            WakeKind::Sample => 2,
+            WakeKind::VmDrain(_) => 3,
+            WakeKind::VmArrival(_) => 4,
+        }
+    }
+}
+
+/// A wake popped from the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wake {
+    /// The instant the host must re-evaluate its state.
+    pub at: SimTime,
+    /// Why.
+    pub kind: WakeKind,
+}
+
+struct WakeEntry {
+    at: SimTime,
+    stream: u8,
+    seq: u64,
+    kind: WakeKind,
+}
+
+impl WakeEntry {
+    fn key(&self) -> (SimTime, u8, u64) {
+        (self.at, self.stream, self.seq)
+    }
+}
+
+impl PartialEq for WakeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for WakeEntry {}
+impl PartialOrd for WakeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WakeEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest
+        // (time, stream, seq) pops first.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A deterministic min-heap of host wake instants.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{SimTime, WakeHeap, WakeKind};
+///
+/// let mut wakes = WakeHeap::new();
+/// wakes.push(SimTime::from_millis(30), WakeKind::Acct);
+/// wakes.push(SimTime::from_millis(12), WakeKind::VmDrain(0));
+/// assert_eq!(wakes.peek_time(), Some(SimTime::from_millis(12)));
+/// let first = wakes.pop().expect("two wakes queued");
+/// assert_eq!(first.kind, WakeKind::VmDrain(0));
+/// ```
+#[derive(Default)]
+pub struct WakeHeap {
+    heap: BinaryHeap<WakeEntry>,
+    next_seq: u64,
+}
+
+impl WakeHeap {
+    /// Creates an empty heap.
+    #[must_use]
+    pub fn new() -> Self {
+        WakeHeap::default()
+    }
+
+    /// Empties the heap, retaining its allocation for the next
+    /// rebuild.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
+
+    /// Schedules a wake of `kind` at `at`.
+    pub fn push(&mut self, at: SimTime, kind: WakeKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(WakeEntry {
+            at,
+            stream: kind.stream(),
+            seq,
+            kind,
+        });
+    }
+
+    /// Removes and returns the earliest wake.
+    pub fn pop(&mut self) -> Option<Wake> {
+        self.heap.pop().map(|e| Wake {
+            at: e.at,
+            kind: e.kind,
+        })
+    }
+
+    /// The instant of the earliest wake without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending wakes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no wakes are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl std::fmt::Debug for WakeHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakeHeap")
+            .field("len", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = WakeHeap::new();
+        w.push(SimTime::from_millis(30), WakeKind::Acct);
+        w.push(SimTime::from_millis(10), WakeKind::VmArrival(2));
+        w.push(SimTime::from_millis(20), WakeKind::Sample);
+        let order: Vec<WakeKind> = std::iter::from_fn(|| w.pop().map(|e| e.kind)).collect();
+        assert_eq!(
+            order,
+            vec![WakeKind::VmArrival(2), WakeKind::Sample, WakeKind::Acct]
+        );
+    }
+
+    #[test]
+    fn same_instant_orders_by_stream() {
+        let mut w = WakeHeap::new();
+        let t = SimTime::from_millis(50);
+        // Insert in reverse stream order; pops must follow stream rank.
+        w.push(t, WakeKind::VmArrival(0));
+        w.push(t, WakeKind::VmDrain(0));
+        w.push(t, WakeKind::Sample);
+        w.push(t, WakeKind::Governor);
+        w.push(t, WakeKind::Acct);
+        let order: Vec<u8> = std::iter::from_fn(|| w.pop().map(|e| e.kind.stream())).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn same_stream_is_fifo() {
+        let mut w = WakeHeap::new();
+        let t = SimTime::from_millis(5);
+        for i in 0..64 {
+            w.push(t, WakeKind::VmDrain(i));
+        }
+        let order: Vec<WakeKind> = std::iter::from_fn(|| w.pop().map(|e| e.kind)).collect();
+        let expect: Vec<WakeKind> = (0..64).map(WakeKind::VmDrain).collect();
+        assert_eq!(order, expect);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut w = WakeHeap::new();
+        for i in 0..32 {
+            w.push(SimTime::from_millis(i), WakeKind::Acct);
+        }
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.peek_time(), None);
+        w.push(SimTime::from_millis(1), WakeKind::Governor);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.pop().map(|e| e.kind), Some(WakeKind::Governor));
+    }
+}

@@ -377,3 +377,59 @@ fn quickstart_metrics_exports_are_byte_identical() {
         "JSON export must be reproducible"
     );
 }
+
+/// The event-driven core's fleet-level acceptance criterion: with
+/// next-event epoch routing, every artefact must be byte-identical to
+/// the slice-exact core across `--jobs` 1/2/8 and shard counts
+/// 1/4/16. The wake forecast only decides *where* a host simulates
+/// (inline versus on the worker pool), never what any slice computes,
+/// so neither the event core nor worker scheduling may leak into a
+/// single byte. The population mixes saturating, trickle (dormant
+/// for whole epochs between wakes), stepped-surge and fully idle VMs
+/// so both routes are actually exercised.
+#[test]
+fn event_core_fleet_artifacts_are_byte_identical_across_jobs_and_shards() {
+    use pas_repro::cluster::{Fleet, FleetConfig, ShardConfig, VmSpec};
+    use pas_repro::metrics::export;
+
+    let mut specs: Vec<VmSpec> = (0..6)
+        .map(|i| VmSpec::new(format!("busy{i}"), 4.0, 0.25))
+        .collect();
+    specs.extend(
+        (0..6).map(|i| VmSpec::new(format!("trickle{i}"), 2.0, 0.002).with_credit_frac(0.2)),
+    );
+    specs.push(VmSpec::new("surge", 4.0, 0.05).with_steps(vec![(60.0, 0.40), (90.0, 0.05)]));
+    specs.extend((0..5).map(|i| VmSpec::new(format!("idle{i}"), 2.0, 0.0).with_credit_frac(0.1)));
+
+    let run = |event_core: bool, shards: usize, jobs: usize| {
+        let mut fleet = Fleet::build(
+            FleetConfig::pas_defaults()
+                .with_event_core(event_core)
+                .with_sharding(ShardConfig::new(shards)),
+            &specs,
+        );
+        fleet.run_epochs(5, jobs);
+        let totals = fleet.totals();
+        (
+            totals.energy_j.to_bits(),
+            totals.sla_ratio.to_bits(),
+            export::to_csv(&[fleet.load_series()]),
+        )
+    };
+    let reference = run(false, 1, 1);
+    for (event_core, shards, jobs) in [
+        (true, 1, 1),
+        (true, 1, 2),
+        (true, 1, 8),
+        (true, 4, 2),
+        (true, 16, 8),
+        (false, 4, 8),
+    ] {
+        let got = run(event_core, shards, jobs);
+        assert_eq!(
+            got, reference,
+            "artefacts must be byte-identical \
+             (event_core={event_core}, shards={shards}, jobs={jobs})"
+        );
+    }
+}
